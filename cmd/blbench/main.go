@@ -1,0 +1,91 @@
+// Command blbench regenerates the paper-reproduction experiment tables
+// (E1–E12, see DESIGN.md §5 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	blbench                  # run the full suite
+//	blbench -run E1,E3       # selected experiments
+//	blbench -quick           # smaller sweeps (CI scale)
+//	blbench -seeds 10        # replicates per configuration
+//	blbench -csv out/        # also write one CSV per table
+//	blbench -list            # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ballsintoleaves/internal/workload"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick = flag.Bool("quick", false, "shrink sweeps and replicates")
+		seeds = flag.Int("seeds", 0, "replicates per configuration (0 = default)")
+		seed  = flag.Uint64("seed", 0, "base seed offset")
+		csv   = flag.String("csv", "", "directory to write per-table CSV files")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range workload.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := workload.Options{Quick: *quick, Seeds: *seeds, BaseSeed: *seed}
+	selected := workload.All()
+	if *run != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := workload.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "blbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "blbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+		tables, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blbench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for i, tb := range tables {
+			tb.Render(os.Stdout)
+			fmt.Println()
+			if *csv != "" {
+				name := fmt.Sprintf("%s_%d.csv", e.ID, i+1)
+				f, err := os.Create(filepath.Join(*csv, name))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "blbench: %v\n", err)
+					os.Exit(1)
+				}
+				tb.RenderCSV(f)
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "blbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

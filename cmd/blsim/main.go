@@ -1,0 +1,182 @@
+// Command blsim runs a single Balls-into-Leaves execution and reports what
+// happened, optionally tracing the virtual tree phase by phase — a textual
+// rendering of the paper's Figures 1 and 2.
+//
+// Usage:
+//
+//	blsim -n 16 -trace                 # watch 16 balls disperse
+//	blsim -n 4096 -algo early -f 64    # early termination under 64 crashes
+//	blsim -n 1024 -crash splitter      # the §6 single-crash pattern
+//	blsim -n 32 -names                 # print the decided name table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ballsintoleaves/internal/adversary"
+	"ballsintoleaves/internal/core"
+	"ballsintoleaves/internal/ids"
+	"ballsintoleaves/internal/sim"
+	"ballsintoleaves/internal/trace"
+	"ballsintoleaves/internal/viz"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 16, "number of processes / names")
+		seed   = flag.Uint64("seed", 1, "seed for all randomness")
+		algo   = flag.String("algo", "random", "path strategy: random | hybrid | deterministic | leveldescent")
+		crash  = flag.String("crash", "none", "adversary: none | random | splitter | rankshift | deeptarget | oneperphase")
+		f      = flag.Int("f", 0, "crash budget for the random adversary")
+		treeTr = flag.Bool("trace", false, "render the tree after every phase")
+		events = flag.Bool("events", false, "run the per-process reference engine and print the round transcript")
+		names  = flag.Bool("names", false, "print the decided name table")
+		verify = flag.Bool("verify", true, "enable runtime invariant checks")
+		arity  = flag.Int("arity", 2, "virtual tree fan-out")
+	)
+	flag.Parse()
+
+	strategy, err := parseStrategy(*algo)
+	if err != nil {
+		fatal(err)
+	}
+	adv, err := parseAdversary(*crash, *f, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *events {
+		if err := runWithTranscript(*n, *seed, strategy, adv, *arity, *verify); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg := core.Config{
+		N:               *n,
+		Seed:            *seed,
+		Strategy:        strategy,
+		Arity:           *arity,
+		Adversary:       adv,
+		Metrics:         true,
+		CheckInvariants: *verify,
+	}
+	labels := ids.Random(*n, *seed+0x515)
+	cohort, err := core.NewCohort(cfg, labels)
+	if err != nil {
+		fatal(err)
+	}
+	if *treeTr {
+		cohort.OnPhaseEnd = func(phase, round int, canon *core.View) {
+			fmt.Printf("--- phase %d (after round %d) ---\n", phase, round)
+			if *n <= viz.MaxRenderableN {
+				fmt.Print(viz.Tree(canon))
+			} else {
+				fmt.Print(viz.DepthBars(canon))
+			}
+		}
+		fmt.Printf("--- initial configuration: %d balls at the root ---\n", *n)
+	}
+	res, err := cohort.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nalgorithm     %v\n", strategy)
+	fmt.Printf("adversary     %s (crashed %d)\n", adv.Name(), res.Crashes)
+	fmt.Printf("processes     %d\n", res.N)
+	fmt.Printf("rounds        %d  (%d phases + 1 init round)\n", res.Rounds, res.Phases)
+	fmt.Printf("decided       %d correct processes, all names unique\n", len(res.Decisions))
+	fmt.Printf("messages      %d  (%.1f KB on the wire)\n", res.Messages, float64(res.Bytes)/1024)
+
+	if len(res.Metrics.PerPhase) > 0 {
+		fmt.Println("\nphase  at-leaves  max-contention  busiest-path")
+		for _, s := range res.Metrics.PerPhase {
+			fmt.Printf("%5d  %9d  %14d  %12d\n", s.Phase, s.AtLeaves, s.MaxAtNode, s.BusiestPathLoad)
+		}
+	}
+
+	if *names {
+		fmt.Println("\nprocess id        -> name  (decided in round)")
+		sorted := make([]int, 0, len(res.Decisions))
+		for i := range res.Decisions {
+			sorted = append(sorted, i)
+		}
+		sort.Slice(sorted, func(a, b int) bool {
+			return res.Decisions[sorted[a]].Name < res.Decisions[sorted[b]].Name
+		})
+		for _, i := range sorted {
+			d := res.Decisions[i]
+			fmt.Printf("%-16x -> %4d  (round %d)\n", uint64(d.ID), d.Name, d.Round)
+		}
+	}
+}
+
+// runWithTranscript drives the faithful per-process implementation on the
+// reference engine with the event tracer and prints the round transcript.
+func runWithTranscript(n int, seed uint64, strategy core.PathStrategy,
+	adv adversary.Strategy, arity int, verify bool) error {
+	cfg := core.Config{N: n, Seed: seed, Strategy: strategy, Arity: arity, CheckInvariants: verify}
+	balls, err := core.NewBalls(cfg, ids.Random(n, seed+0x515))
+	if err != nil {
+		return err
+	}
+	log := &trace.Log{}
+	eng, err := sim.New(sim.Config{Adversary: adv}, trace.WrapAll(core.Processes(balls), log))
+	if err != nil {
+		return err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reference engine: %d processes, %d rounds, %d crashed, %d decided\n\n",
+		n, res.Rounds, len(res.Crashed), len(res.Decisions))
+	log.Render(os.Stdout)
+	return nil
+}
+
+func parseStrategy(s string) (core.PathStrategy, error) {
+	switch s {
+	case "random":
+		return core.RandomPaths, nil
+	case "hybrid", "early":
+		return core.HybridPaths, nil
+	case "deterministic", "rankdescent":
+		return core.DeterministicPaths, nil
+	case "leveldescent", "level":
+		return core.LevelDescent, nil
+	default:
+		return 0, fmt.Errorf("blsim: unknown strategy %q", s)
+	}
+}
+
+func parseAdversary(s string, f int, seed uint64) (adversary.Strategy, error) {
+	switch s {
+	case "none":
+		return adversary.None{}, nil
+	case "random":
+		if f <= 0 {
+			f = 1
+		}
+		return adversary.NewRandom(f, 9, seed), nil
+	case "splitter":
+		return &adversary.Splitter{Round: 1}, nil
+	case "rankshift":
+		return &adversary.RankShifter{}, nil
+	case "deeptarget":
+		return &adversary.DeepTarget{PerRound: 2, Seed: seed}, nil
+	case "oneperphase":
+		return &adversary.OnePerPhase{}, nil
+	default:
+		return nil, fmt.Errorf("blsim: unknown adversary %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "blsim: %v\n", err)
+	os.Exit(1)
+}

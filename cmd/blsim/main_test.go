@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+
+	"ballsintoleaves/internal/core"
+)
+
+func TestParseStrategy(t *testing.T) {
+	t.Parallel()
+	cases := map[string]core.PathStrategy{
+		"random":        core.RandomPaths,
+		"hybrid":        core.HybridPaths,
+		"early":         core.HybridPaths,
+		"deterministic": core.DeterministicPaths,
+		"rankdescent":   core.DeterministicPaths,
+		"leveldescent":  core.LevelDescent,
+		"level":         core.LevelDescent,
+	}
+	for in, want := range cases {
+		got, err := parseStrategy(in)
+		if err != nil || got != want {
+			t.Fatalf("parseStrategy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseStrategy("bogus"); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+}
+
+func TestParseAdversary(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"none", "random", "splitter", "rankshift", "deeptarget", "oneperphase"} {
+		adv, err := parseAdversary(name, 4, 1)
+		if err != nil || adv == nil {
+			t.Fatalf("parseAdversary(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := parseAdversary("bogus", 0, 1); err == nil {
+		t.Fatal("bogus adversary accepted")
+	}
+}
+
+func TestRunWithTranscript(t *testing.T) {
+	t.Parallel()
+	strategy, err := parseStrategy("random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := parseAdversary("splitter", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runWithTranscript(8, 1, strategy, adv, 2, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+// Adversary showdown: the §6 "splitter" pattern — a single crash that
+// forces up to n/2 collisions against deterministic rank-indexed choices —
+// and how each algorithm absorbs it.
+//
+// Run with:
+//
+//	go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bil "ballsintoleaves"
+)
+
+const n = 1024
+
+func main() {
+	fmt.Printf("the splitter: the lowest-labelled of %d processes crashes during the\n", n)
+	fmt.Println("membership round, delivering its announcement to every second peer.")
+	fmt.Println("half the survivors now count one extra participant: every rank-indexed")
+	fmt.Println("choice is off by one between the two halves.")
+	fmt.Println()
+
+	for _, algo := range []bil.Algorithm{
+		bil.EarlyTerminating,
+		bil.BallsIntoLeaves,
+		bil.DeterministicLevelDescent,
+	} {
+		clean, err := bil.Rename(n, bil.WithAlgorithm(algo), bil.WithSeed(5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		hit, err := bil.Rename(n, bil.WithAlgorithm(algo), bil.WithSeed(5),
+			bil.WithCrashes(bil.SplitterCrash(1)), bil.WithPhaseMetrics())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28v failure-free %2d rounds | splitter %2d rounds", algo, clean.Rounds, hit.Rounds)
+		if len(hit.PhaseStats) > 0 {
+			stuck := hit.PhaseStats[0].Balls - hit.PhaseStats[0].AtLeaves
+			fmt.Printf(" | balls displaced after phase 1: %d", stuck)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("the early-terminating variant pays the collisions (its first phase is")
+	fmt.Println("rank-indexed) yet recovers within O(log log f) extra rounds; the fully")
+	fmt.Println("randomized algorithm barely notices — randomization is what defuses the")
+	fmt.Println("adversary's knowledge of the rank structure.")
+}

@@ -1,0 +1,115 @@
+// Transport integration: run the Balls-into-Leaves state machine over your
+// own network layer via the NewProtocol API.
+//
+// The example acts as the transport itself: it drives lock-step rounds,
+// broadcasts every process's payload (including back to the sender), and
+// crashes one process mid-broadcast so that its final message reaches only
+// half the peers — the paper's exact failure model. The survivors rename
+// around the crash.
+//
+// Run with:
+//
+//	go run ./examples/transport
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bil "ballsintoleaves"
+)
+
+const (
+	n          = 8
+	seed       = 99
+	crashRound = 3 // the victim crashes while broadcasting this round
+)
+
+func main() {
+	peerIDs := make([]uint64, n)
+	procs := make(map[uint64]*bil.Protocol, n)
+	for i := range peerIDs {
+		id := uint64(500 + i)
+		peerIDs[i] = id
+		p, err := bil.NewProtocol(n, seed, id, bil.BallsIntoLeaves)
+		if err != nil {
+			log.Fatal(err)
+		}
+		procs[id] = p
+	}
+	victim := peerIDs[0]
+	alive := make(map[uint64]bool, n)
+	for _, id := range peerIDs {
+		alive[id] = true
+	}
+
+	for round := 1; ; round++ {
+		if round > 100 {
+			log.Fatal("protocol did not terminate")
+		}
+		// Send half: collect every live process's broadcast. Payload
+		// buffers are reused by the protocol, so a transport must copy.
+		payloads := make(map[uint64][]byte)
+		for _, id := range peerIDs {
+			if !alive[id] || procs[id].Done() {
+				continue
+			}
+			raw := procs[id].Send(round)
+			cp := make([]byte, len(raw))
+			copy(cp, raw)
+			payloads[id] = cp
+		}
+
+		// Failure injection: the victim crashes during its broadcast in
+		// crashRound — only peers with odd index still receive its final
+		// message. Afterwards it is silent forever.
+		partial := map[uint64]bool{}
+		if round == crashRound && alive[victim] {
+			alive[victim] = false
+			for i, id := range peerIDs {
+				if i%2 == 1 {
+					partial[id] = true
+				}
+			}
+			fmt.Printf("round %d: process %d crashes mid-broadcast; final message reaches %d of %d peers\n",
+				round, victim, len(partial), n-1)
+		}
+
+		// Deliver half: every live process receives the round's messages.
+		done := true
+		for _, id := range peerIDs {
+			if !alive[id] || procs[id].Done() {
+				continue
+			}
+			var msgs []bil.Message
+			for from, payload := range payloads {
+				if from == victim && round == crashRound && !partial[id] && id != victim {
+					continue // this peer missed the victim's final broadcast
+				}
+				msgs = append(msgs, bil.Message{From: from, Payload: payload})
+			}
+			procs[id].Deliver(round, msgs)
+			if !procs[id].Done() {
+				done = false
+			}
+		}
+		if done {
+			fmt.Printf("all surviving processes halted after round %d\n\n", round)
+			break
+		}
+	}
+
+	for _, id := range peerIDs {
+		if !alive[id] {
+			fmt.Printf("process %d: crashed\n", id)
+			continue
+		}
+		name, ok := procs[id].Decided()
+		if !ok {
+			log.Fatalf("process %d never decided", id)
+		}
+		fmt.Printf("process %d: decided name %d\n", id, name)
+	}
+	fmt.Println("\nany transport providing lock-step broadcast rounds (with self-delivery)")
+	fmt.Println("can host the protocol; partial delivery of a crashing sender is tolerated")
+}

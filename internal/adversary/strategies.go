@@ -1,0 +1,236 @@
+package adversary
+
+import (
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/rng"
+)
+
+// Splitter implements the §6 single-crash pattern: in the given round, the
+// lowest-labelled alive process crashes while delivering its broadcast to
+// every second process by label rank. Against deterministic rank-indexed
+// leaf choices this single crash forces up to n/2 pairwise collisions,
+// because half the survivors see their rank shifted by one.
+type Splitter struct {
+	// Round is the round to strike; the Balls-into-Leaves init round is 1
+	// and the first candidate-path round is 2, so 2 attacks the path
+	// choice and 1 attacks group membership.
+	Round int
+	done  bool
+}
+
+// Name implements Strategy.
+func (s *Splitter) Name() string { return "splitter" }
+
+// Plan implements Strategy.
+func (s *Splitter) Plan(view RoundView) []CrashSpec {
+	if s.done || view.Round() != s.Round || view.Budget() < 1 {
+		return nil
+	}
+	alive := view.Alive()
+	if len(alive) < 2 {
+		return nil
+	}
+	s.done = true
+	victim := alive[0]
+	survivors := alive[1:]
+	return []CrashSpec{{Victim: victim, Deliver: AlternatingByRank(survivors)}}
+}
+
+// AtRound crashes Count processes in a single round. Victims are the
+// lowest-labelled alive processes (or highest with FromTop). Delivery
+// follows Pattern; the default (zero value) delivers to nobody.
+type AtRound struct {
+	Round   int
+	Count   int
+	FromTop bool
+	// Pattern builds the delivery predicate for one victim given the
+	// surviving processes in ascending order. Nil means DeliverNone.
+	Pattern func(survivors []proto.ID) func(proto.ID) bool
+	done    bool
+}
+
+// Name implements Strategy.
+func (a *AtRound) Name() string { return "at-round" }
+
+// Plan implements Strategy.
+func (a *AtRound) Plan(view RoundView) []CrashSpec {
+	if a.done || view.Round() != a.Round {
+		return nil
+	}
+	a.done = true
+	alive := view.Alive()
+	count := a.Count
+	if count > len(alive)-1 {
+		count = len(alive) - 1 // keep at least one process alive
+	}
+	if count > view.Budget() {
+		count = view.Budget()
+	}
+	if count <= 0 {
+		return nil
+	}
+	victims := make(map[proto.ID]bool, count)
+	specs := make([]CrashSpec, 0, count)
+	for i := 0; i < count; i++ {
+		if a.FromTop {
+			victims[alive[len(alive)-1-i]] = true
+		} else {
+			victims[alive[i]] = true
+		}
+	}
+	var survivors []proto.ID
+	for _, id := range alive {
+		if !victims[id] {
+			survivors = append(survivors, id)
+		}
+	}
+	for id := range victims {
+		deliver := DeliverNone
+		if a.Pattern != nil {
+			deliver = a.Pattern(survivors)
+		}
+		specs = append(specs, CrashSpec{Victim: id, Deliver: deliver})
+	}
+	return specs
+}
+
+// RankShifter is the sustained version of the splitter, targeting
+// deterministic rank-descent algorithms: in every path-choice round (the
+// even rounds of the Balls-into-Leaves schedule) it crashes the
+// lowest-labelled alive process, delivering to alternating survivors so the
+// two halves of the system permanently disagree on ranks. This is the
+// comparison-based "order-equivalence" pressure behind the Ω(log n) lower
+// bound of Chaudhuri–Herlihy–Tuttle.
+type RankShifter struct {
+	// Period selects which rounds strike: rounds r with r % Period ==
+	// Phase are attacked. The default (0,0) is normalized to (2,0),
+	// striking every path round.
+	Period int
+	Phase  int
+}
+
+// Name implements Strategy.
+func (r *RankShifter) Name() string { return "rank-shifter" }
+
+// Plan implements Strategy.
+func (r *RankShifter) Plan(view RoundView) []CrashSpec {
+	period, phase := r.Period, r.Phase
+	if period <= 0 {
+		period, phase = 2, 0
+	}
+	if view.Round()%period != phase || view.Budget() < 1 {
+		return nil
+	}
+	alive := view.Alive()
+	if len(alive) < 3 {
+		return nil
+	}
+	return []CrashSpec{{Victim: alive[0], Deliver: AlternatingByRank(alive[1:])}}
+}
+
+// DeepTarget attacks progress: each round it crashes up to PerRound
+// processes that have already reached a leaf (hold a name), freeing their
+// leaves in some views and not others. §5.3 argues such crashes cannot slow
+// the algorithm; experiment E4 measures that claim.
+type DeepTarget struct {
+	PerRound int
+	Seed     uint64
+	src      *rng.Source
+}
+
+// Name implements Strategy.
+func (d *DeepTarget) Name() string { return "deep-target" }
+
+// Plan implements Strategy.
+func (d *DeepTarget) Plan(view RoundView) []CrashSpec {
+	if d.src == nil {
+		d.src = rng.Derive(d.Seed, 0xdeeb)
+	}
+	per := d.PerRound
+	if per <= 0 {
+		per = 1
+	}
+	alive := view.Alive()
+	var atLeaf []proto.ID
+	for _, id := range alive {
+		if info, ok := view.Info(id); ok && info.AtLeaf {
+			atLeaf = append(atLeaf, id)
+		}
+	}
+	var specs []CrashSpec
+	for i := 0; i < per && len(atLeaf) > 0 && len(specs) < view.Budget(); i++ {
+		idx := d.src.Intn(len(atLeaf))
+		victim := atLeaf[idx]
+		atLeaf = append(atLeaf[:idx:idx], atLeaf[idx+1:]...)
+		// Deliver to a random half so views disagree about the freed leaf.
+		recvSrc := rng.Derive(d.Seed^uint64(victim), uint64(view.Round()))
+		received := make(map[proto.ID]bool)
+		for _, id := range alive {
+			if id != victim && recvSrc.Coin(1, 2) {
+				received[id] = true
+			}
+		}
+		specs = append(specs, CrashSpec{Victim: victim, Deliver: DeliverToSet(received)})
+	}
+	return specs
+}
+
+// OnePerPhase crashes exactly one process per protocol phase (every Period
+// rounds), alternating delivery halves — a slow-burn adversary for the
+// deterministic-termination experiment E8.
+type OnePerPhase struct {
+	Period int
+}
+
+// Name implements Strategy.
+func (o *OnePerPhase) Name() string { return "one-per-phase" }
+
+// Plan implements Strategy.
+func (o *OnePerPhase) Plan(view RoundView) []CrashSpec {
+	period := o.Period
+	if period <= 0 {
+		period = 2
+	}
+	if view.Round()%period != 0 || view.Budget() < 1 {
+		return nil
+	}
+	alive := view.Alive()
+	if len(alive) < 3 {
+		return nil
+	}
+	// Crash the median-ranked process: it shifts the most ranks below it
+	// while staying unpredictable to label-indexed schemes.
+	victim := alive[len(alive)/2]
+	var survivors []proto.ID
+	for _, id := range alive {
+		if id != victim {
+			survivors = append(survivors, id)
+		}
+	}
+	return []CrashSpec{{Victim: victim, Deliver: PrefixByRank(survivors, len(survivors)/2)}}
+}
+
+// Recorder wraps a Strategy and records every crash it actually planned,
+// for assertions in tests and for replaying executions.
+type Recorder struct {
+	Inner Strategy
+	Log   []RecordedCrash
+}
+
+// RecordedCrash is one crash the wrapped strategy planned.
+type RecordedCrash struct {
+	Round  int
+	Victim proto.ID
+}
+
+// Name implements Strategy.
+func (r *Recorder) Name() string { return r.Inner.Name() + "+recorded" }
+
+// Plan implements Strategy.
+func (r *Recorder) Plan(view RoundView) []CrashSpec {
+	specs := r.Inner.Plan(view)
+	for _, s := range specs {
+		r.Log = append(r.Log, RecordedCrash{Round: view.Round(), Victim: s.Victim})
+	}
+	return specs
+}

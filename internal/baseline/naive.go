@@ -1,0 +1,207 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"ballsintoleaves/internal/adversary"
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/rng"
+	"ballsintoleaves/internal/sim"
+	"ballsintoleaves/internal/wire"
+)
+
+// msgPropose tags a naive-renaming proposal payload.
+const msgPropose byte = 4
+
+// NaiveBall is the flat randomized renaming baseline: in every round, each
+// undecided process proposes a uniformly random name that is free in its
+// local view and broadcasts the proposal; the lowest-labelled proposer of
+// each name wins it, every receiver marks every proposed name taken, and a
+// process that wins its own proposal decides and halts.
+//
+// The protocol is crash-tolerant (a partially delivered proposal can waste
+// a name in some views but never violates uniqueness or liveness — at most
+// one wasted name per crash) and places all n processes in Θ(log n) rounds
+// w.h.p.: with k contenders racing for ≥ k free names, a constant fraction
+// win each round. It is the natural "balls-into-bins with retries" strategy
+// the paper's introduction starts from, and the log n / log log n gap
+// against Balls-into-Leaves is measured by experiment E2.
+type NaiveBall struct {
+	id   proto.ID
+	n    int
+	src  *rng.Source
+	pool *Pool
+	w    wire.Writer
+
+	proposal     int
+	decided      bool
+	name         int
+	done         bool
+	decodeErrors int
+}
+
+var (
+	_ proto.Process    = (*NaiveBall)(nil)
+	_ sim.Introspector = (*NaiveBall)(nil)
+)
+
+// NewNaiveBall constructs one process for an n-name namespace.
+func NewNaiveBall(n int, seed uint64, id proto.ID) (*NaiveBall, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: n must be >= 1, got %d", n)
+	}
+	return &NaiveBall{
+		id:       id,
+		n:        n,
+		src:      rng.Derive(seed, uint64(id)),
+		pool:     NewPool(n),
+		proposal: -1,
+	}, nil
+}
+
+// NewNaiveBalls constructs the full system.
+func NewNaiveBalls(n int, seed uint64, labels []proto.ID) ([]proto.Process, error) {
+	if len(labels) != n {
+		return nil, fmt.Errorf("baseline: %d labels for n=%d", len(labels), n)
+	}
+	procs := make([]proto.Process, n)
+	for i, id := range labels {
+		b, err := NewNaiveBall(n, seed, id)
+		if err != nil {
+			return nil, err
+		}
+		procs[i] = b
+	}
+	return procs, nil
+}
+
+// ID implements proto.Process.
+func (b *NaiveBall) ID() proto.ID { return b.id }
+
+// Decided implements proto.Process.
+func (b *NaiveBall) Decided() (int, bool) { return b.name, b.decided }
+
+// Done implements proto.Process.
+func (b *NaiveBall) Done() bool { return b.done }
+
+// DecodeErrors reports tolerated malformed payloads.
+func (b *NaiveBall) DecodeErrors() int { return b.decodeErrors }
+
+// Info implements sim.Introspector.
+func (b *NaiveBall) Info() adversary.BallInfo {
+	return adversary.BallInfo{Label: b.id, AtLeaf: b.decided}
+}
+
+// Send implements proto.Process: propose a uniformly random free name.
+func (b *NaiveBall) Send(round int) []byte {
+	free := b.pool.FreeCount()
+	if free == 0 {
+		// Cannot happen (see the liveness argument in the type comment);
+		// guard so a bookkeeping bug surfaces as a visible stall, not a
+		// panic inside the engine.
+		return nil
+	}
+	b.proposal = b.pool.SelectFree(b.src.Intn(free))
+	b.w.Reset()
+	b.w.Byte(msgPropose)
+	b.w.Uvarint(uint64(b.proposal))
+	return b.w.Bytes()
+}
+
+// Deliver implements proto.Process: resolve winners, mark taken names,
+// decide if this process won its own proposal.
+func (b *NaiveBall) Deliver(round int, msgs []proto.Message) {
+	winner := make(map[int]proto.ID, len(msgs))
+	for _, m := range msgs {
+		r := wire.NewReader(m.Payload)
+		if k := r.Byte(); k != msgPropose {
+			b.decodeErrors++
+			continue
+		}
+		name := int(r.Uvarint())
+		if r.Close() != nil || name < 0 || name >= b.n {
+			b.decodeErrors++
+			continue
+		}
+		if w, ok := winner[name]; !ok || m.From < w {
+			winner[name] = m.From
+		}
+	}
+	for name, w := range winner {
+		b.pool.Take(name)
+		if w == b.id {
+			b.decided = true
+			b.name = name + 1
+			b.done = true
+		}
+	}
+}
+
+// RunNaiveFast simulates a failure-free naive-renaming execution centrally,
+// with per-ball randomness identical to NaiveBall under internal/sim (the
+// equivalence is asserted by tests). Without crashes all local views agree,
+// so a single shared pool suffices; this is what makes n = 2^16 sweeps in
+// experiment E2 affordable.
+//
+// It returns the total rounds, each ball's decided name (1-based) and
+// decision round, both indexed by label rank (ascending label order).
+func RunNaiveFast(n int, seed uint64, labels []proto.ID) (rounds int, names, decisionRounds []int, err error) {
+	if len(labels) != n {
+		return 0, nil, nil, fmt.Errorf("baseline: %d labels for n=%d", len(labels), n)
+	}
+	sorted := make([]proto.ID, n)
+	copy(sorted, labels)
+	sortIDs(sorted)
+	for i := 1; i < n; i++ {
+		if sorted[i] == sorted[i-1] {
+			return 0, nil, nil, fmt.Errorf("baseline: duplicate label %v", sorted[i])
+		}
+	}
+	srcs := make([]*rng.Source, n)
+	for i, id := range sorted {
+		srcs[i] = rng.Derive(seed, uint64(id))
+	}
+	pool := NewPool(n)
+	names = make([]int, n)
+	decisionRounds = make([]int, n)
+	undecided := make([]int, n)
+	for i := range undecided {
+		undecided[i] = i
+	}
+	winner := make(map[int]int, n)
+	for round := 1; len(undecided) > 0; round++ {
+		if round > 10*n+64 {
+			return round, names, decisionRounds, fmt.Errorf("baseline: naive renaming failed to quiesce")
+		}
+		rounds = round
+		clear(winner)
+		proposals := make([]int, len(undecided))
+		for i, idx := range undecided {
+			p := pool.SelectFree(srcs[idx].Intn(pool.FreeCount()))
+			proposals[i] = p
+			if w, ok := winner[p]; !ok || idx < w {
+				winner[p] = idx
+			}
+		}
+		for name := range winner {
+			pool.Take(name)
+		}
+		next := undecided[:0]
+		for i, idx := range undecided {
+			if winner[proposals[i]] == idx {
+				names[idx] = proposals[i] + 1
+				decisionRounds[idx] = round
+			} else {
+				next = append(next, idx)
+			}
+		}
+		undecided = next
+	}
+	return rounds, names, decisionRounds, nil
+}
+
+// sortIDs sorts labels ascending.
+func sortIDs(ids []proto.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

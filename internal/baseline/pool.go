@@ -1,0 +1,101 @@
+// Package baseline implements the comparison algorithms the paper positions
+// Balls-into-Leaves against:
+//
+//   - Naive parallel balls-into-bins renaming (flat random proposals with
+//     lowest-label tie-breaking): the classic load-balancing strategy
+//     adapted to be crash-tolerant. It solves tight renaming but needs
+//     Θ(log n) rounds w.h.p. — the gap experiment E2 quantifies.
+//   - Parallel d-choice placement (à la Adler et al. [1] and
+//     Lenzen–Wattenhofer [17]): the sub-logarithmic load balancers the
+//     related-work section rules out, implemented in both their
+//     capacity-one form (needs retry rounds) and their relaxed form (fast
+//     but not one-to-one) for experiment E9.
+//
+// The deterministic comparison-based baseline (rank-descent) lives in
+// internal/core as core.DeterministicPaths, since it reuses the paper's own
+// tree machinery.
+package baseline
+
+import "fmt"
+
+// Pool tracks which target names are free with O(log n) selection of the
+// k-th smallest free name, backed by a Fenwick tree. Each naive ball keeps
+// one Pool as its local view of the namespace.
+type Pool struct {
+	n     int
+	free  int
+	taken []bool
+	bit   []int32 // Fenwick tree over free indicators, 1-based
+}
+
+// NewPool returns a pool of n names (0-based), all free.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		panic(fmt.Sprintf("baseline: pool needs n >= 1, got %d", n))
+	}
+	p := &Pool{n: n, free: n, taken: make([]bool, n), bit: make([]int32, n+1)}
+	for i := 1; i <= n; i++ {
+		p.bit[i] += 1
+		if j := i + (i & -i); j <= n {
+			p.bit[j] += p.bit[i]
+		}
+	}
+	return p
+}
+
+// Clone returns an independent copy.
+func (p *Pool) Clone() *Pool {
+	cp := &Pool{n: p.n, free: p.free, taken: make([]bool, p.n), bit: make([]int32, p.n+1)}
+	copy(cp.taken, p.taken)
+	copy(cp.bit, p.bit)
+	return cp
+}
+
+// N returns the namespace size.
+func (p *Pool) N() int { return p.n }
+
+// FreeCount returns the number of free names.
+func (p *Pool) FreeCount() int { return p.free }
+
+// Taken reports whether name is marked taken.
+func (p *Pool) Taken(name int) bool { return p.taken[name] }
+
+// Take marks a name taken; it is idempotent so that repeated observations
+// of the same winning proposal are harmless.
+func (p *Pool) Take(name int) {
+	if name < 0 || name >= p.n {
+		panic(fmt.Sprintf("baseline: Take(%d) out of [0,%d)", name, p.n))
+	}
+	if p.taken[name] {
+		return
+	}
+	p.taken[name] = true
+	p.free--
+	for i := name + 1; i <= p.n; i += i & -i {
+		p.bit[i]--
+	}
+}
+
+// SelectFree returns the k-th (0-based) smallest free name. It panics if
+// k >= FreeCount.
+func (p *Pool) SelectFree(k int) int {
+	if k < 0 || k >= p.free {
+		panic(fmt.Sprintf("baseline: SelectFree(%d) with %d free", k, p.free))
+	}
+	// Binary lifting over the Fenwick tree: find the smallest prefix with
+	// k+1 free names.
+	target := int32(k + 1)
+	pos := 0
+	logn := 1
+	for 1<<logn <= p.n {
+		logn++
+	}
+	for step := 1 << (logn - 1); step > 0; step >>= 1 {
+		next := pos + step
+		if next <= p.n && p.bit[next] < target {
+			pos = next
+			target -= p.bit[next]
+		}
+	}
+	return pos // pos is the 1-based prefix end minus one == 0-based name
+}

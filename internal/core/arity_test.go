@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ballsintoleaves/internal/adversary"
+	"ballsintoleaves/internal/ids"
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/sim"
+)
+
+// TestArityCohortMatchesSim extends the engine-equivalence guarantee to
+// non-binary trees: the fast simulator and the faithful per-process Balls
+// must agree exactly for arity 3, 4 and 8, with and without crashes.
+func TestArityCohortMatchesSim(t *testing.T) {
+	t.Parallel()
+	const n = 36
+	for _, arity := range []int{3, 4, 8} {
+		for _, strategy := range []PathStrategy{RandomPaths, HybridPaths, LevelDescent} {
+			for _, withCrashes := range []bool{false, true} {
+				name := fmt.Sprintf("k=%d/%v/crashes=%v", arity, strategy, withCrashes)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					labels := ids.Random(n, uint64(arity)*31+7)
+					cfg := Config{N: n, Seed: 5, Strategy: strategy, Arity: arity, CheckInvariants: true}
+					mkAdv := func() adversary.Strategy {
+						if withCrashes {
+							return adversary.NewRandom(n/3, 9, 3)
+						}
+						return adversary.None{}
+					}
+
+					balls, err := NewBalls(cfg, labels)
+					if err != nil {
+						t.Fatal(err)
+					}
+					eng, err := sim.New(sim.Config{Adversary: mkAdv()}, Processes(balls))
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := eng.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					cfg.Adversary = mkAdv()
+					got := runCohortT(t, cfg, labels)
+					if got.Rounds != want.Rounds || got.Messages != want.Messages || got.Bytes != want.Bytes {
+						t.Fatalf("cohort (r=%d m=%d b=%d) vs sim (r=%d m=%d b=%d)",
+							got.Rounds, got.Messages, got.Bytes, want.Rounds, want.Messages, want.Bytes)
+					}
+					if len(got.Decisions) != len(want.Decisions) {
+						t.Fatalf("decisions %d vs %d", len(got.Decisions), len(want.Decisions))
+					}
+					for i := range got.Decisions {
+						if got.Decisions[i] != want.Decisions[i] {
+							t.Fatalf("decision %d: %+v vs %+v", i, got.Decisions[i], want.Decisions[i])
+						}
+					}
+					if err := proto.Validate(got.Decisions, n); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestAritySolvesTightRenaming(t *testing.T) {
+	t.Parallel()
+	for _, arity := range []int{3, 4, 16, 64} {
+		for _, n := range []int{1, 2, 17, 256, 1000} {
+			cfg := Config{N: n, Seed: uint64(n + arity), Arity: arity, CheckInvariants: n <= 256}
+			res := runCohortT(t, cfg, ids.Random(n, uint64(n)*3+uint64(arity)))
+			if len(res.Decisions) != n {
+				t.Fatalf("k=%d n=%d: %d decisions", arity, n, len(res.Decisions))
+			}
+			if err := proto.Validate(res.Decisions, n); err != nil {
+				t.Fatalf("k=%d n=%d: %v", arity, n, err)
+			}
+		}
+	}
+}
+
+func TestArityLevelDescentDepthRounds(t *testing.T) {
+	t.Parallel()
+	// Level-descent takes exactly MaxDepth phases failure-free, so higher
+	// arity directly shortens the deterministic algorithm: log_k(n) levels.
+	const n = 4096
+	for _, tc := range []struct{ arity, wantPhases int }{
+		{2, 12}, {4, 6}, {8, 4}, {16, 3},
+	} {
+		cfg := Config{N: n, Seed: 3, Strategy: LevelDescent, Arity: tc.arity}
+		res := runCohortT(t, cfg, ids.Random(n, 9))
+		if res.Phases != tc.wantPhases {
+			t.Fatalf("k=%d: %d phases, want %d", tc.arity, res.Phases, tc.wantPhases)
+		}
+	}
+}
+
+func TestArityRejectsInvalid(t *testing.T) {
+	t.Parallel()
+	if _, err := NewCohort(Config{N: 4, Arity: 1}, ids.Random(4, 1)); err == nil {
+		t.Fatal("arity 1 accepted")
+	}
+	if _, err := NewCohort(Config{N: 4, Arity: 65}, ids.Random(4, 1)); err == nil {
+		t.Fatal("arity 65 accepted")
+	}
+}

@@ -1,0 +1,760 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ballsintoleaves/internal/adversary"
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/rng"
+	"ballsintoleaves/internal/tree"
+	"ballsintoleaves/internal/wire"
+)
+
+// Cohort is the fast whole-system simulator for Balls-into-Leaves. It
+// executes the identical protocol as a set of Ball processes on the
+// reference engine — same per-ball randomness, same decisions, same round
+// counts, same message counts — but exploits the paper's synchronization
+// structure to avoid materializing n local views:
+//
+//   - Proposition 1: the positions of correct balls agree across all local
+//     views at every phase boundary, so one canonical view suffices between
+//     phases.
+//   - Views diverge only within a phase, and only about balls that crashed
+//     mid-broadcast; survivors are grouped by exactly which final
+//     broadcasts they received, and the O(n log n) priority move pass runs
+//     once per distinct group rather than once per ball.
+//
+// The equivalence is enforced by integration tests (TestCohortMatchesSim*).
+type Cohort struct {
+	cfg    Config
+	topo   *tree.Topology
+	labels []proto.ID // ascending; dense index order
+	srcs   []*rng.Source
+
+	canon   *View
+	work    *View // scratch group view
+	inCanon []bool
+
+	active    []bool // alive and not halted
+	haltPhase []int  // phase at whose end the ball halted; 0 = not halted
+	crashed   []proto.ID
+
+	decided      []bool
+	decidedName  []int
+	decidedRound []int
+
+	residue []residueEntry
+
+	round   int
+	phase   int
+	budget  int
+	msgs    int64
+	bytes   int64
+	metrics *Metrics
+
+	// Per-phase scratch.
+	paths  []Path
+	has    []bool
+	newPos []tree.Node
+	posArr []tree.Node
+
+	// OnPhaseEnd, when set before Run, is invoked after each phase's
+	// canonical update with the phase number, its position round, and the
+	// canonical view (read-only; do not retain). Used by tracing tools.
+	OnPhaseEnd func(phase, round int, canon *View)
+}
+
+// residueEntry is a ball that crashed mid-broadcast and is still present in
+// the views of the receivers of its final message, parked at the position
+// the canonical view records for it.
+type residueEntry struct {
+	idx  int32
+	recv map[int32]bool // dense indices of survivors holding the ball
+}
+
+// Result summarizes one Cohort run.
+type Result struct {
+	N      int
+	Rounds int
+	Phases int
+	// Decisions holds correct processes' decisions, ascending by ID.
+	Decisions []proto.Decision
+	// CrashedDecided counts processes that decided, then crashed.
+	CrashedDecided int
+	Crashes        int
+	// Messages and Bytes count network deliveries excluding self-delivery,
+	// matching internal/sim's accounting.
+	Messages int64
+	Bytes    int64
+	// Metrics is populated when Config.Metrics is set.
+	Metrics *Metrics
+}
+
+// NewCohort builds a fast simulator over the given labels (distinct, any
+// order).
+func NewCohort(cfg Config, labels []proto.ID) (*Cohort, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
+	if cfg.NoSyncRound {
+		return nil, fmt.Errorf("core: the NoSyncRound ablation requires the faithful Ball implementation")
+	}
+	if len(labels) != cfg.N {
+		return nil, fmt.Errorf("core: %d labels for N=%d", len(labels), cfg.N)
+	}
+	sorted := make([]proto.ID, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("core: duplicate label %v", sorted[i])
+		}
+	}
+	topo := tree.NewTopologyArity(cfg.N, cfg.normalized().Arity)
+	c := &Cohort{
+		cfg:          cfg,
+		topo:         topo,
+		labels:       sorted,
+		srcs:         make([]*rng.Source, cfg.N),
+		canon:        NewView(topo, sorted),
+		inCanon:      make([]bool, cfg.N),
+		active:       make([]bool, cfg.N),
+		haltPhase:    make([]int, cfg.N),
+		decided:      make([]bool, cfg.N),
+		decidedName:  make([]int, cfg.N),
+		decidedRound: make([]int, cfg.N),
+		budget:       cfg.Budget,
+		paths:        make([]Path, cfg.N),
+		has:          make([]bool, cfg.N),
+		newPos:       make([]tree.Node, cfg.N),
+		posArr:       make([]tree.Node, cfg.N),
+	}
+	c.work = c.canon.Clone()
+	for i := range sorted {
+		c.srcs[i] = rng.Derive(cfg.Seed, uint64(sorted[i]))
+		c.inCanon[i] = true
+		c.active[i] = true
+	}
+	if cfg.Metrics {
+		c.metrics = &Metrics{}
+	}
+	if c.cfg.Adversary == nil {
+		c.cfg.Adversary = adversary.None{}
+	}
+	return c, nil
+}
+
+// Run executes the full protocol and returns the result. It errors if the
+// system fails to quiesce within MaxRounds.
+func (c *Cohort) Run() (Result, error) {
+	c.initRound()
+	for c.anyActive() {
+		if c.round+2 > c.cfg.MaxRounds {
+			return c.result(), fmt.Errorf("core: exceeded %d rounds without quiescing", c.cfg.MaxRounds)
+		}
+		c.runPhase()
+	}
+	return c.result(), nil
+}
+
+func (c *Cohort) anyActive() bool {
+	for _, a := range c.active {
+		if a {
+			return true
+		}
+	}
+	return false
+}
+
+// initRound executes round 1: every ball broadcasts its label and inserts
+// every heard ball at the root. Crashes during the join broadcast create
+// membership residue: the victim exists only in the views of the receivers
+// of its join.
+func (c *Cohort) initRound() {
+	c.round = 1
+	victims := c.planCrashes(stageJoin)
+	c.accountRound(stageJoin, victims)
+	for _, v := range victims {
+		if len(v.recv) == 0 {
+			c.dropFromCanon(int(v.idx))
+		} else {
+			c.residue = append(c.residue, v)
+		}
+	}
+}
+
+// runPhase executes one full phase: candidate-path round then position
+// round, with adversary interleaving, exactly mirroring Algorithm 1.
+func (c *Cohort) runPhase() {
+	c.phase++
+	c.round++ // path round, 2φ
+
+	// Residue parked exactly at the root (the common case after init-round
+	// crashes) is invisible to everyone else's behaviour except through
+	// rank computations: candidate-path walks never query the root's
+	// remaining capacity, and a ball parked at the root does not count
+	// towards any child subtree. Views that differ only in root residue
+	// therefore agree on every capacity a path choice or move pass reads,
+	// so the per-group simulation collapses to a single pass with a
+	// per-survivor rank adjustment. This is what makes f = Θ(n) init
+	// crashes (experiment E3) simulable at large n.
+	rootResidueOnly := len(c.residue) > 0 && c.residueAllAtRoot()
+
+	// Choose candidate paths per residue group: capacities (and rank
+	// inputs) differ between views that do and do not hold residue balls,
+	// so the coins must be flipped against each ball's own group view.
+	det := c.cfg.deterministicPhase(c.phase)
+	limit := c.cfg.pathLimit()
+	choosePaths := func(gv *View, members []int32, ranks map[int32]int) {
+		for _, m := range members {
+			if det {
+				p := deterministicPath(gv, gv.Node(int(m)), ranks[m])
+				p.Limit = limit
+				c.paths[m] = p
+			} else {
+				c.paths[m] = randomPath(gv, gv.Node(int(m)), c.srcs[m], c.cfg.UniformCoin)
+			}
+		}
+	}
+	if len(c.residue) == 0 || rootResidueOnly {
+		members := c.activeMembers()
+		if len(members) > 0 {
+			var ranks map[int32]int
+			if det {
+				ranks = ranksAtNodes(c.canon, members)
+				if rootResidueOnly {
+					c.adjustRootRanks(ranks, members)
+				}
+			}
+			choosePaths(c.canon, members, ranks)
+		}
+	} else {
+		c.forEachGroup(nil, func(gv *View, members []int32) {
+			var ranks map[int32]int
+			if det {
+				ranks = ranksAtNodes(gv, members)
+			}
+			choosePaths(gv, members, ranks)
+		})
+	}
+
+	pathVictims := c.planCrashes(stagePath)
+	c.accountRound(stagePath, pathVictims)
+
+	// Priority move pass, once per (residue mask × path-delivery mask)
+	// group of survivors — or once globally when the only divergence is
+	// root residue, whose mid-pass removal cannot influence any other
+	// ball's walk.
+	movePass := func(gv *View, members []int32) {
+		for i := range c.has {
+			c.has[i] = false
+		}
+		for idx, a := range c.active {
+			if a {
+				c.has[idx] = true // survivors' paths reach everyone
+			}
+		}
+		// Victims' paths reach only their receivers; membership of a
+		// group is uniform by construction, so test any member.
+		probe := members[0]
+		for _, v := range pathVictims {
+			c.has[v.idx] = v.recv[probe]
+		}
+		applyPaths(c.cfg, gv, c.has, c.paths)
+		if c.cfg.CheckInvariants {
+			if err := gv.CheckConsistency(); err != nil {
+				panic(fmt.Sprintf("core: cohort phase %d path pass: %v", c.phase, err))
+			}
+			if !c.cfg.LabelPriority {
+				if err := gv.Occupancy().CheckCapacityInvariant(); err != nil {
+					panic(fmt.Sprintf("core: cohort phase %d path pass: %v", c.phase, err))
+				}
+			}
+			for _, m := range members {
+				if !c.topo.IsAncestor(c.canon.Node(int(m)), gv.Node(int(m))) {
+					panic(fmt.Sprintf("core: cohort ball %d moved upwards (Lemma 2 violated)", m))
+				}
+			}
+		}
+		for _, m := range members {
+			c.newPos[m] = gv.Node(int(m))
+		}
+	}
+	if rootResidueOnly && len(pathVictims) == 0 {
+		members := c.activeMembers()
+		if len(members) > 0 {
+			c.work.CopyFrom(c.canon)
+			movePass(c.work, members)
+		}
+	} else {
+		c.forEachGroup(pathVictims, movePass)
+	}
+
+	if !c.anyActive() {
+		// Every remaining participant crashed during the path broadcast;
+		// the position round never takes place (nobody is left to send
+		// it), exactly as the per-process engines end at the path round.
+		return
+	}
+
+	c.round++ // position round, 2φ+1
+	posVictims := c.planCrashes(stagePos)
+	c.accountRound(stagePos, posVictims)
+
+	c.finishPhase(pathVictims, posVictims)
+}
+
+// activeMembers lists the active dense indices in ascending order.
+func (c *Cohort) activeMembers() []int32 {
+	members := make([]int32, 0, c.cfg.N)
+	for idx, a := range c.active {
+		if a {
+			members = append(members, int32(idx))
+		}
+	}
+	return members
+}
+
+// residueAllAtRoot reports whether every lingering residue ball is parked
+// at the root of the canonical view.
+func (c *Cohort) residueAllAtRoot() bool {
+	root := c.topo.Root()
+	for _, r := range c.residue {
+		if !c.inCanon[r.idx] || c.canon.Node(int(r.idx)) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// adjustRootRanks converts canonical root ranks (which count every residue
+// ball) into each survivor's own-view rank: subtract all smaller-labelled
+// root residue, then add back the ones the survivor actually received.
+// Runs in O(n + f + Σ|recv|) rather than O(f·n).
+func (c *Cohort) adjustRootRanks(ranks map[int32]int, members []int32) {
+	root := c.topo.Root()
+	// smallerResidue[i] = number of residue balls with dense index < i.
+	smallerResidue := make([]int32, c.cfg.N+1)
+	for _, r := range c.residue {
+		smallerResidue[r.idx+1]++
+	}
+	for i := 1; i <= c.cfg.N; i++ {
+		smallerResidue[i] += smallerResidue[i-1]
+	}
+	receivedSmaller := make([]int32, c.cfg.N)
+	for _, r := range c.residue {
+		for idx := range r.recv {
+			if r.idx < idx {
+				receivedSmaller[idx]++
+			}
+		}
+	}
+	for _, m := range members {
+		if c.canon.Node(int(m)) != root {
+			continue
+		}
+		ranks[m] += int(receivedSmaller[m]) - int(smallerResidue[m])
+	}
+}
+
+// finishPhase folds the phase's outcome back into the canonical view:
+// silent balls disappear from every view, survivors adopt their announced
+// positions, position-round victims linger as residue, and decisions and
+// halts are recorded.
+func (c *Cohort) finishPhase(pathVictims, posVictims []residueEntry) {
+	// Balls that were silent this phase left every surviving view.
+	for _, r := range c.residue {
+		c.dropFromCanon(int(r.idx))
+	}
+	c.residue = c.residue[:0]
+	for idx := range c.labels {
+		if c.haltPhase[idx] != 0 && c.haltPhase[idx] < c.phase && c.inCanon[idx] {
+			c.dropFromCanon(idx)
+		}
+	}
+	for _, v := range pathVictims {
+		c.dropFromCanon(int(v.idx))
+	}
+	// Survivors and position-round victims adopt their self-computed
+	// positions (the sender's own view is authoritative). Position-round
+	// victims were already marked inactive by planCrashes, so they are
+	// relocated explicitly: their receivers keep them at the announced
+	// position.
+	for idx, a := range c.active {
+		if a {
+			c.canon.SetNode(idx, c.newPos[idx])
+		}
+	}
+	for _, v := range posVictims {
+		if len(v.recv) == 0 {
+			c.dropFromCanon(int(v.idx))
+			continue
+		}
+		c.canon.SetNode(int(v.idx), c.newPos[v.idx])
+		c.residue = append(c.residue, v)
+	}
+	if c.cfg.CheckInvariants {
+		if err := c.canon.CheckConsistency(); err != nil {
+			panic(fmt.Sprintf("core: cohort phase %d canonical: %v", c.phase, err))
+		}
+		// Lemma 1 proper: correct balls (still active or halted) never
+		// exceed any subtree's leaf count, whatever residue lingers.
+		if !c.cfg.LabelPriority {
+			correct := make([]bool, c.cfg.N)
+			for idx := range correct {
+				correct[idx] = c.active[idx] || c.haltPhase[idx] != 0
+			}
+			if err := c.canon.CheckLemma1(correct); err != nil {
+				panic(fmt.Sprintf("core: cohort phase %d: %v", c.phase, err))
+			}
+		}
+	}
+
+	// Decisions: a ball decides at the end of the position round in which
+	// it first occupies a leaf.
+	for idx, a := range c.active {
+		if !a || c.decided[idx] {
+			continue
+		}
+		if node := c.canon.Node(idx); c.topo.IsLeaf(node) {
+			c.decided[idx] = true
+			c.decidedName[idx] = c.topo.LeafRank(node) + 1
+			c.decidedRound[idx] = c.round
+		}
+	}
+
+	// Halting: a ball halts when every ball in its view is at a leaf. At
+	// phase end a survivor's view holds the survivors, the halted balls it
+	// has not yet dropped (all at leaves), and the residue it received.
+	allCorrectAtLeaves := true
+	for idx, in := range c.inCanon {
+		if in && c.active[idx] && !c.topo.IsLeaf(c.canon.Node(idx)) {
+			allCorrectAtLeaves = false
+			break
+		}
+	}
+	if allCorrectAtLeaves {
+		var innerResidue []residueEntry
+		for _, r := range c.residue {
+			if !c.topo.IsLeaf(c.canon.Node(int(r.idx))) {
+				innerResidue = append(innerResidue, r)
+			}
+		}
+		for idx, a := range c.active {
+			if !a {
+				continue
+			}
+			blocked := false
+			for _, r := range innerResidue {
+				if r.recv[int32(idx)] {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				c.active[idx] = false
+				c.haltPhase[idx] = c.phase
+			}
+		}
+	}
+
+	if c.metrics != nil {
+		c.metrics.PerPhase = append(c.metrics.PerPhase,
+			snapshotView(c.canon, c.phase, c.round, len(c.crashed)))
+	}
+	if c.OnPhaseEnd != nil {
+		c.OnPhaseEnd(c.phase, c.round, c.canon)
+	}
+}
+
+// dropFromCanon removes a ball from the canonical view, idempotently.
+func (c *Cohort) dropFromCanon(idx int) {
+	if c.inCanon[idx] {
+		c.inCanon[idx] = false
+		c.canon.Remove(idx)
+	}
+}
+
+// forEachGroup partitions the active balls by which mid-broadcast final
+// messages they received — the lingering residue set plus, when
+// roundVictims is non-nil, this round's victims — builds each group's view
+// (canonical minus the residue the group did not receive) in the shared
+// scratch view, and invokes fn. With no divergence there is a single group
+// over the canonical view itself, cloned into scratch so fn may mutate.
+func (c *Cohort) forEachGroup(roundVictims []residueEntry, fn func(gv *View, members []int32)) {
+	sources := make([]residueEntry, 0, len(c.residue)+len(roundVictims))
+	sources = append(sources, c.residue...)
+	sources = append(sources, roundVictims...)
+
+	var groups map[string][]int32
+	if len(sources) > 0 {
+		keyBytes := (len(sources) + 7) / 8
+		groups = make(map[string][]int32)
+		key := make([]byte, keyBytes)
+		for idx, a := range c.active {
+			if !a {
+				continue
+			}
+			for i := range key {
+				key[i] = 0
+			}
+			for bit, src := range sources {
+				if src.recv[int32(idx)] {
+					key[bit/8] |= 1 << (bit % 8)
+				}
+			}
+			groups[string(key)] = append(groups[string(key)], int32(idx))
+		}
+	} else {
+		members := make([]int32, 0, c.cfg.N)
+		for idx, a := range c.active {
+			if a {
+				members = append(members, int32(idx))
+			}
+		}
+		if len(members) == 0 {
+			return
+		}
+		groups = map[string][]int32{"": members}
+	}
+
+	// Deterministic group order for reproducibility.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, k := range keys {
+		members := groups[k]
+		c.work.CopyFrom(c.canon)
+		// Remove the residue this group never heard of. Residue from this
+		// round's victims is not yet in the canonical view, so only the
+		// lingering entries participate.
+		for bit, src := range c.residue {
+			received := len(k) > 0 && k[bit/8]&(1<<(bit%8)) != 0
+			if !received && c.inCanon[src.idx] {
+				c.work.Remove(int(src.idx))
+			}
+		}
+		fn(c.work, members)
+	}
+}
+
+// ranksAtNodes computes, for each member, its label rank among the present
+// balls parked at the same node — the deterministic path rule input — in a
+// single ascending pass.
+func ranksAtNodes(v *View, members []int32) map[int32]int {
+	want := make(map[int32]bool, len(members))
+	for _, m := range members {
+		want[m] = true
+	}
+	counts := make(map[tree.Node]int)
+	ranks := make(map[int32]int, len(members))
+	for idx := 0; idx < v.Universe(); idx++ {
+		if !v.Present(idx) {
+			continue
+		}
+		node := v.Node(idx)
+		if want[int32(idx)] {
+			ranks[int32(idx)] = counts[node]
+		}
+		counts[node]++
+	}
+	return ranks
+}
+
+// stage identifies which broadcast a round carries, for payload encoding
+// and size accounting.
+type stage uint8
+
+const (
+	stageJoin stage = iota + 1
+	stagePath
+	stagePos
+)
+
+// payloadLen returns the encoded size of the ball's current broadcast.
+func (c *Cohort) payloadLen(st stage, idx int) int {
+	switch st {
+	case stageJoin:
+		return joinLen()
+	case stagePath:
+		return pathLen(c.paths[idx])
+	default:
+		return posLen(c.newPos[idx])
+	}
+}
+
+// encodePayload materializes the ball's current broadcast (adversary peek).
+func (c *Cohort) encodePayload(st stage, idx int) []byte {
+	var w wire.Writer
+	switch st {
+	case stageJoin:
+		appendJoin(&w)
+	case stagePath:
+		appendPath(&w, c.paths[idx])
+	default:
+		appendPos(&w, c.newPos[idx])
+	}
+	return w.Bytes()
+}
+
+// planCrashes invokes the adversary for the current round and converts the
+// approved crash specs into residue entries (victim + receiver set),
+// marking victims inactive.
+func (c *Cohort) planCrashes(st stage) []residueEntry {
+	view := &cohortRoundView{c: c, st: st}
+	specs := c.cfg.Adversary.Plan(view)
+	// First mark every victim crashed, then build receiver sets: a message
+	// from one victim is never delivered to another process crashing in
+	// the same round (it stopped executing), matching internal/sim.
+	type pending struct {
+		idx     int32
+		deliver func(proto.ID) bool
+	}
+	var accepted []pending
+	for _, spec := range specs {
+		idx, ok := c.indexOf(spec.Victim)
+		if !ok || !c.active[idx] || c.budget == 0 {
+			continue
+		}
+		c.budget--
+		c.active[idx] = false
+		c.crashed = append(c.crashed, spec.Victim)
+		deliver := spec.Deliver
+		if deliver == nil {
+			deliver = adversary.DeliverNone
+		}
+		accepted = append(accepted, pending{idx: int32(idx), deliver: deliver})
+	}
+	victims := make([]residueEntry, 0, len(accepted))
+	for _, p := range accepted {
+		recv := make(map[int32]bool)
+		for j, a := range c.active {
+			if a && p.deliver(c.labels[j]) {
+				recv[int32(j)] = true
+			}
+		}
+		victims = append(victims, residueEntry{idx: p.idx, recv: recv})
+	}
+	return victims
+}
+
+// accountRound adds the round's network deliveries: every sender (survivor
+// or victim) delivers its payload to the surviving active receivers —
+// victims only to their receiver sets — excluding self-delivery.
+func (c *Cohort) accountRound(st stage, victims []residueEntry) {
+	receivers := 0
+	for _, a := range c.active {
+		if a {
+			receivers++
+		}
+	}
+	for idx, a := range c.active {
+		if a {
+			c.msgs += int64(receivers - 1)
+			c.bytes += int64(c.payloadLen(st, idx)) * int64(receivers-1)
+		}
+	}
+	for _, v := range victims {
+		c.msgs += int64(len(v.recv))
+		c.bytes += int64(c.payloadLen(st, int(v.idx))) * int64(len(v.recv))
+	}
+}
+
+// indexOf resolves a label to its dense index.
+func (c *Cohort) indexOf(id proto.ID) (int, bool) {
+	i := sort.Search(len(c.labels), func(i int) bool { return c.labels[i] >= id })
+	if i < len(c.labels) && c.labels[i] == id {
+		return i, true
+	}
+	return 0, false
+}
+
+// result assembles the final Result.
+func (c *Cohort) result() Result {
+	phases := 0
+	if c.round > 0 {
+		// Completed phases; a phase whose position round never ran (all
+		// actives crashed mid-path-broadcast) does not count.
+		phases = (c.round - 1) / 2
+	}
+	res := Result{
+		N:        c.cfg.N,
+		Rounds:   c.round,
+		Phases:   phases,
+		Crashes:  len(c.crashed),
+		Messages: c.msgs,
+		Bytes:    c.bytes,
+		Metrics:  c.metrics,
+	}
+	crashedSet := make(map[proto.ID]bool, len(c.crashed))
+	for _, id := range c.crashed {
+		crashedSet[id] = true
+	}
+	for idx, id := range c.labels {
+		if !c.decided[idx] {
+			continue
+		}
+		if crashedSet[id] {
+			res.CrashedDecided++
+			continue
+		}
+		res.Decisions = append(res.Decisions, proto.Decision{
+			ID:    id,
+			Name:  c.decidedName[idx],
+			Round: c.decidedRound[idx],
+		})
+	}
+	return res
+}
+
+// cohortRoundView adapts the cohort's round state to adversary.RoundView.
+type cohortRoundView struct {
+	c     *Cohort
+	st    stage
+	alive []proto.ID
+}
+
+func (v *cohortRoundView) Round() int { return v.c.round }
+func (v *cohortRoundView) N() int     { return v.c.cfg.N }
+
+func (v *cohortRoundView) Alive() []proto.ID {
+	if v.alive == nil {
+		for idx, a := range v.c.active {
+			if a {
+				v.alive = append(v.alive, v.c.labels[idx])
+			}
+		}
+	}
+	return v.alive
+}
+
+func (v *cohortRoundView) Payload(id proto.ID) []byte {
+	idx, ok := v.c.indexOf(id)
+	if !ok || !v.c.active[idx] {
+		return nil
+	}
+	return v.c.encodePayload(v.st, idx)
+}
+
+func (v *cohortRoundView) Info(id proto.ID) (adversary.BallInfo, bool) {
+	idx, ok := v.c.indexOf(id)
+	if !ok || !v.c.active[idx] {
+		return adversary.BallInfo{}, false
+	}
+	node := v.c.canon.Node(idx)
+	if v.st == stagePos {
+		node = v.c.newPos[idx]
+	}
+	return adversary.BallInfo{
+		Label:  id,
+		Depth:  v.c.topo.Depth(node),
+		AtLeaf: v.c.topo.IsLeaf(node),
+	}, true
+}
+
+func (v *cohortRoundView) Budget() int { return v.c.budget }

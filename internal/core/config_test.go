@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigNormalizedDefaults(t *testing.T) {
+	t.Parallel()
+	c := Config{N: 10}.normalized()
+	if c.Strategy != RandomPaths {
+		t.Fatalf("default strategy = %v", c.Strategy)
+	}
+	if c.Arity != 2 {
+		t.Fatalf("default arity = %d", c.Arity)
+	}
+	if c.Budget != 9 {
+		t.Fatalf("default budget = %d", c.Budget)
+	}
+	if c.MaxRounds != 164 {
+		t.Fatalf("default max rounds = %d", c.MaxRounds)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"minimal", Config{N: 1}, true},
+		{"full", Config{N: 8, Strategy: HybridPaths, Arity: 4, Budget: 7}, true},
+		{"zero n", Config{N: 0}, false},
+		{"negative n", Config{N: -3}, false},
+		{"bad strategy", Config{N: 4, Strategy: PathStrategy(99)}, false},
+		{"budget too high", Config{N: 4, Budget: 4}, false},
+		{"budget at limit", Config{N: 4, Budget: 3}, true},
+		{"arity too small", Config{N: 4, Arity: 1}, false},
+		{"arity too big", Config{N: 4, Arity: 65}, false},
+		{"arity max", Config{N: 4, Arity: 64}, true},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: validate = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestConfigDeterministicPhase(t *testing.T) {
+	t.Parallel()
+	rnd := Config{N: 4, Strategy: RandomPaths}.normalized()
+	det := Config{N: 4, Strategy: DeterministicPaths}.normalized()
+	hyb := Config{N: 4, Strategy: HybridPaths}.normalized()
+	lvl := Config{N: 4, Strategy: LevelDescent}.normalized()
+	for phase := 1; phase <= 3; phase++ {
+		if rnd.deterministicPhase(phase) {
+			t.Fatalf("random strategy deterministic at phase %d", phase)
+		}
+		if !det.deterministicPhase(phase) || !lvl.deterministicPhase(phase) {
+			t.Fatalf("rank strategies not deterministic at phase %d", phase)
+		}
+		if got, want := hyb.deterministicPhase(phase), phase == 1; got != want {
+			t.Fatalf("hybrid phase %d deterministic = %v", phase, got)
+		}
+	}
+}
+
+func TestConfigPathLimit(t *testing.T) {
+	t.Parallel()
+	lvl := Config{N: 4, Strategy: LevelDescent}.normalized()
+	if lvl.pathLimit() != 1 {
+		t.Fatal("level-descent limit")
+	}
+	rnd := Config{N: 4, Strategy: RandomPaths}.normalized()
+	if rnd.pathLimit() != 0 {
+		t.Fatal("random limit")
+	}
+}
+
+func TestPathStrategyStrings(t *testing.T) {
+	t.Parallel()
+	want := map[PathStrategy]string{
+		RandomPaths:        "random",
+		DeterministicPaths: "deterministic",
+		HybridPaths:        "hybrid",
+		LevelDescent:       "level-descent",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+	if !strings.Contains(PathStrategy(42).String(), "42") {
+		t.Fatal("unknown strategy string")
+	}
+}
+
+func TestNoSyncRejectedByCohortOnly(t *testing.T) {
+	t.Parallel()
+	cfg := Config{N: 4, Seed: 1, NoSyncRound: true}
+	if _, err := NewCohort(cfg, labelsN(4)); err == nil {
+		t.Fatal("cohort accepted NoSyncRound")
+	}
+	if _, err := NewBalls(cfg, labelsN(4)); err != nil {
+		t.Fatalf("balls rejected NoSyncRound: %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/tree"
+	"ballsintoleaves/internal/wire"
+)
+
+// FuzzDecodePath asserts the path decoder never panics and never accepts a
+// structurally invalid path, whatever bytes arrive off the wire.
+func FuzzDecodePath(f *testing.F) {
+	topo := tree.NewTopology(16)
+	var w wire.Writer
+	appendPath(&w, Path{Start: topo.Root(), Leaf: 7})
+	f.Add(w.Bytes())
+	f.Add([]byte{msgPath})
+	f.Add([]byte{msgPath, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		p, err := decodePath(payload, topo)
+		if err != nil {
+			return
+		}
+		if p.Start < 0 || int(p.Start) >= topo.NumNodes() {
+			t.Fatalf("accepted out-of-range start %d", p.Start)
+		}
+		if p.Leaf < 0 || int(p.Leaf) >= topo.N() {
+			t.Fatalf("accepted out-of-range leaf %d", p.Leaf)
+		}
+		if !topo.Contains(p.Start, int(p.Leaf)) {
+			t.Fatalf("accepted foreign leaf %d under %d", p.Leaf, p.Start)
+		}
+	})
+}
+
+// FuzzDecodePos mirrors FuzzDecodePath for position announcements.
+func FuzzDecodePos(f *testing.F) {
+	topo := tree.NewTopology(16)
+	var w wire.Writer
+	appendPos(&w, topo.Leaf(3))
+	f.Add(w.Bytes())
+	f.Add([]byte{msgPos, 0xff, 0x01})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		node, err := decodePos(payload, topo)
+		if err != nil {
+			return
+		}
+		if node < 0 || int(node) >= topo.NumNodes() {
+			t.Fatalf("accepted out-of-range node %d", node)
+		}
+	})
+}
+
+// FuzzBallDeliver hammers a live Ball with arbitrary payloads mixed into a
+// legitimate round: malformed traffic must be absorbed as crashes, never
+// panic, and never break the self view.
+func FuzzBallDeliver(f *testing.F) {
+	f.Add([]byte{msgPath, 0, 0, 0}, []byte{msgPos, 3})
+	f.Add([]byte{0xff, 0xee}, []byte{})
+	f.Add([]byte{msgJoin}, []byte{msgJoin, 1})
+	f.Fuzz(func(t *testing.T, junkA, junkB []byte) {
+		const n = 4
+		topo := tree.NewTopology(n)
+		cfg := Config{N: n, Seed: 1}
+		b, err := NewBall(cfg, topo, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Send(1)
+		b.Deliver(1, []proto.Message{
+			{From: 10, Payload: []byte{msgJoin}},
+			{From: 20, Payload: []byte{msgJoin}},
+			{From: 30, Payload: junkA},
+		})
+		payload := b.Send(2)
+		b.Deliver(2, []proto.Message{
+			{From: 10, Payload: payload},
+			{From: 20, Payload: junkA},
+			{From: 30, Payload: junkB},
+			{From: 99, Payload: junkB}, // unknown sender
+		})
+		pos := b.Send(3)
+		b.Deliver(3, []proto.Message{
+			{From: 10, Payload: pos},
+			{From: 20, Payload: junkB},
+		})
+		if err := b.View().CheckConsistency(); err != nil {
+			t.Fatalf("view corrupted by junk traffic: %v", err)
+		}
+	})
+}

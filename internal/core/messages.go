@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"ballsintoleaves/internal/tree"
+	"ballsintoleaves/internal/wire"
+)
+
+// Message kinds on the wire. Every Balls-into-Leaves payload starts with a
+// one-byte kind tag.
+const (
+	msgJoin byte = 1 // init round: announce participation (label = sender ID)
+	msgPath byte = 2 // phase round 1: candidate path <start node, target leaf>
+	msgPos  byte = 3 // phase round 2: current position <node>
+)
+
+// appendJoin encodes the init announcement.
+func appendJoin(w *wire.Writer) {
+	w.Byte(msgJoin)
+}
+
+// appendPath encodes a candidate path. A path in a tree is fully determined
+// by its first node and the target leaf, so the wire form is two varints —
+// O(log n) bits, matching the paper's per-round communication — plus the
+// descent limit (zero for the paper's algorithm).
+func appendPath(w *wire.Writer, p Path) {
+	w.Byte(msgPath)
+	w.Uvarint(uint64(p.Start))
+	w.Uvarint(uint64(p.Leaf))
+	w.Uvarint(uint64(p.Limit))
+}
+
+// appendPos encodes a position announcement.
+func appendPos(w *wire.Writer, node tree.Node) {
+	w.Byte(msgPos)
+	w.Uvarint(uint64(node))
+}
+
+// joinLen, pathLen and posLen compute encoded sizes without encoding, for
+// analytic bit accounting in the Cohort simulator.
+func joinLen() int { return 1 }
+
+func pathLen(p Path) int {
+	return 1 + wire.UvarintLen(uint64(p.Start)) + wire.UvarintLen(uint64(p.Leaf)) +
+		wire.UvarintLen(uint64(p.Limit))
+}
+
+func posLen(node tree.Node) int {
+	return 1 + wire.UvarintLen(uint64(node))
+}
+
+// decodeKind returns the kind tag of a payload without consuming it.
+func decodeKind(payload []byte) (byte, error) {
+	if len(payload) == 0 {
+		return 0, wire.ErrTruncated
+	}
+	return payload[0], nil
+}
+
+// decodeJoin validates an init announcement.
+func decodeJoin(payload []byte) error {
+	r := wire.NewReader(payload)
+	if k := r.Byte(); k != msgJoin {
+		return fmt.Errorf("core: expected join, got kind %d", k)
+	}
+	return r.Close()
+}
+
+// decodePath decodes a candidate path and validates it against the
+// topology: the start node must exist and the target leaf must lie in the
+// start node's subtree.
+func decodePath(payload []byte, topo *tree.Topology) (Path, error) {
+	r := wire.NewReader(payload)
+	if k := r.Byte(); k != msgPath {
+		return Path{}, fmt.Errorf("core: expected path, got kind %d", k)
+	}
+	start := r.Uvarint()
+	leaf := r.Uvarint()
+	limit := r.Uvarint()
+	if err := r.Close(); err != nil {
+		return Path{}, err
+	}
+	if start >= uint64(topo.NumNodes()) {
+		return Path{}, fmt.Errorf("core: path start %d out of range", start)
+	}
+	if leaf >= uint64(topo.N()) {
+		return Path{}, fmt.Errorf("core: path leaf %d out of range", leaf)
+	}
+	if limit > uint64(topo.MaxDepth()) {
+		return Path{}, fmt.Errorf("core: path limit %d out of range", limit)
+	}
+	p := Path{Start: tree.Node(start), Leaf: int32(leaf), Limit: int32(limit)}
+	if !topo.Contains(p.Start, int(p.Leaf)) {
+		return Path{}, fmt.Errorf("core: leaf %d not under start node %d", leaf, start)
+	}
+	return p, nil
+}
+
+// decodePos decodes a position announcement.
+func decodePos(payload []byte, topo *tree.Topology) (tree.Node, error) {
+	r := wire.NewReader(payload)
+	if k := r.Byte(); k != msgPos {
+		return 0, fmt.Errorf("core: expected position, got kind %d", k)
+	}
+	node := r.Uvarint()
+	if err := r.Close(); err != nil {
+		return 0, err
+	}
+	if node >= uint64(topo.NumNodes()) {
+		return 0, fmt.Errorf("core: position node %d out of range", node)
+	}
+	return tree.Node(node), nil
+}

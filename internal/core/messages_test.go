@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ballsintoleaves/internal/tree"
+	"ballsintoleaves/internal/wire"
+)
+
+func TestJoinRoundTrip(t *testing.T) {
+	t.Parallel()
+	var w wire.Writer
+	appendJoin(&w)
+	if err := decodeJoin(w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Len(); got != joinLen() {
+		t.Fatalf("len = %d, want %d", got, joinLen())
+	}
+	if k, err := decodeKind(w.Bytes()); err != nil || k != msgJoin {
+		t.Fatalf("kind = %d, %v", k, err)
+	}
+}
+
+func TestPathRoundTripProperty(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(64)
+	prop := func(rawStart uint16, rawLeaf uint16, rawLimit uint8) bool {
+		start := tree.Node(int(rawStart) % topo.NumNodes())
+		// Pick a leaf actually under start so the path is valid.
+		leafRank := topo.LeafRank(firstLeafUnder(topo, start))
+		p := Path{Start: start, Leaf: int32(leafRank), Limit: int32(rawLimit) % int32(topo.MaxDepth()+1)}
+		var w wire.Writer
+		appendPath(&w, p)
+		if w.Len() != pathLen(p) {
+			return false
+		}
+		got, err := decodePath(w.Bytes(), topo)
+		return err == nil && got == p
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func firstLeafUnder(topo *tree.Topology, node tree.Node) tree.Node {
+	for !topo.IsLeaf(node) {
+		node = topo.Left(node)
+	}
+	return node
+}
+
+func TestPosRoundTrip(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(16)
+	for node := 0; node < topo.NumNodes(); node++ {
+		var w wire.Writer
+		appendPos(&w, tree.Node(node))
+		if w.Len() != posLen(tree.Node(node)) {
+			t.Fatalf("len mismatch for node %d", node)
+		}
+		got, err := decodePos(w.Bytes(), topo)
+		if err != nil || got != tree.Node(node) {
+			t.Fatalf("node %d: got %d, err %v", node, got, err)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(8)
+	if _, err := decodePath(nil, topo); err == nil {
+		t.Fatal("nil path accepted")
+	}
+	if _, err := decodePath([]byte{msgPos, 1, 2, 0}, topo); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if _, err := decodePos([]byte{msgPos}, topo); err == nil {
+		t.Fatal("truncated pos accepted")
+	}
+	if err := decodeJoin([]byte{msgJoin, 0xff}); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Out-of-range fields.
+	var w wire.Writer
+	appendPath(&w, Path{Start: 9999, Leaf: 0})
+	if _, err := decodePath(w.Bytes(), topo); err == nil {
+		t.Fatal("out-of-range start accepted")
+	}
+	w.Reset()
+	appendPos(&w, tree.Node(uint32(topo.NumNodes())))
+	if _, err := decodePos(w.Bytes(), topo); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestDecodeRejectsForeignLeaf(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(8)
+	// Start = left child of root (covers leaves 0..3); leaf 7 is outside.
+	var w wire.Writer
+	appendPath(&w, Path{Start: topo.Left(topo.Root()), Leaf: 7})
+	if _, err := decodePath(w.Bytes(), topo); err == nil {
+		t.Fatal("foreign leaf accepted")
+	}
+}
+
+func TestDecodeRejectsHugeLimit(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(8)
+	var w wire.Writer
+	w.Byte(msgPath)
+	w.Uvarint(0)  // root
+	w.Uvarint(0)  // leaf 0
+	w.Uvarint(99) // absurd limit
+	if _, err := decodePath(w.Bytes(), topo); err == nil {
+		t.Fatal("huge limit accepted")
+	}
+}

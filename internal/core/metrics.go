@@ -1,0 +1,100 @@
+package core
+
+import (
+	"ballsintoleaves/internal/tree"
+)
+
+// PhaseSnapshot captures the canonical tree state at the end of one phase,
+// feeding the contention (E5), path-drain (E6) and dispersion (E7)
+// experiments. All counts are over balls still present in the canonical
+// view (actives, halted and lingering residue).
+type PhaseSnapshot struct {
+	// Phase is the 1-based phase index; Round is the phase's second
+	// (position) round.
+	Phase int
+	Round int
+	// Balls is the number of balls present.
+	Balls int
+	// AtLeaves is the number of present balls parked on leaves.
+	AtLeaves int
+	// MaxAtNode is the paper's bmax(φ+1): the largest number of balls
+	// parked at any single node.
+	MaxAtNode int
+	// MaxAtInner is the same maximum restricted to inner nodes (leaves
+	// saturate at one ball, so this is the interesting contention figure).
+	MaxAtInner int
+	// BusiestPathLoad is the maximum, over all root-to-leaf paths, of the
+	// number of balls parked on the path's inner nodes — the quantity
+	// Lemmas 7–10 drain to zero.
+	BusiestPathLoad int
+	// DepthHist[d] counts balls parked at depth d.
+	DepthHist []int
+	// Crashes is the cumulative number of crashes so far.
+	Crashes int
+}
+
+// Metrics aggregates per-run measurements from the Cohort simulator.
+type Metrics struct {
+	// PerPhase holds one snapshot per executed phase, in order.
+	PerPhase []PhaseSnapshot
+}
+
+// snapshotView computes a PhaseSnapshot from a view's canonical state.
+func snapshotView(v *View, phase, round, crashes int) PhaseSnapshot {
+	topo := v.Topology()
+	snap := PhaseSnapshot{
+		Phase:     phase,
+		Round:     round,
+		DepthHist: make([]int, topo.MaxDepth()+1),
+		Crashes:   crashes,
+	}
+	occ := v.Occupancy()
+	for i := 0; i < v.Universe(); i++ {
+		if !v.Present(i) {
+			continue
+		}
+		snap.Balls++
+		node := v.Node(i)
+		snap.DepthHist[topo.Depth(node)]++
+		if topo.IsLeaf(node) {
+			snap.AtLeaves++
+		}
+	}
+	// Parked-ball maxima and busiest path in one DFS carrying the running
+	// inner-path load.
+	type frame struct {
+		node tree.Node
+		load int // balls parked on inner nodes from root to node's parent
+	}
+	stack := []frame{{topo.Root(), 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		at := occ.At(f.node)
+		if at > snap.MaxAtNode {
+			snap.MaxAtNode = at
+		}
+		if topo.IsLeaf(f.node) {
+			if f.load > snap.BusiestPathLoad {
+				snap.BusiestPathLoad = f.load
+			}
+			continue
+		}
+		if at > snap.MaxAtInner {
+			snap.MaxAtInner = at
+		}
+		// Prune empty subtrees: with no balls below, every leaf of this
+		// subtree sees exactly the accumulated load.
+		if occ.Count(f.node) == 0 {
+			if f.load > snap.BusiestPathLoad {
+				snap.BusiestPathLoad = f.load
+			}
+			continue
+		}
+		load := f.load + at
+		for _, child := range topo.Children(f.node) {
+			stack = append(stack, frame{child, load})
+		}
+	}
+	return snap
+}

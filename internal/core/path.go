@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"ballsintoleaves/internal/rng"
+	"ballsintoleaves/internal/tree"
+)
+
+// Path is a candidate path: the descent from Start towards the leaf with
+// rank Leaf. Because paths in a tree are unique, the pair fully determines
+// the node sequence of Algorithm 1's pathi; nodes are enumerated on demand
+// with Topology.OnPathToLeaf.
+//
+// Limit caps how many levels the ball may descend this phase; zero means
+// unlimited (the paper's algorithm). The LevelDescent baseline sets 1,
+// turning the protocol into classical one-level-per-phase deterministic
+// tree renaming with Θ(log n) rounds.
+type Path struct {
+	Start tree.Node
+	Leaf  int32
+	Limit int32
+}
+
+// String renders the path for traces.
+func (p Path) String() string {
+	if p.Limit > 0 {
+		return fmt.Sprintf("%d→leaf%d (limit %d)", p.Start, p.Leaf, p.Limit)
+	}
+	return fmt.Sprintf("%d→leaf%d", p.Start, p.Leaf)
+}
+
+// randomPath implements lines 5–10 of Algorithm 1 for a ball parked at
+// `from`: descend to a leaf choosing at each inner node between the
+// children with probability proportional to their remaining capacities
+// (RandomCoin(RemainingCapacity(left)/RemainingCapacity(both))). A full
+// child is never entered; Lemma 1 guarantees at least one child of any
+// node holding a parked ball has capacity.
+//
+// With uniform (the E12 ablation) a fair coin replaces the weighted one
+// whenever both children have capacity.
+//
+// Exactly one coin is consumed per two-way branch, so the faithful Ball and
+// the fast Cohort consume per-ball randomness identically.
+func randomPath(v *View, from tree.Node, src *rng.Source, uniform bool) Path {
+	topo := v.topo
+	cur := from
+	for !topo.IsLeaf(cur) {
+		next, ok := randomStep(v, cur, src, uniform)
+		if !ok {
+			// No child has remaining capacity. The paper's pseudocode
+			// leaves this case undefined (RandomCoin's denominator would
+			// be zero); it arises when the view still carries a crashed
+			// ball whose last announced position overlaps a correct
+			// ball's, transiently overfilling a subtree (Lemma 1 bounds
+			// only correct balls), and systematically under the
+			// LabelPriority ablation, which breaks Lemma 1's reservation
+			// argument. Propose a waiting path towards the leftmost leaf:
+			// the ball moves only if capacity frees up mid-pass (the
+			// stale ball is removed at its priority turn), and otherwise
+			// stays put for a phase. No coins are consumed, keeping Ball
+			// and Cohort streams aligned.
+			if cur != from {
+				panic(fmt.Sprintf("core: walk entered full subtree at node %d", cur))
+			}
+			leaf := cur
+			for !topo.IsLeaf(leaf) {
+				leaf = topo.Left(leaf)
+			}
+			return Path{Start: from, Leaf: int32(topo.LeafRank(leaf))}
+		}
+		cur = next
+	}
+	return Path{Start: from, Leaf: int32(topo.LeafRank(cur))}
+}
+
+// randomStep picks one child of cur, weighted by remaining capacity,
+// reporting ok=false when every child is full. The binary case consumes
+// exactly one Coin per two-way branch (the paper's RandomCoin); wider nodes
+// consume one bounded-uniform draw. Both the faithful Ball and the fast
+// Cohort call this same function, keeping their per-ball randomness
+// aligned.
+func randomStep(v *View, cur tree.Node, src *rng.Source, uniform bool) (tree.Node, bool) {
+	topo := v.topo
+	kids := topo.Children(cur)
+	// Fast path for binary nodes: the paper's weighted coin.
+	if len(kids) == 2 {
+		cl, cr := v.occ.RemainingCapacity(kids[0]), v.occ.RemainingCapacity(kids[1])
+		switch {
+		case cl <= 0 && cr <= 0:
+			return tree.None, false
+		case cl <= 0:
+			return kids[1], true
+		case cr <= 0:
+			return kids[0], true
+		}
+		var heads bool
+		if uniform {
+			heads = src.Coin(1, 2)
+		} else {
+			heads = src.Coin(uint64(cl), uint64(cl+cr))
+		}
+		if heads {
+			return kids[0], true
+		}
+		return kids[1], true
+	}
+	// General arity: one categorical draw over the non-full children.
+	total := 0
+	nonFull := 0
+	var only tree.Node
+	for _, kid := range kids {
+		if c := v.occ.RemainingCapacity(kid); c > 0 {
+			total += c
+			nonFull++
+			only = kid
+		}
+	}
+	switch {
+	case nonFull == 0:
+		return tree.None, false
+	case nonFull == 1:
+		return only, true
+	}
+	if uniform {
+		pick := int(src.Uint64n(uint64(nonFull)))
+		for _, kid := range kids {
+			if v.occ.RemainingCapacity(kid) > 0 {
+				if pick == 0 {
+					return kid, true
+				}
+				pick--
+			}
+		}
+	}
+	draw := int(src.Uint64n(uint64(total)))
+	for _, kid := range kids {
+		c := v.occ.RemainingCapacity(kid)
+		if c <= 0 {
+			continue
+		}
+		if draw < c {
+			return kid, true
+		}
+		draw -= c
+	}
+	panic("core: capacity-weighted draw fell off the end")
+}
+
+// deterministicPath implements the §6 rank rule for a ball parked at `from`
+// with label rank `rank` among the balls parked there: target the rank-th
+// remaining-capacity unit below `from`, scanning children left to right.
+//
+// In phase 1 all balls are at the root and rank is the ball's global label
+// rank, so this is exactly "the leaf ranked by b_i in OrderedBalls()" from
+// the paper. In later phases (the DeterministicPaths baseline) the same
+// rule applies within each subtree.
+//
+// The rank is always addressable: for any node η, the children's combined
+// remaining capacity equals RemainingCapacity(η) plus the number of balls
+// parked at η, which by Lemma 1 is at least the number of parked balls.
+func deterministicPath(v *View, from tree.Node, rank int) Path {
+	topo := v.topo
+	if topo.IsLeaf(from) {
+		return Path{Start: from, Leaf: int32(topo.LeafRank(from))}
+	}
+	cur, k := from, rank
+	for !topo.IsLeaf(cur) {
+		kids := topo.Children(cur)
+		for i, kid := range kids {
+			c := v.occ.RemainingCapacity(kid)
+			if k < c || i == len(kids)-1 {
+				cur = kid
+				break
+			}
+			k -= c
+		}
+	}
+	return Path{Start: from, Leaf: int32(topo.LeafRank(cur))}
+}
+
+// choosePath dispatches on the configured strategy for one ball. idx is the
+// ball's dense index in v, src its private stream, and phase the 1-based
+// phase number.
+func choosePath(cfg Config, v *View, idx int, src *rng.Source, phase int) Path {
+	from := v.Node(idx)
+	if cfg.deterministicPhase(phase) {
+		p := deterministicPath(v, from, v.RankAtNode(idx))
+		p.Limit = cfg.pathLimit()
+		return p
+	}
+	return randomPath(v, from, src, cfg.UniformCoin)
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ballsintoleaves/internal/rng"
+	"ballsintoleaves/internal/tree"
+)
+
+func TestRandomPathReachesLeafUnderStart(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(16)
+	v := NewView(topo, labelsN(16))
+	src := rng.New(1)
+	for i := 0; i < 200; i++ {
+		p := randomPath(v, topo.Root(), src, false)
+		if p.Start != topo.Root() {
+			t.Fatalf("start = %d", p.Start)
+		}
+		if p.Leaf < 0 || p.Leaf >= 16 {
+			t.Fatalf("leaf = %d", p.Leaf)
+		}
+	}
+}
+
+func TestRandomPathAvoidsFullSubtrees(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(8)
+	v := NewView(topo, labelsN(8))
+	// Fill the left half (leaves 0..3) with balls 0..3; ball 4 at root
+	// must always choose a right-half leaf.
+	for i := 0; i < 4; i++ {
+		v.SetNode(i, topo.Leaf(i))
+	}
+	src := rng.New(7)
+	for i := 0; i < 100; i++ {
+		p := randomPath(v, topo.Root(), src, false)
+		if p.Leaf < 4 {
+			t.Fatalf("path entered a full subtree: leaf %d", p.Leaf)
+		}
+	}
+}
+
+func TestRandomPathCapacityWeighting(t *testing.T) {
+	t.Parallel()
+	// Left subtree has 1 free slot, right has 4: left should be chosen
+	// with probability ~1/5.
+	topo := tree.NewTopology(8)
+	v := NewView(topo, labelsN(8))
+	for i := 0; i < 3; i++ {
+		v.SetNode(i, topo.Leaf(i))
+	}
+	src := rng.New(3)
+	left := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		p := randomPath(v, topo.Root(), src, false)
+		if p.Leaf < 4 {
+			left++
+		}
+	}
+	got := float64(left) / draws
+	if got < 0.17 || got > 0.23 {
+		t.Fatalf("left fraction = %.3f, want ~0.20", got)
+	}
+}
+
+func TestRandomPathUniformAblation(t *testing.T) {
+	t.Parallel()
+	// Same imbalanced tree, uniform coin: left chosen ~1/2 despite having
+	// only 1 slot — the ablation's pathology.
+	topo := tree.NewTopology(8)
+	v := NewView(topo, labelsN(8))
+	for i := 0; i < 3; i++ {
+		v.SetNode(i, topo.Leaf(i))
+	}
+	src := rng.New(4)
+	left := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		p := randomPath(v, topo.Root(), src, true)
+		if p.Leaf < 4 {
+			left++
+		}
+	}
+	got := float64(left) / draws
+	if got < 0.46 || got > 0.54 {
+		t.Fatalf("uniform left fraction = %.3f, want ~0.50", got)
+	}
+}
+
+func TestRandomPathFromLeafIsSelf(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(4)
+	v := NewView(topo, labelsN(4))
+	v.SetNode(0, topo.Leaf(2))
+	p := randomPath(v, topo.Leaf(2), rng.New(1), false)
+	if p.Start != topo.Leaf(2) || p.Leaf != 2 {
+		t.Fatalf("path = %v", p)
+	}
+}
+
+func TestDeterministicPathDistinctTargets(t *testing.T) {
+	t.Parallel()
+	// All n balls at the root with ranks 0..n-1 must map to the n distinct
+	// leaves in order — the §6 rule's phase-1 behaviour.
+	for _, n := range []int{1, 2, 3, 8, 13, 32} {
+		topo := tree.NewTopology(n)
+		v := NewView(topo, labelsN(n))
+		for r := 0; r < n; r++ {
+			p := deterministicPath(v, topo.Root(), r)
+			if int(p.Leaf) != r {
+				t.Fatalf("n=%d rank %d -> leaf %d", n, r, p.Leaf)
+			}
+		}
+	}
+}
+
+func TestDeterministicPathSkipsOccupied(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(4)
+	v := NewView(topo, labelsN(3))
+	v.SetNode(0, topo.Leaf(1)) // occupy leaf 1
+	// Ranks 0,1 from root now map to the remaining capacity units:
+	// leaves 0, 2.
+	if p := deterministicPath(v, topo.Root(), 0); p.Leaf != 0 {
+		t.Fatalf("rank 0 -> leaf %d", p.Leaf)
+	}
+	if p := deterministicPath(v, topo.Root(), 1); p.Leaf != 2 {
+		t.Fatalf("rank 1 -> leaf %d", p.Leaf)
+	}
+}
+
+// TestDeterministicPathMonotoneProperty: distinct ranks always map to
+// distinct leaves, monotonically.
+func TestDeterministicPathMonotoneProperty(t *testing.T) {
+	t.Parallel()
+	prop := func(seed uint64, rawN uint8) bool {
+		n := int(rawN%30) + 2
+		topo := tree.NewTopology(n)
+		v := NewView(topo, labelsN(n))
+		// Scatter some balls to leaves first.
+		s := seed
+		placed := 0
+		for i := 0; i < n/3; i++ {
+			s = s*6364136223846793005 + 1
+			leaf := topo.Leaf(int(s>>33) % n)
+			if v.Occupancy().Count(leaf) == 0 {
+				v.SetNode(placed, leaf)
+				placed++
+			}
+		}
+		free := v.Occupancy().RemainingCapacity(topo.Left(topo.Root())) +
+			v.Occupancy().RemainingCapacity(topo.Right(topo.Root()))
+		prev := int32(-1)
+		for r := 0; r < free; r++ {
+			p := deterministicPath(v, topo.Root(), r)
+			if p.Leaf <= prev {
+				return false
+			}
+			prev = p.Leaf
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoosePathStrategyDispatch(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(8)
+	labels := labelsN(8)
+
+	det := Config{N: 8, Strategy: DeterministicPaths}.normalized()
+	v := NewView(topo, labels)
+	p := choosePath(det, v, 3, rng.New(1), 5)
+	if p.Leaf != 3 || p.Limit != 0 {
+		t.Fatalf("deterministic path = %+v", p)
+	}
+
+	lvl := Config{N: 8, Strategy: LevelDescent}.normalized()
+	p = choosePath(lvl, v, 3, rng.New(1), 5)
+	if p.Limit != 1 {
+		t.Fatalf("level-descent limit = %d", p.Limit)
+	}
+
+	hyb := Config{N: 8, Strategy: HybridPaths}.normalized()
+	p = choosePath(hyb, v, 3, rng.New(1), 1)
+	if p.Leaf != 3 {
+		t.Fatalf("hybrid phase 1 should be deterministic, got leaf %d", p.Leaf)
+	}
+}

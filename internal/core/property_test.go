@@ -1,0 +1,207 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ballsintoleaves/internal/adversary"
+	"ballsintoleaves/internal/ids"
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/rng"
+	"ballsintoleaves/internal/sim"
+	"ballsintoleaves/internal/tree"
+)
+
+// newSimEngine wraps the reference engine for a Ball system.
+func newSimEngine(adv adversary.Strategy, balls []*Ball) (*sim.Engine, error) {
+	return sim.New(sim.Config{Adversary: adv}, Processes(balls))
+}
+
+// newTopoForTest builds a topology (alias to keep property bodies short).
+func newTopoForTest(n int) *tree.Topology { return tree.NewTopology(n) }
+
+// scriptedAdversary replays an arbitrary generated crash script: tuples of
+// (round, victim rank, delivery pattern bits). It is the property-based
+// stress for Theorem 1: uniqueness must hold under EVERY crash pattern, not
+// just the named strategies.
+type scriptedAdversary struct {
+	events []scriptEvent
+}
+
+type scriptEvent struct {
+	round   int
+	victim  uint16 // rank among alive processes
+	pattern uint64 // delivery mask bits over alive ranks (wraps)
+}
+
+func (s *scriptedAdversary) Name() string { return "scripted" }
+
+func (s *scriptedAdversary) Plan(view adversary.RoundView) []adversary.CrashSpec {
+	var specs []adversary.CrashSpec
+	alive := view.Alive()
+	if len(alive) <= 1 {
+		return nil
+	}
+	for _, ev := range s.events {
+		if ev.round != view.Round() {
+			continue
+		}
+		victim := alive[int(ev.victim)%len(alive)]
+		rank := make(map[proto.ID]int, len(alive))
+		for i, id := range alive {
+			rank[id] = i
+		}
+		pattern := ev.pattern
+		specs = append(specs, adversary.CrashSpec{
+			Victim: victim,
+			Deliver: func(to proto.ID) bool {
+				r, ok := rank[to]
+				return ok && pattern&(1<<(uint(r)%64)) != 0
+			},
+		})
+	}
+	return specs
+}
+
+// TestPropertyUniquenessUnderArbitraryCrashScripts is the headline
+// property-based test: for arbitrary crash scripts (any rounds, any
+// victims, any partial-delivery masks), every strategy must preserve
+// uniqueness and validity, with all per-view invariants checked.
+func TestPropertyUniquenessUnderArbitraryCrashScripts(t *testing.T) {
+	t.Parallel()
+	prop := func(seed uint64, rawN uint8, rawEvents []uint32) bool {
+		n := int(rawN%40) + 2
+		var events []scriptEvent
+		for i, raw := range rawEvents {
+			if i >= 12 {
+				break
+			}
+			events = append(events, scriptEvent{
+				round:   int(raw%16) + 1,
+				victim:  uint16(raw >> 8),
+				pattern: uint64(raw) * 0x9e3779b97f4a7c15,
+			})
+		}
+		for _, strategy := range []PathStrategy{RandomPaths, HybridPaths, LevelDescent} {
+			cfg := Config{
+				N: n, Seed: seed, Strategy: strategy, CheckInvariants: true,
+				Adversary: &scriptedAdversary{events: events},
+			}
+			c, err := NewCohort(cfg, ids.Random(n, seed+0xabc))
+			if err != nil {
+				t.Logf("config: %v", err)
+				return false
+			}
+			res, err := c.Run()
+			if err != nil {
+				t.Logf("run: %v", err)
+				return false
+			}
+			if proto.Validate(res.Decisions, n) != nil {
+				t.Logf("strategy %v: validation failed", strategy)
+				return false
+			}
+			if len(res.Decisions)+res.Crashes != n {
+				t.Logf("strategy %v: %d decided + %d crashed != %d",
+					strategy, len(res.Decisions), res.Crashes, n)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyBallMatchesCohortRandomScripts extends the equivalence
+// guarantee beyond the named adversaries to arbitrary generated scripts.
+func TestPropertyBallMatchesCohortRandomScripts(t *testing.T) {
+	t.Parallel()
+	prop := func(seed uint64, rawEvents []uint32) bool {
+		const n = 24
+		var events []scriptEvent
+		for i, raw := range rawEvents {
+			if i >= 8 {
+				break
+			}
+			events = append(events, scriptEvent{
+				round:   int(raw%12) + 1,
+				victim:  uint16(raw >> 8),
+				pattern: uint64(raw) * 0xda942042e4dd58b5,
+			})
+		}
+		labels := ids.Random(n, seed+7)
+		cfg := Config{N: n, Seed: seed, CheckInvariants: true}
+
+		balls, err := NewBalls(cfg, labels)
+		if err != nil {
+			return false
+		}
+		eng, err := newSimEngine(&scriptedAdversary{events: events}, balls)
+		if err != nil {
+			return false
+		}
+		want, err := eng.Run()
+		if err != nil {
+			return false
+		}
+
+		cfg.Adversary = &scriptedAdversary{events: events}
+		c, err := NewCohort(cfg, labels)
+		if err != nil {
+			return false
+		}
+		got, err := c.Run()
+		if err != nil {
+			return false
+		}
+		if got.Rounds != want.Rounds || len(got.Decisions) != len(want.Decisions) {
+			t.Logf("rounds %d/%d decisions %d/%d", got.Rounds, want.Rounds,
+				len(got.Decisions), len(want.Decisions))
+			return false
+		}
+		for i := range got.Decisions {
+			if got.Decisions[i] != want.Decisions[i] {
+				t.Logf("decision %d: %+v vs %+v", i, got.Decisions[i], want.Decisions[i])
+				return false
+			}
+		}
+		return got.Messages == want.Messages && got.Bytes == want.Bytes
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCoinConsumptionStable pins the per-ball randomness contract
+// the Ball/Cohort equivalence rests on: path construction consumes exactly
+// one coin per two-way branch, so identical views yield identical draws.
+func TestPropertyCoinConsumptionStable(t *testing.T) {
+	t.Parallel()
+	prop := func(seed uint64, rawN uint8) bool {
+		n := int(rawN%30) + 2
+		topo := newTopoForTest(n)
+		v := NewView(topo, labelsN(n))
+		a := rng.Derive(seed, 1)
+		b := rng.Derive(seed, 1)
+		pa := randomPath(v, topo.Root(), a, false)
+		pb := randomPath(v, topo.Root(), b, false)
+		if pa != pb {
+			return false
+		}
+		// After identical consumption the streams stay aligned.
+		return a.Uint64() == b.Uint64()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

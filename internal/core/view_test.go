@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/tree"
+)
+
+func labelsN(n int) []proto.ID {
+	out := make([]proto.ID, n)
+	for i := range out {
+		out[i] = proto.ID(10 * (i + 1))
+	}
+	return out
+}
+
+func TestNewViewAllAtRoot(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(8)
+	v := NewView(topo, labelsN(8))
+	if v.Size() != 8 || v.Universe() != 8 {
+		t.Fatalf("size/universe = %d/%d", v.Size(), v.Universe())
+	}
+	if v.Occupancy().Count(topo.Root()) != 8 {
+		t.Fatalf("root count = %d", v.Occupancy().Count(topo.Root()))
+	}
+	if v.AllAtLeaves() {
+		t.Fatal("balls at root reported as at leaves")
+	}
+	if err := v.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewIndexOf(t *testing.T) {
+	t.Parallel()
+	v := NewView(tree.NewTopology(4), labelsN(4))
+	for i, id := range labelsN(4) {
+		idx, ok := v.IndexOf(id)
+		if !ok || idx != i {
+			t.Fatalf("IndexOf(%v) = %d,%v", id, idx, ok)
+		}
+	}
+	if _, ok := v.IndexOf(999); ok {
+		t.Fatal("unknown label found")
+	}
+}
+
+func TestViewRemoveAndSetNode(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(4)
+	v := NewView(topo, labelsN(4))
+	v.SetNode(0, topo.Leaf(2))
+	if v.Node(0) != topo.Leaf(2) {
+		t.Fatal("SetNode did not move")
+	}
+	if got := v.Occupancy().Count(topo.Leaf(2)); got != 1 {
+		t.Fatalf("leaf count = %d", got)
+	}
+	v.Remove(0)
+	v.Remove(0) // idempotent
+	if v.Size() != 3 || v.Present(0) {
+		t.Fatal("Remove bookkeeping")
+	}
+	if got := v.Occupancy().Count(topo.Leaf(2)); got != 0 {
+		t.Fatalf("leaf count after removal = %d", got)
+	}
+	if err := v.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewSetNodeOnAbsentPanics(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(2)
+	v := NewView(topo, labelsN(2))
+	v.Remove(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	v.SetNode(1, topo.Leaf(0))
+}
+
+func TestOrderedPresentPriority(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(8)
+	v := NewView(topo, labelsN(5))
+	// Place balls at mixed depths:
+	//   idx 0 (label 10) at root        (depth 0)
+	//   idx 1 (label 20) at leaf 0      (depth 3)
+	//   idx 2 (label 30) at depth 1
+	//   idx 3 (label 40) at leaf 5      (depth 3)
+	//   idx 4 (label 50) at depth 1
+	v.SetNode(1, topo.Leaf(0))
+	v.SetNode(2, topo.Left(topo.Root()))
+	v.SetNode(3, topo.Leaf(5))
+	v.SetNode(4, topo.Right(topo.Root()))
+	got := v.OrderedPresent(false)
+	want := []int32{1, 3, 2, 4, 0} // depth desc, label asc within depth
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	// Label-only ablation: ascending label regardless of depth.
+	got = v.OrderedPresent(true)
+	want = []int32{0, 1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("label order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrderedPresentSkipsRemoved(t *testing.T) {
+	t.Parallel()
+	v := NewView(tree.NewTopology(4), labelsN(4))
+	v.Remove(2)
+	got := v.OrderedPresent(false)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for _, idx := range got {
+		if idx == 2 {
+			t.Fatal("removed ball in order")
+		}
+	}
+}
+
+func TestRankAtNode(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(8)
+	v := NewView(topo, labelsN(4))
+	// All at root: rank = dense index.
+	for i := 0; i < 4; i++ {
+		if got := v.RankAtNode(i); got != i {
+			t.Fatalf("rank(%d) = %d", i, got)
+		}
+	}
+	// Move ball 1 away: remaining root ranks shift.
+	v.SetNode(1, topo.Leaf(0))
+	if v.RankAtNode(0) != 0 || v.RankAtNode(2) != 1 || v.RankAtNode(3) != 2 {
+		t.Fatal("ranks after move wrong")
+	}
+	if v.RankAtNode(1) != 0 {
+		t.Fatal("moved ball should rank 0 at its node")
+	}
+}
+
+func TestViewCloneAndCopyFrom(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(4)
+	v := NewView(topo, labelsN(4))
+	v.SetNode(0, topo.Leaf(1))
+	cp := v.Clone()
+	cp.Remove(0)
+	if !v.Present(0) {
+		t.Fatal("clone mutation leaked")
+	}
+	cp.CopyFrom(v)
+	if !cp.Present(0) || cp.Node(0) != topo.Leaf(1) || cp.Size() != 4 {
+		t.Fatal("CopyFrom incomplete")
+	}
+}
+
+func TestViewConsistencyDetectsCorruption(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopology(4)
+	v := NewView(topo, labelsN(4))
+	// Corrupt the position table behind the occupancy's back.
+	v.node[0] = topo.Leaf(3)
+	if err := v.CheckConsistency(); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}

@@ -1,0 +1,60 @@
+// Package ids generates original identifiers for simulated processes. The
+// renaming problem gives processes distinct ids from an unbounded namespace;
+// the algorithms are comparison-based, so only the relative order matters.
+// Random labels model the general case, Sequential the friendliest one, and
+// Clustered an adversarial case where labels are bunched so comparisons
+// carry little information early on.
+package ids
+
+import (
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/rng"
+)
+
+// Random returns n distinct uniformly random 64-bit labels.
+func Random(n int, seed uint64) []proto.ID {
+	src := rng.Derive(seed, 0x1d5)
+	seen := make(map[proto.ID]bool, n)
+	out := make([]proto.ID, 0, n)
+	for len(out) < n {
+		id := proto.ID(src.Uint64())
+		if id == 0 || seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	return out
+}
+
+// Sequential returns labels 1..n.
+func Sequential(n int) []proto.ID {
+	out := make([]proto.ID, n)
+	for i := range out {
+		out[i] = proto.ID(i + 1)
+	}
+	return out
+}
+
+// Clustered returns n distinct labels packed into k tight clusters spread
+// across the namespace, stressing comparison-based tie-breaking.
+func Clustered(n, k int, seed uint64) []proto.ID {
+	if k < 1 {
+		k = 1
+	}
+	src := rng.Derive(seed, 0xc1d5)
+	out := make([]proto.ID, 0, n)
+	seen := make(map[proto.ID]bool, n)
+	clusterSpan := uint64(1) << 62 / uint64(k)
+	for len(out) < n {
+		cluster := uint64(src.Intn(k))
+		base := cluster*clusterSpan + 1
+		id := proto.ID(base + uint64(src.Intn(4*n)))
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package ids
+
+import (
+	"testing"
+
+	"ballsintoleaves/internal/proto"
+)
+
+func assertDistinct(t *testing.T, labels []proto.ID) {
+	t.Helper()
+	seen := make(map[proto.ID]bool, len(labels))
+	for _, id := range labels {
+		if id == 0 {
+			t.Fatal("zero label")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate label %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRandomDistinctAndDeterministic(t *testing.T) {
+	t.Parallel()
+	a := Random(1000, 5)
+	assertDistinct(t, a)
+	b := Random(1000, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+	c := Random(1000, 6)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds coincided %d times", same)
+	}
+}
+
+func TestSequential(t *testing.T) {
+	t.Parallel()
+	s := Sequential(5)
+	for i, id := range s {
+		if id != proto.ID(i+1) {
+			t.Fatalf("s[%d] = %v", i, id)
+		}
+	}
+	assertDistinct(t, s)
+}
+
+func TestClusteredDistinct(t *testing.T) {
+	t.Parallel()
+	for _, k := range []int{0, 1, 4, 16} {
+		labels := Clustered(200, k, 9)
+		if len(labels) != 200 {
+			t.Fatalf("k=%d: %d labels", k, len(labels))
+		}
+		assertDistinct(t, labels)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	t.Parallel()
+	if len(Random(0, 1)) != 0 || len(Sequential(0)) != 0 {
+		t.Fatal("n=0 should yield empty slices")
+	}
+}

@@ -1,0 +1,54 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateAccepts(t *testing.T) {
+	t.Parallel()
+	decisions := []Decision{
+		{ID: 10, Name: 1, Round: 4},
+		{ID: 20, Name: 3, Round: 4},
+		{ID: 30, Name: 2, Round: 6},
+	}
+	if err := Validate(decisions, 3); err != nil {
+		t.Fatalf("valid decisions rejected: %v", err)
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	t.Parallel()
+	if err := Validate(nil, 0); err != nil {
+		t.Fatalf("empty decision set rejected: %v", err)
+	}
+}
+
+func TestValidateUniqueness(t *testing.T) {
+	t.Parallel()
+	decisions := []Decision{
+		{ID: 10, Name: 2},
+		{ID: 20, Name: 2},
+	}
+	err := Validate(decisions, 4)
+	if err == nil || !strings.Contains(err.Error(), "uniqueness") {
+		t.Fatalf("duplicate names not flagged as uniqueness violation: %v", err)
+	}
+}
+
+func TestValidateValidity(t *testing.T) {
+	t.Parallel()
+	for _, bad := range []int{0, -1, 5} {
+		err := Validate([]Decision{{ID: 1, Name: bad}}, 4)
+		if err == nil || !strings.Contains(err.Error(), "validity") {
+			t.Fatalf("name %d not flagged as validity violation: %v", bad, err)
+		}
+	}
+}
+
+func TestIDString(t *testing.T) {
+	t.Parallel()
+	if got := ID(0xab).String(); got != "pab" {
+		t.Fatalf("ID string = %q", got)
+	}
+}

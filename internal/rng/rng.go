@@ -1,0 +1,148 @@
+// Package rng provides the deterministic pseudo-random number generation used
+// by every randomized protocol in this repository.
+//
+// Reproducibility contract: a simulation is a pure function of (n, seed,
+// options, adversary). To keep the faithful per-process implementation and
+// the fast cohort simulator bit-for-bit equivalent, each ball owns a private
+// stream derived from (seed, label) and every random decision consumes a
+// well-defined number of draws from that stream. The generator is
+// xoshiro256++ seeded through SplitMix64, a standard pairing with good
+// statistical quality and a tiny, allocation-free state.
+package rng
+
+import "math/bits"
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used for seeding and for stream derivation.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a xoshiro256++ generator. The zero value is invalid; construct
+// with New or Derive.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given 64-bit seed via SplitMix64, as
+// recommended by the xoshiro authors to avoid correlated low-entropy states.
+func New(seed uint64) *Source {
+	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed re-initializes the Source in place from seed.
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not be seeded with the all-zero state; SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway for safety.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// Derive returns an independent stream for the given label, suitable for
+// per-ball randomness: Derive(seed, a) and Derive(seed, b) are decorrelated
+// for a != b because the label is diffused through SplitMix64 before seeding.
+func Derive(seed, label uint64) *Source {
+	mix := seed
+	h := splitMix64(&mix)
+	mix = h ^ (label * 0xda942042e4dd58b5)
+	return New(splitMix64(&mix))
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0. Exactly one Uint64 draw is consumed
+// in the common case; rare rejections consume more, identically in every
+// replay of the same stream.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two: mask, single draw, no bias.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := (-n) % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Coin returns true ("heads") with probability exactly num/den, consuming a
+// single bounded-uniform draw. It panics if den == 0 or num > den. This is
+// the RandomCoin(p) primitive of Algorithm 1 with an exact rational bias, so
+// capacity-weighted path choices carry no floating-point bias.
+func (r *Source) Coin(num, den uint64) bool {
+	if den == 0 {
+		panic("rng: Coin with zero denominator")
+	}
+	if num > den {
+		panic("rng: Coin with num > den")
+	}
+	switch num {
+	case 0:
+		return false
+	case den:
+		return true
+	}
+	return r.Uint64n(den) < num
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using the
+// Fisher-Yates algorithm, invoking swap(i, j) for each exchange.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

@@ -1,0 +1,216 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	t.Parallel()
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds coincided %d/100 times", same)
+	}
+}
+
+func TestDeriveIndependentStreams(t *testing.T) {
+	t.Parallel()
+	a := Derive(7, 100)
+	b := Derive(7, 101)
+	c := Derive(7, 100)
+	for i := 0; i < 100; i++ {
+		av, bv, cv := a.Uint64(), b.Uint64(), c.Uint64()
+		if av != cv {
+			t.Fatalf("same (seed,label) streams diverged at %d", i)
+		}
+		if av == bv {
+			t.Fatalf("adjacent labels produced identical draw at %d", i)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	t.Parallel()
+	r := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 8, 1000, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nZeroPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	t.Parallel()
+	r := New(99)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("value %d drawn %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestCoinExactEdges(t *testing.T) {
+	t.Parallel()
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if r.Coin(0, 10) {
+			t.Fatal("Coin(0,10) returned heads")
+		}
+		if !r.Coin(10, 10) {
+			t.Fatal("Coin(10,10) returned tails")
+		}
+	}
+}
+
+func TestCoinBias(t *testing.T) {
+	t.Parallel()
+	r := New(8)
+	const draws = 200000
+	heads := 0
+	for i := 0; i < draws; i++ {
+		if r.Coin(3, 4) {
+			heads++
+		}
+	}
+	got := float64(heads) / draws
+	if math.Abs(got-0.75) > 0.01 {
+		t.Fatalf("Coin(3,4) heads rate %.4f, want ~0.75", got)
+	}
+}
+
+func TestCoinInvalidPanics(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ num, den uint64 }{{1, 0}, {5, 4}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Coin(%d,%d) did not panic", c.num, c.den)
+				}
+			}()
+			New(1).Coin(c.num, c.den)
+		}()
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	t.Parallel()
+	r := New(11)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	t.Parallel()
+	r := New(13)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestReseedResetsStream(t *testing.T) {
+	t.Parallel()
+	r := New(21)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(21)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("reseeded stream diverged at draw %d", i)
+		}
+	}
+}
+
+// TestIntnDistributionChiSquare applies a chi-square test with generous
+// slack: the point is to catch gross modulo-bias bugs, not to certify the
+// generator.
+func TestIntnDistributionChiSquare(t *testing.T) {
+	t.Parallel()
+	r := New(77)
+	const buckets = 16
+	const draws = 160000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; p=0.001 critical value is ~37.7.
+	if chi2 > 37.7 {
+		t.Fatalf("chi-square %.2f exceeds 37.7 (possible bias)", chi2)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkCoin(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Coin(3, 7)
+	}
+}

@@ -1,0 +1,338 @@
+// Package runtime executes the synchronous message-passing model with real
+// concurrency: one goroutine per process, channels as links, and a
+// coordinator enforcing lock-step rounds. It is behaviorally identical to
+// the single-threaded reference engine (internal/sim) — same decisions,
+// rounds and crash semantics for the same adversary — which the integration
+// tests assert; it exists because goroutines-plus-channels is the natural Go
+// rendering of the paper's model, and because it exercises the protocols
+// under true parallel delivery.
+//
+// Concurrency design: process state is only ever touched by its own
+// goroutine. The coordinator interacts with processes exclusively through
+// three channels per process (payload up, deliveries down, status up), each
+// with capacity one. Between collecting the round's payloads and delivering
+// them, every live process goroutine is parked on its delivery channel, so
+// the adversary's introspection window is race-free. Payloads are copied on
+// receipt because senders reuse their encoding buffers across rounds.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ballsintoleaves/internal/adversary"
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/sim"
+)
+
+// Config mirrors sim.Config: adversary, crash budget, and a round cap.
+type Config struct {
+	Adversary adversary.Strategy
+	Budget    int
+	MaxRounds int
+}
+
+// Result is identical in shape and semantics to the reference engine's.
+type Result = sim.Result
+
+// Engine drives one concurrent run. Construct with New, execute with Run
+// (once).
+type Engine struct {
+	cfg   Config
+	procs []proto.Process
+	byID  map[proto.ID]int
+	ports []port
+
+	alive    []bool
+	halted   []bool
+	decided  []bool
+	payloads [][]byte
+	infos    []adversary.BallInfo
+	hasInfo  []bool
+
+	decisions []proto.Decision
+	crashed   []proto.ID
+	round     int
+	budget    int
+	messages  int64
+	bytes     int64
+
+	wg sync.WaitGroup
+}
+
+// port is the coordinator's endpoint for one process goroutine.
+type port struct {
+	payloadCh chan []byte
+	deliverCh chan []proto.Message
+	statusCh  chan status
+	quitCh    chan struct{}
+}
+
+// status is the post-delivery report a process goroutine sends each round.
+type status struct {
+	decided bool
+	name    int
+	done    bool
+	info    adversary.BallInfo
+	hasInfo bool
+}
+
+// New builds a concurrent engine over the given processes (distinct IDs).
+func New(cfg Config, procs []proto.Process) (*Engine, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("runtime: no processes")
+	}
+	sorted := make([]proto.Process, len(procs))
+	copy(sorted, procs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID() < sorted[j].ID() })
+	byID := make(map[proto.ID]int, len(sorted))
+	for i, p := range sorted {
+		if _, dup := byID[p.ID()]; dup {
+			return nil, fmt.Errorf("runtime: duplicate process ID %v", p.ID())
+		}
+		byID[p.ID()] = i
+	}
+	if cfg.Adversary == nil {
+		cfg.Adversary = adversary.None{}
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = len(sorted) - 1
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 10*len(sorted) + 64
+	}
+	e := &Engine{
+		cfg:      cfg,
+		procs:    sorted,
+		byID:     byID,
+		ports:    make([]port, len(sorted)),
+		alive:    make([]bool, len(sorted)),
+		halted:   make([]bool, len(sorted)),
+		decided:  make([]bool, len(sorted)),
+		payloads: make([][]byte, len(sorted)),
+		infos:    make([]adversary.BallInfo, len(sorted)),
+		hasInfo:  make([]bool, len(sorted)),
+		budget:   cfg.Budget,
+	}
+	for i := range e.ports {
+		e.alive[i] = true
+		e.ports[i] = port{
+			payloadCh: make(chan []byte, 1),
+			deliverCh: make(chan []proto.Message, 1),
+			statusCh:  make(chan status, 1),
+			quitCh:    make(chan struct{}),
+		}
+	}
+	return e, nil
+}
+
+// procLoop is the per-process goroutine: send, await delivery, report.
+func (e *Engine) procLoop(idx int) {
+	defer e.wg.Done()
+	p := e.procs[idx]
+	pt := e.ports[idx]
+	for round := 1; ; round++ {
+		payload := p.Send(round)
+		select {
+		case pt.payloadCh <- payload:
+		case <-pt.quitCh:
+			return
+		}
+		var msgs []proto.Message
+		select {
+		case msgs = <-pt.deliverCh:
+		case <-pt.quitCh:
+			return
+		}
+		p.Deliver(round, msgs)
+		st := status{done: p.Done()}
+		st.name, st.decided = p.Decided()
+		if intro, ok := p.(sim.Introspector); ok {
+			st.info, st.hasInfo = intro.Info(), true
+		}
+		select {
+		case pt.statusCh <- st:
+		case <-pt.quitCh:
+			return
+		}
+		if st.done {
+			return
+		}
+	}
+}
+
+// Run spawns the process goroutines, executes rounds until every surviving
+// process halts, and returns the result. It must be called at most once.
+func (e *Engine) Run() (Result, error) {
+	for i := range e.procs {
+		e.wg.Add(1)
+		go e.procLoop(i)
+	}
+	defer func() {
+		for i := range e.ports {
+			if e.alive[i] && !e.halted[i] {
+				close(e.ports[i].quitCh)
+			}
+		}
+		e.wg.Wait()
+	}()
+
+	for e.pendingWork() {
+		if e.round >= e.cfg.MaxRounds {
+			return e.result(), fmt.Errorf("runtime: exceeded %d rounds without quiescing", e.cfg.MaxRounds)
+		}
+		e.step()
+	}
+	return e.result(), nil
+}
+
+func (e *Engine) pendingWork() bool {
+	for i := range e.procs {
+		if e.alive[i] && !e.halted[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// step runs one lock-step round through the coordinator.
+func (e *Engine) step() {
+	e.round++
+	// Collect payloads; copy because senders reuse their buffers.
+	for i := range e.procs {
+		if !e.alive[i] || e.halted[i] {
+			e.payloads[i] = nil
+			continue
+		}
+		raw := <-e.ports[i].payloadCh
+		if raw == nil {
+			e.payloads[i] = nil
+		} else {
+			cp := make([]byte, len(raw))
+			copy(cp, raw)
+			e.payloads[i] = cp
+		}
+	}
+	// Every live goroutine is now parked on its deliverCh: safe window for
+	// the adversary to inspect state (via the statuses of the previous
+	// round, the payloads, and cached infos).
+	view := &roundView{engine: e}
+	specs := e.cfg.Adversary.Plan(view)
+	crashedNow := make(map[int]func(proto.ID) bool)
+	for _, spec := range specs {
+		idx, ok := e.byID[spec.Victim]
+		if !ok || !e.alive[idx] || e.halted[idx] || e.budget == 0 {
+			continue
+		}
+		if _, dup := crashedNow[idx]; dup {
+			continue
+		}
+		e.budget--
+		e.alive[idx] = false
+		e.crashed = append(e.crashed, spec.Victim)
+		close(e.ports[idx].quitCh)
+		deliver := spec.Deliver
+		if deliver == nil {
+			deliver = adversary.DeliverNone
+		}
+		crashedNow[idx] = deliver
+	}
+	// Deliver to survivors.
+	for i, p := range e.procs {
+		if !e.alive[i] || e.halted[i] {
+			continue
+		}
+		var msgs []proto.Message
+		for j, payload := range e.payloads {
+			if payload == nil {
+				continue
+			}
+			if deliver, crashed := crashedNow[j]; crashed {
+				if !deliver(p.ID()) {
+					continue
+				}
+			}
+			msgs = append(msgs, proto.Message{From: e.procs[j].ID(), Payload: payload})
+			if i != j {
+				e.messages++
+				e.bytes += int64(len(payload))
+			}
+		}
+		e.ports[i].deliverCh <- msgs
+	}
+	// Collect post-delivery statuses.
+	for i, p := range e.procs {
+		if !e.alive[i] || e.halted[i] {
+			continue
+		}
+		st := <-e.ports[i].statusCh
+		e.infos[i], e.hasInfo[i] = st.info, st.hasInfo
+		if st.decided && !e.decided[i] {
+			e.decided[i] = true
+			e.decisions = append(e.decisions, proto.Decision{ID: p.ID(), Name: st.name, Round: e.round})
+		}
+		if st.done {
+			e.halted[i] = true
+		}
+	}
+}
+
+func (e *Engine) result() Result {
+	res := Result{
+		Rounds:   e.round,
+		Crashed:  e.crashed,
+		Messages: e.messages,
+		Bytes:    e.bytes,
+	}
+	for _, d := range e.decisions {
+		if e.alive[e.byID[d.ID]] {
+			res.Decisions = append(res.Decisions, d)
+		} else {
+			res.CrashedDecided++
+		}
+	}
+	sort.Slice(res.Decisions, func(i, j int) bool { return res.Decisions[i].ID < res.Decisions[j].ID })
+	return res
+}
+
+// roundView adapts the engine's round state to adversary.RoundView. Info
+// reflects each process's state as of the end of the previous round (the
+// last status report), which is exactly what the paper's adversary sees
+// when planning crashes for the current broadcast.
+type roundView struct {
+	engine *Engine
+	alive  []proto.ID
+}
+
+func (v *roundView) Round() int { return v.engine.round }
+func (v *roundView) N() int     { return len(v.engine.procs) }
+
+func (v *roundView) Alive() []proto.ID {
+	if v.alive == nil {
+		for i, p := range v.engine.procs {
+			if v.engine.alive[i] && !v.engine.halted[i] {
+				v.alive = append(v.alive, p.ID())
+			}
+		}
+	}
+	return v.alive
+}
+
+func (v *roundView) Payload(id proto.ID) []byte {
+	idx, ok := v.engine.byID[id]
+	if !ok {
+		return nil
+	}
+	return v.engine.payloads[idx]
+}
+
+func (v *roundView) Info(id proto.ID) (adversary.BallInfo, bool) {
+	idx, ok := v.engine.byID[id]
+	if !ok || !v.engine.alive[idx] || !v.engine.hasInfo[idx] {
+		return adversary.BallInfo{}, false
+	}
+	return v.engine.infos[idx], true
+}
+
+func (v *roundView) Budget() int { return v.engine.budget }

@@ -1,0 +1,185 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"ballsintoleaves/internal/adversary"
+	"ballsintoleaves/internal/core"
+	"ballsintoleaves/internal/ids"
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/sim"
+)
+
+// TestRuntimeMatchesSim asserts that the concurrent engine reproduces the
+// single-threaded reference engine exactly — decisions, rounds, crashes,
+// message and byte counts — for real Balls-into-Leaves systems under a
+// spread of adversaries. Together with core's cohort equivalence test this
+// closes the triangle sim ≡ runtime ≡ cohort.
+func TestRuntimeMatchesSim(t *testing.T) {
+	t.Parallel()
+	const n = 32
+	cases := []struct {
+		name string
+		make func() adversary.Strategy
+	}{
+		{"none", func() adversary.Strategy { return adversary.None{} }},
+		{"splitter", func() adversary.Strategy { return &adversary.Splitter{Round: 2} }},
+		{"random", func() adversary.Strategy { return adversary.NewRandom(n/3, 9, 4) }},
+		{"rank-shifter", func() adversary.Strategy { return &adversary.RankShifter{} }},
+		{"deep-target", func() adversary.Strategy { return &adversary.DeepTarget{PerRound: 1, Seed: 8} }},
+	}
+	for _, strategy := range []core.PathStrategy{core.RandomPaths, core.HybridPaths} {
+		for _, tc := range cases {
+			for seed := uint64(0); seed < 2; seed++ {
+				t.Run(fmt.Sprintf("%v/%s/seed%d", strategy, tc.name, seed), func(t *testing.T) {
+					t.Parallel()
+					labels := ids.Random(n, seed+60)
+					cfg := core.Config{N: n, Seed: seed, Strategy: strategy, CheckInvariants: true}
+
+					mkProcs := func() []proto.Process {
+						balls, err := core.NewBalls(cfg, labels)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return core.Processes(balls)
+					}
+
+					ref, err := sim.New(sim.Config{Adversary: tc.make()}, mkProcs())
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := ref.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					eng, err := New(Config{Adversary: tc.make()}, mkProcs())
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := eng.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					if got.Rounds != want.Rounds {
+						t.Errorf("rounds: runtime %d, sim %d", got.Rounds, want.Rounds)
+					}
+					if len(got.Crashed) != len(want.Crashed) {
+						t.Errorf("crashes: runtime %d, sim %d", len(got.Crashed), len(want.Crashed))
+					}
+					if got.Messages != want.Messages || got.Bytes != want.Bytes {
+						t.Errorf("traffic: runtime %d/%d, sim %d/%d",
+							got.Messages, got.Bytes, want.Messages, want.Bytes)
+					}
+					if len(got.Decisions) != len(want.Decisions) {
+						t.Fatalf("decisions: runtime %d, sim %d", len(got.Decisions), len(want.Decisions))
+					}
+					for i := range got.Decisions {
+						if got.Decisions[i] != want.Decisions[i] {
+							t.Errorf("decision %d: runtime %+v, sim %+v", i, got.Decisions[i], want.Decisions[i])
+						}
+					}
+					if err := proto.Validate(got.Decisions, n); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestRuntimeFailureFree(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{1, 2, 7, 16, 64} {
+		cfg := core.Config{N: n, Seed: uint64(n)}
+		balls, err := core.NewBalls(cfg, ids.Random(n, uint64(n)+7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(Config{}, core.Processes(balls))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Decisions) != n {
+			t.Fatalf("n=%d: %d decisions", n, len(res.Decisions))
+		}
+		if err := proto.Validate(res.Decisions, n); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// stallProc never halts, for the abort path: the engine must shut down all
+// goroutines cleanly (the race detector and -timeout guard the rest).
+type stallProc struct{ id proto.ID }
+
+func (p *stallProc) ID() proto.ID                 { return p.id }
+func (p *stallProc) Send(int) []byte              { return []byte{1} }
+func (p *stallProc) Deliver(int, []proto.Message) {}
+func (p *stallProc) Decided() (int, bool)         { return 0, false }
+func (p *stallProc) Done() bool                   { return false }
+
+func TestRuntimeMaxRoundsAbortsCleanly(t *testing.T) {
+	t.Parallel()
+	eng, err := New(Config{MaxRounds: 4}, []proto.Process{&stallProc{id: 1}, &stallProc{id: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err == nil {
+		t.Fatal("expected max-rounds error")
+	}
+	if res.Rounds != 4 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+}
+
+func TestRuntimeCrashMidRun(t *testing.T) {
+	t.Parallel()
+	const n = 16
+	cfg := core.Config{N: n, Seed: 3}
+	balls, err := core.NewBalls(cfg, ids.Sequential(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &adversary.AtRound{Round: 2, Count: 5, Pattern: func(s []proto.ID) func(proto.ID) bool {
+		return adversary.AlternatingByRank(s)
+	}}
+	eng, err := New(Config{Adversary: adv}, core.Processes(balls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Crashed) != 5 {
+		t.Fatalf("crashed = %v", res.Crashed)
+	}
+	if len(res.Decisions) != n-5 {
+		t.Fatalf("decisions = %d", len(res.Decisions))
+	}
+	if err := proto.Validate(res.Decisions, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuntimeRejectsDuplicateIDs(t *testing.T) {
+	t.Parallel()
+	if _, err := New(Config{}, []proto.Process{&stallProc{id: 1}, &stallProc{id: 1}}); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}
+
+func TestRuntimeRejectsEmpty(t *testing.T) {
+	t.Parallel()
+	if _, err := New(Config{}, nil); err == nil {
+		t.Fatal("empty process set accepted")
+	}
+}

@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ballsintoleaves/internal/adversary"
+	"ballsintoleaves/internal/proto"
+)
+
+// rankProc is a minimal test protocol: round 1, broadcast the ID; on
+// delivery, decide 1 + (rank of own ID among received senders) and halt.
+// It is correct only in failure-free runs, which is all these engine tests
+// need; crash-safe protocols live in internal/core.
+type rankProc struct {
+	id       proto.ID
+	seen     []proto.ID
+	name     int
+	done     bool
+	gotSelf  bool
+	received int
+}
+
+func (p *rankProc) ID() proto.ID { return p.id }
+
+func (p *rankProc) Send(round int) []byte {
+	if round == 1 {
+		return []byte{byte(p.id)}
+	}
+	return nil
+}
+
+func (p *rankProc) Deliver(round int, msgs []proto.Message) {
+	p.received = len(msgs)
+	rank := 0
+	for _, m := range msgs {
+		if m.From == p.id {
+			p.gotSelf = true
+		}
+		if m.From < p.id {
+			rank++
+		}
+		p.seen = append(p.seen, m.From)
+	}
+	p.name = rank + 1
+	p.done = true
+}
+
+func (p *rankProc) Decided() (int, bool) { return p.name, p.name != 0 }
+func (p *rankProc) Done() bool           { return p.done }
+
+func makeRankProcs(n int) []proto.Process {
+	procs := make([]proto.Process, n)
+	for i := 0; i < n; i++ {
+		procs[i] = &rankProc{id: proto.ID(10 * (i + 1))}
+	}
+	return procs
+}
+
+func TestFailureFreeRankRenaming(t *testing.T) {
+	t.Parallel()
+	const n = 8
+	eng, err := New(Config{}, makeRankProcs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", res.Rounds)
+	}
+	if len(res.Decisions) != n {
+		t.Fatalf("decisions = %d, want %d", len(res.Decisions), n)
+	}
+	if err := proto.Validate(res.Decisions, n); err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != int64(n*(n-1)) {
+		t.Fatalf("messages = %d, want %d", res.Messages, n*(n-1))
+	}
+	if res.Bytes != int64(n*(n-1)) {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, n*(n-1))
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	t.Parallel()
+	procs := makeRankProcs(3)
+	eng, err := New(Config{}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range procs {
+		if !p.(*rankProc).gotSelf {
+			t.Fatalf("process %v did not hear its own broadcast", p.ID())
+		}
+	}
+}
+
+func TestCrashSuppressesDelivery(t *testing.T) {
+	t.Parallel()
+	procs := makeRankProcs(4)
+	victim := procs[0].ID()
+	adv := adversary.Func{Label: "kill-first", Fn: func(v adversary.RoundView) []adversary.CrashSpec {
+		if v.Round() != 1 {
+			return nil
+		}
+		return []adversary.CrashSpec{{Victim: victim, Deliver: adversary.DeliverNone}}
+	}}
+	eng, err := New(Config{Adversary: adv}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Crashed) != 1 || res.Crashed[0] != victim {
+		t.Fatalf("crashed = %v", res.Crashed)
+	}
+	if len(res.Decisions) != 3 {
+		t.Fatalf("decisions = %d, want 3", len(res.Decisions))
+	}
+	for _, p := range procs[1:] {
+		rp := p.(*rankProc)
+		if rp.received != 3 {
+			t.Fatalf("%v received %d messages, want 3 (victim suppressed)", rp.id, rp.received)
+		}
+		for _, from := range rp.seen {
+			if from == victim {
+				t.Fatalf("%v heard the crashed victim", rp.id)
+			}
+		}
+	}
+}
+
+func TestPartialDeliveryMask(t *testing.T) {
+	t.Parallel()
+	procs := makeRankProcs(4)
+	victim := procs[0].ID()
+	lucky := procs[2].ID()
+	adv := adversary.Func{Label: "partial", Fn: func(v adversary.RoundView) []adversary.CrashSpec {
+		if v.Round() != 1 {
+			return nil
+		}
+		return []adversary.CrashSpec{{
+			Victim:  victim,
+			Deliver: func(to proto.ID) bool { return to == lucky },
+		}}
+	}}
+	eng, err := New(Config{Adversary: adv}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range procs[1:] {
+		rp := p.(*rankProc)
+		heard := false
+		for _, from := range rp.seen {
+			if from == victim {
+				heard = true
+			}
+		}
+		if want := rp.id == lucky; heard != want {
+			t.Fatalf("%v heard victim = %v, want %v", rp.id, heard, want)
+		}
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	t.Parallel()
+	procs := makeRankProcs(6)
+	adv := adversary.Func{Label: "greedy", Fn: func(v adversary.RoundView) []adversary.CrashSpec {
+		var specs []adversary.CrashSpec
+		for _, id := range v.Alive() {
+			specs = append(specs, adversary.CrashSpec{Victim: id})
+		}
+		return specs
+	}}
+	eng, err := New(Config{Adversary: adv, Budget: 2}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Crashed) != 2 {
+		t.Fatalf("crashed %d processes with budget 2", len(res.Crashed))
+	}
+	if len(res.Decisions) != 4 {
+		t.Fatalf("decisions = %d, want 4", len(res.Decisions))
+	}
+}
+
+func TestDuplicateCrashSpecIgnored(t *testing.T) {
+	t.Parallel()
+	procs := makeRankProcs(3)
+	victim := procs[0].ID()
+	adv := adversary.Func{Label: "double-tap", Fn: func(v adversary.RoundView) []adversary.CrashSpec {
+		if v.Round() != 1 {
+			return nil
+		}
+		return []adversary.CrashSpec{{Victim: victim}, {Victim: victim}}
+	}}
+	eng, err := New(Config{Adversary: adv, Budget: 2}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Crashed) != 1 {
+		t.Fatalf("crashed = %v, want single crash", res.Crashed)
+	}
+}
+
+// stallProc never halts, to exercise the MaxRounds safety net.
+type stallProc struct{ id proto.ID }
+
+func (p *stallProc) ID() proto.ID                 { return p.id }
+func (p *stallProc) Send(int) []byte              { return []byte{0} }
+func (p *stallProc) Deliver(int, []proto.Message) {}
+func (p *stallProc) Decided() (int, bool)         { return 0, false }
+func (p *stallProc) Done() bool                   { return false }
+
+func TestMaxRoundsAborts(t *testing.T) {
+	t.Parallel()
+	eng, err := New(Config{MaxRounds: 5}, []proto.Process{&stallProc{id: 1}, &stallProc{id: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err == nil || !strings.Contains(err.Error(), "5 rounds") {
+		t.Fatalf("err = %v, want max-rounds failure", err)
+	}
+	if res.Rounds != 5 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+}
+
+func TestDuplicateIDsRejected(t *testing.T) {
+	t.Parallel()
+	_, err := New(Config{}, []proto.Process{&stallProc{id: 7}, &stallProc{id: 7}})
+	if err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}
+
+func TestNoProcessesRejected(t *testing.T) {
+	t.Parallel()
+	if _, err := New(Config{}, nil); err == nil {
+		t.Fatal("empty process set accepted")
+	}
+}
+
+// lateCrashProc decides in round 1 but keeps running so it can be crashed
+// afterwards, exercising the correct-process filter on Result.Decisions.
+type lateCrashProc struct {
+	id   proto.ID
+	name int
+	done bool
+}
+
+func (p *lateCrashProc) ID() proto.ID    { return p.id }
+func (p *lateCrashProc) Send(int) []byte { return []byte{byte(p.id)} }
+func (p *lateCrashProc) Deliver(round int, msgs []proto.Message) {
+	rank := 0
+	for _, m := range msgs {
+		if m.From < p.id {
+			rank++
+		}
+	}
+	p.name = rank + 1
+	if round >= 3 {
+		p.done = true
+	}
+}
+func (p *lateCrashProc) Decided() (int, bool) { return p.name, p.name != 0 }
+func (p *lateCrashProc) Done() bool           { return p.done }
+
+func TestDecideThenCrashFiltered(t *testing.T) {
+	t.Parallel()
+	procs := []proto.Process{&lateCrashProc{id: 1}, &lateCrashProc{id: 2}, &lateCrashProc{id: 3}}
+	adv := adversary.Func{Label: "late", Fn: func(v adversary.RoundView) []adversary.CrashSpec {
+		if v.Round() != 2 {
+			return nil
+		}
+		return []adversary.CrashSpec{{Victim: 2, Deliver: adversary.DeliverAll}}
+	}}
+	eng, err := New(Config{Adversary: adv}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashedDecided != 1 {
+		t.Fatalf("CrashedDecided = %d, want 1", res.CrashedDecided)
+	}
+	if len(res.Decisions) != 2 {
+		t.Fatalf("decisions = %d, want 2 (crashed decider filtered)", len(res.Decisions))
+	}
+	for _, d := range res.Decisions {
+		if d.ID == 2 {
+			t.Fatal("crashed process present in correct decisions")
+		}
+	}
+}
+
+func TestDecisionRoundRecorded(t *testing.T) {
+	t.Parallel()
+	eng, err := New(Config{}, makeRankProcs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Decisions {
+		if d.Round != 1 {
+			t.Fatalf("decision round = %d, want 1", d.Round)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package stats provides the statistics used by the experiment harness:
+// replicate summaries (mean, quantiles), least-squares model fitting for
+// distinguishing Θ(log n) from Θ(log log n) round growth, and text/CSV
+// table rendering for cmd/blbench and EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of replicate measurements.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+	P95    float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	s := Summary{
+		Count:  len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: Quantile(sorted, 0.5),
+		P90:    Quantile(sorted, 0.9),
+		P95:    Quantile(sorted, 0.95),
+	}
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / float64(len(sorted))
+	if len(sorted) > 1 {
+		ss := 0.0
+		for _, v := range sorted {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	return s
+}
+
+// SummarizeInts summarizes an integer sample.
+func SummarizeInts(sample []int) Summary {
+	fs := make([]float64, len(sample))
+	for i, v := range sample {
+		fs[i] = float64(v)
+	}
+	return Summarize(fs)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample using linear interpolation. It panics on an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Fit is a least-squares line fit y ≈ Intercept + Slope·x with its
+// coefficient of determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit computes the ordinary least-squares fit. It panics if the
+// inputs differ in length or have fewer than two points.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic(fmt.Sprintf("stats: bad fit input lengths %d/%d", len(xs), len(ys)))
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	fit := Fit{}
+	if sxx == 0 {
+		fit.Intercept = my
+		return fit
+	}
+	fit.Slope = sxy / sxx
+	fit.Intercept = my - fit.Slope*mx
+	if syy == 0 {
+		fit.R2 = 1
+		return fit
+	}
+	ssRes := 0.0
+	for i := range xs {
+		pred := fit.Intercept + fit.Slope*xs[i]
+		d := ys[i] - pred
+		ssRes += d * d
+	}
+	fit.R2 = 1 - ssRes/syy
+	return fit
+}
+
+// GrowthFits compares two growth models for measurements y over sizes n:
+// y = a + b·log2(n) and y = a + b·log2(log2(n)). The R² gap is how the
+// experiments distinguish logarithmic from doubly logarithmic round
+// complexity. Sizes must be >= 4 so both transforms are defined.
+type GrowthFits struct {
+	Log    Fit // y ≈ a + b·log2 n
+	LogLog Fit // y ≈ a + b·log2 log2 n
+}
+
+// FitGrowth computes both fits.
+func FitGrowth(ns []int, ys []float64) GrowthFits {
+	logXs := make([]float64, len(ns))
+	loglogXs := make([]float64, len(ns))
+	for i, n := range ns {
+		if n < 4 {
+			panic(fmt.Sprintf("stats: FitGrowth needs n >= 4, got %d", n))
+		}
+		logXs[i] = math.Log2(float64(n))
+		loglogXs[i] = math.Log2(math.Log2(float64(n)))
+	}
+	return GrowthFits{
+		Log:    LinearFit(logXs, ys),
+		LogLog: LinearFit(loglogXs, ys),
+	}
+}

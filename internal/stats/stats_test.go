@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasics(t *testing.T) {
+	t.Parallel()
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Count != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almost(s.Mean, 2.5) || !almost(s.Median, 2.5) {
+		t.Fatalf("mean/median = %v/%v", s.Mean, s.Median)
+	}
+	// Sample std of {1,2,3,4} is sqrt(5/3).
+	if !almost(s.Std, math.Sqrt(5.0/3.0)) {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	t.Parallel()
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.P95 != 7 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	t.Parallel()
+	s := SummarizeInts([]int{1, 2, 3})
+	if !almost(s.Mean, 2) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	t.Parallel()
+	sorted := []float64{0, 10, 20, 30}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 30}, {0.5, 15}, {0.25, 7.5}, {-1, 0}, {2, 30},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !almost(got, c.want) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestLinearFitExactLine(t *testing.T) {
+	t.Parallel()
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 3 + 2x
+	f := LinearFit(xs, ys)
+	if !almost(f.Slope, 2) || !almost(f.Intercept, 3) || !almost(f.R2, 1) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitConstant(t *testing.T) {
+	t.Parallel()
+	f := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if !almost(f.Slope, 0) || !almost(f.Intercept, 4) || !almost(f.R2, 1) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitDegenerateX(t *testing.T) {
+	t.Parallel()
+	f := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if !almost(f.Slope, 0) || !almost(f.Intercept, 2) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+// TestFitGrowthDiscriminates verifies the harness can tell log n data from
+// log log n data: the matching model must win on R².
+func TestFitGrowthDiscriminates(t *testing.T) {
+	t.Parallel()
+	ns := []int{16, 64, 256, 1024, 4096, 16384, 65536}
+	logData := make([]float64, len(ns))
+	loglogData := make([]float64, len(ns))
+	for i, n := range ns {
+		logData[i] = 1 + 2*math.Log2(float64(n))
+		loglogData[i] = 1 + 2*math.Log2(math.Log2(float64(n)))
+	}
+	g := FitGrowth(ns, logData)
+	if g.Log.R2 < g.LogLog.R2 {
+		t.Fatalf("log-data misclassified: log R2 %v < loglog R2 %v", g.Log.R2, g.LogLog.R2)
+	}
+	g = FitGrowth(ns, loglogData)
+	if g.LogLog.R2 < g.Log.R2 {
+		t.Fatalf("loglog-data misclassified: loglog R2 %v < log R2 %v", g.LogLog.R2, g.Log.R2)
+	}
+	if !almost(g.LogLog.R2, 1) {
+		t.Fatalf("exact loglog data should fit perfectly: %+v", g.LogLog)
+	}
+}
+
+func TestFitGrowthRejectsTinyN(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n < 4")
+		}
+	}()
+	FitGrowth([]int{2, 8}, []float64{1, 2})
+}
+
+// TestLinearFitResidualProperty: R2 is always in [-inf, 1] and equals 1 for
+// points generated exactly on a line.
+func TestLinearFitProperty(t *testing.T) {
+	t.Parallel()
+	prop := func(rawSlope, rawIntercept int8, seed uint8) bool {
+		slope := float64(rawSlope) / 8
+		intercept := float64(rawIntercept)
+		xs := make([]float64, 6)
+		ys := make([]float64, 6)
+		for i := range xs {
+			xs[i] = float64(i) + float64(seed%3)
+			ys[i] = intercept + slope*xs[i]
+		}
+		f := LinearFit(xs, ys)
+		return almost(f.Slope, slope) && almost(f.Intercept, intercept) && f.R2 > 0.999999
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("demo", "n", "rounds")
+	tb.AddRow("16", "5")
+	tb.AddRow("65536", "9")
+	tb.AddNote("seeds=%d", 30)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"## demo", "n      rounds", "-----  ------", "65536  9", "note: seeds=30"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderCSVQuoting(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`x,y`, `he said "hi"`)
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	want := "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("1")
+	if len(tb.Rows[0]) != 3 || tb.Rows[0][1] != "" {
+		t.Fatalf("row = %#v", tb.Rows[0])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	t.Parallel()
+	if I(5) != "5" || I64(-7) != "-7" || F(1.005) == "" || F1(2.25) != "2.2" && F1(2.25) != "2.3" || F3(0.12345) != "0.123" {
+		t.Fatal("formatter outputs unexpected")
+	}
+}

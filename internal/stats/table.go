@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-aligned results table with optional CSV output,
+// used by cmd/blbench and the experiment suite.
+type Table struct {
+	Title string
+	Notes []string
+	Cols  []string
+	Rows  [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Cols))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a free-form footnote rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "## %s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.Cols)
+	rule := make([]string, len(t.Cols))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", note)
+	}
+}
+
+// RenderCSV writes the table as RFC-4180-ish CSV (quotes only when needed).
+func (t *Table) RenderCSV(w io.Writer) {
+	writeCSVRow(w, t.Cols)
+	for _, row := range t.Rows {
+		writeCSVRow(w, row)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	parts := make([]string, len(cells))
+	for i, cell := range cells {
+		if strings.ContainsAny(cell, ",\"\n") {
+			cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+		}
+		parts[i] = cell
+	}
+	fmt.Fprintln(w, strings.Join(parts, ","))
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// I formats an int cell.
+func I(v int) string { return strconv.Itoa(v) }
+
+// I64 formats an int64 cell.
+func I64(v int64) string { return strconv.FormatInt(v, 10) }
+
+// F formats a float cell with two decimals.
+func F(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// F1 formats a float cell with one decimal.
+func F1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+// F3 formats a float cell with three decimals.
+func F3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

@@ -1,0 +1,160 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArityShapes(t *testing.T) {
+	t.Parallel()
+	for _, k := range []int{2, 3, 4, 8, 16} {
+		for _, n := range []int{1, 2, 3, 5, 16, 27, 64, 100} {
+			topo := NewTopologyArity(n, k)
+			if topo.Arity() != k || topo.N() != n {
+				t.Fatalf("k=%d n=%d: basic accessors wrong", k, n)
+			}
+			leaves := 0
+			for i := 0; i < topo.NumNodes(); i++ {
+				node := Node(i)
+				kids := topo.Children(node)
+				if topo.IsLeaf(node) {
+					leaves++
+					if topo.Leaves(node) != 1 {
+						t.Fatalf("k=%d n=%d: leaf %d spans %d", k, n, node, topo.Leaves(node))
+					}
+					continue
+				}
+				if len(kids) < 2 || len(kids) > k {
+					t.Fatalf("k=%d n=%d: node %d has %d children", k, n, node, len(kids))
+				}
+				sum := 0
+				minSpan, maxSpan := n+1, 0
+				for _, kid := range kids {
+					if topo.Parent(kid) != node {
+						t.Fatalf("k=%d n=%d: broken parent link", k, n)
+					}
+					span := topo.Leaves(kid)
+					sum += span
+					if span < minSpan {
+						minSpan = span
+					}
+					if span > maxSpan {
+						maxSpan = span
+					}
+				}
+				if sum != topo.Leaves(node) {
+					t.Fatalf("k=%d n=%d: node %d children spans sum %d != %d", k, n, node, sum, topo.Leaves(node))
+				}
+				if maxSpan-minSpan > 1 {
+					t.Fatalf("k=%d n=%d: node %d unbalanced children %d..%d", k, n, node, minSpan, maxSpan)
+				}
+			}
+			if leaves != n {
+				t.Fatalf("k=%d n=%d: %d leaves", k, n, leaves)
+			}
+		}
+	}
+}
+
+func TestArityDepthShrinks(t *testing.T) {
+	t.Parallel()
+	const n = 4096
+	d2 := NewTopologyArity(n, 2).MaxDepth()
+	d4 := NewTopologyArity(n, 4).MaxDepth()
+	d16 := NewTopologyArity(n, 16).MaxDepth()
+	if d2 != 12 || d4 != 6 || d16 != 3 {
+		t.Fatalf("depths = %d/%d/%d, want 12/6/3", d2, d4, d16)
+	}
+}
+
+func TestArityOnPathToLeaf(t *testing.T) {
+	t.Parallel()
+	for _, k := range []int{3, 5, 8} {
+		topo := NewTopologyArity(60, k)
+		for r := 0; r < 60; r++ {
+			node := topo.Root()
+			steps := 0
+			for !topo.IsLeaf(node) {
+				node = topo.OnPathToLeaf(node, r)
+				if steps++; steps > topo.MaxDepth()+1 {
+					t.Fatalf("k=%d: descent to %d looping", k, r)
+				}
+			}
+			if topo.LeafRank(node) != r {
+				t.Fatalf("k=%d: descent to %d reached %d", k, r, topo.LeafRank(node))
+			}
+		}
+	}
+}
+
+func TestArityKthFreeLeaf(t *testing.T) {
+	t.Parallel()
+	topo := NewTopologyArity(27, 3)
+	occ := NewOccupancy(topo)
+	for _, r := range []int{0, 5, 13, 26} {
+		occ.Add(topo.Leaf(r))
+	}
+	want := make([]int, 0, 23)
+	for r := 0; r < 27; r++ {
+		if r != 0 && r != 5 && r != 13 && r != 26 {
+			want = append(want, r)
+		}
+	}
+	for i, w := range want {
+		if got := topo.LeafRank(occ.KthFreeLeaf(topo.Root(), i)); got != w {
+			t.Fatalf("KthFreeLeaf(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestArityValidation(t *testing.T) {
+	t.Parallel()
+	for _, bad := range []int{-1, 0, 1, MaxArity + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("arity %d accepted", bad)
+				}
+			}()
+			NewTopologyArity(4, bad)
+		}()
+	}
+}
+
+func TestAritySibling(t *testing.T) {
+	t.Parallel()
+	topo := NewTopologyArity(9, 3)
+	kids := topo.Children(topo.Root())
+	if len(kids) != 3 {
+		t.Fatalf("%d root children", len(kids))
+	}
+	if topo.Sibling(kids[0]) != kids[1] || topo.Sibling(kids[1]) != kids[2] || topo.Sibling(kids[2]) != kids[1] {
+		t.Fatal("sibling navigation wrong")
+	}
+}
+
+// TestArityLeafBijection mirrors the binary bijection test across arities.
+func TestArityLeafBijection(t *testing.T) {
+	t.Parallel()
+	prop := func(rawN uint8, rawK uint8) bool {
+		n := int(rawN%120) + 1
+		k := int(rawK%15) + 2
+		topo := NewTopologyArity(n, k)
+		seen := make(map[int]bool, n)
+		for i := 0; i < topo.NumNodes(); i++ {
+			node := Node(i)
+			if !topo.IsLeaf(node) {
+				continue
+			}
+			r := topo.LeafRank(node)
+			if r < 0 || r >= n || seen[r] || topo.Leaf(r) != node {
+				return false
+			}
+			seen[r] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

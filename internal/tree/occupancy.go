@@ -1,0 +1,148 @@
+package tree
+
+import "fmt"
+
+// Occupancy tracks, for one local view, how many balls currently sit inside
+// each subtree. A ball "at node η" (parked at an inner node or a leaf)
+// counts towards η and every ancestor of η. RemainingCapacity(η) is then
+// Leaves(η) minus the subtree count, exactly as defined in Algorithm 1.
+//
+// Occupancy does not know ball identities; views in internal/core pair it
+// with a position table. The zero value is unusable; construct with
+// NewOccupancy or Clone.
+type Occupancy struct {
+	topo  *Topology
+	count []int32 // balls in the subtree rooted at each node
+}
+
+// NewOccupancy returns an empty occupancy over the given topology.
+func NewOccupancy(t *Topology) *Occupancy {
+	return &Occupancy{topo: t, count: make([]int32, t.NumNodes())}
+}
+
+// Topology returns the tree shape this occupancy counts over.
+func (o *Occupancy) Topology() *Topology { return o.topo }
+
+// Clone returns an independent copy; mutating either copy does not affect
+// the other. Used when local views diverge within a phase.
+func (o *Occupancy) Clone() *Occupancy {
+	cp := &Occupancy{topo: o.topo, count: make([]int32, len(o.count))}
+	copy(cp.count, o.count)
+	return cp
+}
+
+// CopyFrom overwrites o's counts with src's without allocating. Both must
+// share the same topology.
+func (o *Occupancy) CopyFrom(src *Occupancy) {
+	if o.topo != src.topo {
+		panic("tree: CopyFrom across topologies")
+	}
+	copy(o.count, src.count)
+}
+
+// Reset empties the occupancy.
+func (o *Occupancy) Reset() {
+	for i := range o.count {
+		o.count[i] = 0
+	}
+}
+
+// Add records one ball parked at node, updating the node and all ancestors.
+func (o *Occupancy) Add(node Node) {
+	for n := node; n != None; n = o.topo.parent[n] {
+		o.count[n]++
+	}
+}
+
+// Remove erases one ball parked at node. It panics if the subtree count
+// would go negative, which indicates a corrupted view.
+func (o *Occupancy) Remove(node Node) {
+	for n := node; n != None; n = o.topo.parent[n] {
+		o.count[n]--
+		if o.count[n] < 0 {
+			panic(fmt.Sprintf("tree: negative occupancy at node %d", n))
+		}
+	}
+}
+
+// Move relocates one ball from node `from` to node `to`, adjusting only the
+// counts on the two root paths (the shared prefix is adjusted twice with net
+// zero effect; the loop is still O(depth)).
+func (o *Occupancy) Move(from, to Node) {
+	if from == to {
+		return
+	}
+	o.Remove(from)
+	o.Add(to)
+}
+
+// Count returns the number of balls inside the subtree rooted at node
+// (including balls parked exactly at node).
+func (o *Occupancy) Count(node Node) int { return int(o.count[node]) }
+
+// At returns the number of balls parked exactly at node: the subtree count
+// minus the counts of all children.
+func (o *Occupancy) At(node Node) int {
+	c := o.count[node]
+	for _, child := range o.topo.Children(node) {
+		c -= o.count[child]
+	}
+	return int(c)
+}
+
+// RemainingCapacity returns Leaves(node) minus the subtree ball count: the
+// number of additional balls the subtree can still absorb. This is the
+// RemainingCapacity(η) operation of Algorithm 1.
+func (o *Occupancy) RemainingCapacity(node Node) int {
+	return o.topo.Leaves(node) - int(o.count[node])
+}
+
+// KthFreeLeaf returns the leaf holding the k-th (0-based) unit of remaining
+// capacity below node, scanning leaves left to right. With every leaf
+// holding at most one ball this is the k-th empty leaf; it is the
+// deterministic target used by rank-descent path construction. It panics if
+// k is not smaller than the remaining capacity of node.
+func (o *Occupancy) KthFreeLeaf(node Node, k int) Node {
+	if rc := o.RemainingCapacity(node); k < 0 || k >= rc {
+		panic(fmt.Sprintf("tree: KthFreeLeaf k=%d with remaining capacity %d", k, rc))
+	}
+	for !o.topo.IsLeaf(node) {
+		kids := o.topo.Children(node)
+		for i, child := range kids {
+			cc := o.RemainingCapacity(child)
+			if k < cc || i == len(kids)-1 {
+				node = child
+				break
+			}
+			k -= cc
+		}
+	}
+	return node
+}
+
+// CheckCapacityInvariant verifies Lemma 1 of the paper for this view: no
+// subtree holds more balls than it has leaves. It returns an error naming
+// the first violating node, or nil.
+func (o *Occupancy) CheckCapacityInvariant() error {
+	for n := 0; n < o.topo.NumNodes(); n++ {
+		if int(o.count[n]) > o.topo.Leaves(Node(n)) {
+			return fmt.Errorf("tree: capacity invariant violated at node %d: %d balls, %d leaves",
+				n, o.count[n], o.topo.Leaves(Node(n)))
+		}
+	}
+	return nil
+}
+
+// CheckConsistency verifies the internal algebra of the occupancy: every
+// inner node's count must equal its children's counts plus the balls parked
+// at the node itself (which At derives, so here we check non-negativity of
+// At and that the root count equals the total). It returns an error for the
+// first inconsistency found.
+func (o *Occupancy) CheckConsistency() error {
+	for n := 0; n < o.topo.NumNodes(); n++ {
+		if o.At(Node(n)) < 0 {
+			return fmt.Errorf("tree: node %d has negative parked-ball count %d", n, o.At(Node(n)))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+// Package tree implements the virtual tree at the heart of the
+// Balls-into-Leaves algorithm: n target names arranged as the leaves of a
+// balanced tree, with per-subtree occupancy counts supporting the
+// RemainingCapacity operation of Algorithm 1 in O(1) per node and ball
+// movement in O(depth).
+//
+// The paper uses a binary tree and assumes n is a power of two for
+// exposition; this package supports any n >= 1 and any arity k >= 2 by
+// splitting each node's leaf interval [lo, hi) into k near-equal parts
+// (sibling capacities differ by at most one). For binary power-of-two
+// trees the shape matches the paper exactly; higher arities are the E13
+// ablation (fewer levels, more per-node contention, bigger capacity
+// fan-out per coin flip).
+//
+// The immutable shape (Topology) is shared across all local views of all
+// balls; each view carries only its own Occupancy (subtree ball counts).
+package tree
+
+import "fmt"
+
+// Node is an index into a Topology's node arrays. The root is node 0 and
+// nodes are numbered in breadth-first order, so a node's children are
+// contiguous and siblings are adjacent.
+type Node int32
+
+// None is the sentinel for "no node" (e.g. the parent of the root).
+const None Node = -1
+
+// MaxArity bounds the supported fan-out; beyond this the tree degenerates
+// into the flat balls-into-bins the paper's baselines cover.
+const MaxArity = 64
+
+// Topology is the immutable shape of a balanced arity-k tree over N
+// leaves. It is safe for concurrent use by any number of views.
+type Topology struct {
+	n        int
+	arity    int
+	numNodes int
+	maxDepth int
+
+	lo, hi    []int32 // leaf-rank interval [lo, hi) covered by each node
+	childOff  []int32 // node -> first index into childList; children are contiguous
+	childList []Node
+	parent    []Node
+	depth     []int32
+	leafNode  []Node // leaf rank -> node index
+}
+
+// NewTopology builds the balanced binary tree over n leaves — the paper's
+// shape. It panics if n < 1.
+func NewTopology(n int) *Topology { return NewTopologyArity(n, 2) }
+
+// NewTopologyArity builds a balanced arity-k tree over n leaves. It panics
+// if n < 1 or k is outside [2, MaxArity].
+func NewTopologyArity(n, arity int) *Topology {
+	if n < 1 {
+		panic(fmt.Sprintf("tree: topology needs n >= 1 leaves, got %d", n))
+	}
+	if arity < 2 || arity > MaxArity {
+		panic(fmt.Sprintf("tree: arity must be in [2,%d], got %d", MaxArity, arity))
+	}
+	t := &Topology{n: n, arity: arity}
+	// Breadth-first construction: when a node is processed its children
+	// are allocated consecutively, so the child list stays contiguous.
+	type span struct{ lo, hi int32 }
+	queue := []span{{0, int32(n)}}
+	parents := []Node{None}
+	for head := 0; head < len(queue); head++ {
+		sp := queue[head]
+		node := Node(head)
+		t.lo = append(t.lo, sp.lo)
+		t.hi = append(t.hi, sp.hi)
+		t.parent = append(t.parent, parents[head])
+		t.childOff = append(t.childOff, int32(len(t.childList)))
+		if p := parents[head]; p == None {
+			t.depth = append(t.depth, 0)
+		} else {
+			t.depth = append(t.depth, t.depth[p]+1)
+		}
+		if d := int(t.depth[node]); d > t.maxDepth {
+			t.maxDepth = d
+		}
+		width := sp.hi - sp.lo
+		if width == 1 {
+			continue // leaf; children filled lazily below
+		}
+		// Split into min(arity, width) near-equal parts, ceilings first.
+		parts := int32(arity)
+		if width < parts {
+			parts = width
+		}
+		base, extra := width/parts, width%parts
+		cur := sp.lo
+		for i := int32(0); i < parts; i++ {
+			size := base
+			if i < extra {
+				size++
+			}
+			child := Node(len(queue))
+			t.childList = append(t.childList, child)
+			queue = append(queue, span{cur, cur + size})
+			parents = append(parents, node)
+			cur += size
+		}
+	}
+	t.numNodes = len(queue)
+	t.childOff = append(t.childOff, int32(len(t.childList)))
+	t.leafNode = make([]Node, n)
+	for i := 0; i < t.numNodes; i++ {
+		if t.hi[i]-t.lo[i] == 1 {
+			t.leafNode[t.lo[i]] = Node(i)
+		}
+	}
+	return t
+}
+
+// N returns the number of leaves (the size of the target namespace).
+func (t *Topology) N() int { return t.n }
+
+// Arity returns the maximum fan-out.
+func (t *Topology) Arity() int { return t.arity }
+
+// NumNodes returns the total node count.
+func (t *Topology) NumNodes() int { return t.numNodes }
+
+// MaxDepth returns the depth of the deepest leaf (root depth is 0).
+func (t *Topology) MaxDepth() int { return t.maxDepth }
+
+// Root returns the root node.
+func (t *Topology) Root() Node { return 0 }
+
+// IsLeaf reports whether node is a leaf.
+func (t *Topology) IsLeaf(node Node) bool {
+	return t.childOff[node] == t.childOff[node+1]
+}
+
+// Children returns the node's children, left to right. The returned slice
+// aliases the topology and must not be modified. Leaves return an empty
+// slice.
+func (t *Topology) Children(node Node) []Node {
+	return t.childList[t.childOff[node]:t.childOff[node+1]]
+}
+
+// Left returns the node's first child, or None for a leaf.
+func (t *Topology) Left(node Node) Node {
+	kids := t.Children(node)
+	if len(kids) == 0 {
+		return None
+	}
+	return kids[0]
+}
+
+// Right returns the node's last child, or None for a leaf. In a binary
+// tree this is the right child.
+func (t *Topology) Right(node Node) Node {
+	kids := t.Children(node)
+	if len(kids) == 0 {
+		return None
+	}
+	return kids[len(kids)-1]
+}
+
+// Parent returns the parent of node, or None for the root.
+func (t *Topology) Parent(node Node) Node { return t.parent[node] }
+
+// Depth returns the depth of node; the root has depth 0.
+func (t *Topology) Depth(node Node) int { return int(t.depth[node]) }
+
+// Leaves returns the number of leaves in the subtree rooted at node.
+func (t *Topology) Leaves(node Node) int { return int(t.hi[node] - t.lo[node]) }
+
+// LeafRank returns the 0-based left-to-right rank of a leaf node. The
+// decided name of a ball terminating at this leaf is LeafRank+1. It panics
+// if node is not a leaf.
+func (t *Topology) LeafRank(node Node) int {
+	if !t.IsLeaf(node) {
+		panic(fmt.Sprintf("tree: LeafRank of inner node %d", node))
+	}
+	return int(t.lo[node])
+}
+
+// Leaf returns the leaf node with the given 0-based left-to-right rank.
+func (t *Topology) Leaf(rank int) Node {
+	if rank < 0 || rank >= t.n {
+		panic(fmt.Sprintf("tree: leaf rank %d out of [0,%d)", rank, t.n))
+	}
+	return t.leafNode[rank]
+}
+
+// Contains reports whether the subtree rooted at node contains the leaf
+// with the given rank.
+func (t *Topology) Contains(node Node, leafRank int) bool {
+	return int(t.lo[node]) <= leafRank && leafRank < int(t.hi[node])
+}
+
+// OnPathToLeaf returns the child of node on the path towards the leaf with
+// the given rank. It panics if node is a leaf or does not contain the leaf.
+func (t *Topology) OnPathToLeaf(node Node, leafRank int) Node {
+	if t.IsLeaf(node) {
+		panic(fmt.Sprintf("tree: OnPathToLeaf from leaf %d", node))
+	}
+	if !t.Contains(node, leafRank) {
+		panic(fmt.Sprintf("tree: leaf %d not under node %d", leafRank, node))
+	}
+	kids := t.Children(node)
+	// Children are ordered by interval; binary-search the containing one.
+	lo, hi := 0, len(kids)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(t.hi[kids[mid]]) <= leafRank {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return kids[lo]
+}
+
+// Sibling returns the next sibling (or for the last child, the previous
+// one), or None for the root. In a binary tree this is the other child of
+// the parent.
+func (t *Topology) Sibling(node Node) Node {
+	p := t.parent[node]
+	if p == None {
+		return None
+	}
+	kids := t.Children(p)
+	for i, k := range kids {
+		if k == node {
+			if i+1 < len(kids) {
+				return kids[i+1]
+			}
+			return kids[i-1]
+		}
+	}
+	panic(fmt.Sprintf("tree: node %d missing from its parent's children", node))
+}
+
+// IsAncestor reports whether a is a (weak) ancestor of b, i.e. b lies in
+// the subtree rooted at a (a == b counts).
+func (t *Topology) IsAncestor(a, b Node) bool {
+	return t.lo[a] <= t.lo[b] && t.hi[b] <= t.hi[a] && t.depth[a] <= t.depth[b]
+}

@@ -1,0 +1,326 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologySmallShapes(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 32, 100, 1024} {
+		topo := NewTopology(n)
+		if got := topo.N(); got != n {
+			t.Fatalf("n=%d: N() = %d", n, got)
+		}
+		if got, want := topo.NumNodes(), 2*n-1; got != want {
+			t.Fatalf("n=%d: NumNodes = %d, want %d", n, got, want)
+		}
+		if got := topo.Leaves(topo.Root()); got != n {
+			t.Fatalf("n=%d: root spans %d leaves", n, got)
+		}
+	}
+}
+
+func TestTopologyLeafRanksAreBijective(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{1, 2, 3, 6, 13, 64, 100} {
+		topo := NewTopology(n)
+		seen := make(map[int]bool, n)
+		leaves := 0
+		for i := 0; i < topo.NumNodes(); i++ {
+			node := Node(i)
+			if !topo.IsLeaf(node) {
+				continue
+			}
+			leaves++
+			r := topo.LeafRank(node)
+			if r < 0 || r >= n {
+				t.Fatalf("n=%d: leaf rank %d out of range", n, r)
+			}
+			if seen[r] {
+				t.Fatalf("n=%d: duplicate leaf rank %d", n, r)
+			}
+			seen[r] = true
+			if topo.Leaf(r) != node {
+				t.Fatalf("n=%d: Leaf(LeafRank(%d)) != node", n, node)
+			}
+		}
+		if leaves != n {
+			t.Fatalf("n=%d: found %d leaves", n, leaves)
+		}
+	}
+}
+
+func TestTopologyChildrenPartitionParent(t *testing.T) {
+	t.Parallel()
+	topo := NewTopology(37)
+	for i := 0; i < topo.NumNodes(); i++ {
+		node := Node(i)
+		if topo.IsLeaf(node) {
+			if topo.Leaves(node) != 1 {
+				t.Fatalf("leaf %d spans %d", node, topo.Leaves(node))
+			}
+			continue
+		}
+		l, r := topo.Left(node), topo.Right(node)
+		if topo.Leaves(l)+topo.Leaves(r) != topo.Leaves(node) {
+			t.Fatalf("node %d: children spans %d+%d != %d",
+				node, topo.Leaves(l), topo.Leaves(r), topo.Leaves(node))
+		}
+		// Balanced split: sibling capacities differ by at most one, with
+		// the left child taking the ceiling.
+		if diff := topo.Leaves(l) - topo.Leaves(r); diff < 0 || diff > 1 {
+			t.Fatalf("node %d: unbalanced split %d/%d", node, topo.Leaves(l), topo.Leaves(r))
+		}
+		if topo.Parent(l) != node || topo.Parent(r) != node {
+			t.Fatalf("node %d: child parent links broken", node)
+		}
+		if topo.Depth(l) != topo.Depth(node)+1 || topo.Depth(r) != topo.Depth(node)+1 {
+			t.Fatalf("node %d: child depth links broken", node)
+		}
+		if topo.Sibling(l) != r || topo.Sibling(r) != l {
+			t.Fatalf("node %d: sibling links broken", node)
+		}
+	}
+	if topo.Sibling(topo.Root()) != None {
+		t.Fatal("root has a sibling")
+	}
+	if topo.Parent(topo.Root()) != None {
+		t.Fatal("root has a parent")
+	}
+}
+
+func TestTopologyMaxDepthPowerOfTwo(t *testing.T) {
+	t.Parallel()
+	for exp := 0; exp <= 12; exp++ {
+		n := 1 << exp
+		topo := NewTopology(n)
+		if topo.MaxDepth() != exp {
+			t.Fatalf("n=2^%d: MaxDepth = %d, want %d", exp, topo.MaxDepth(), exp)
+		}
+		// Power-of-two trees are perfect: every leaf at depth exp.
+		for r := 0; r < n; r++ {
+			if d := topo.Depth(topo.Leaf(r)); d != exp {
+				t.Fatalf("n=2^%d: leaf %d at depth %d", exp, r, d)
+			}
+		}
+	}
+}
+
+func TestOnPathToLeaf(t *testing.T) {
+	t.Parallel()
+	topo := NewTopology(16)
+	for r := 0; r < 16; r++ {
+		node := topo.Root()
+		for !topo.IsLeaf(node) {
+			node = topo.OnPathToLeaf(node, r)
+		}
+		if topo.LeafRank(node) != r {
+			t.Fatalf("descent to leaf %d ended at %d", r, topo.LeafRank(node))
+		}
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	t.Parallel()
+	topo := NewTopology(8)
+	root := topo.Root()
+	for i := 0; i < topo.NumNodes(); i++ {
+		n := Node(i)
+		if !topo.IsAncestor(root, n) {
+			t.Fatalf("root not ancestor of %d", n)
+		}
+		if !topo.IsAncestor(n, n) {
+			t.Fatalf("%d not ancestor of itself", n)
+		}
+		if n != root && topo.IsAncestor(n, root) {
+			t.Fatalf("%d claims to be ancestor of root", n)
+		}
+	}
+	l, r := topo.Left(root), topo.Right(root)
+	if topo.IsAncestor(l, r) || topo.IsAncestor(r, l) {
+		t.Fatal("siblings claim ancestry")
+	}
+}
+
+func TestOccupancyAddRemoveCounts(t *testing.T) {
+	t.Parallel()
+	topo := NewTopology(8)
+	occ := NewOccupancy(topo)
+	leaf3 := topo.Leaf(3)
+	occ.Add(leaf3)
+	occ.Add(leaf3)
+	occ.Add(topo.Root())
+	if got := occ.Count(topo.Root()); got != 3 {
+		t.Fatalf("root count = %d, want 3", got)
+	}
+	if got := occ.Count(leaf3); got != 2 {
+		t.Fatalf("leaf count = %d, want 2", got)
+	}
+	if got := occ.At(topo.Root()); got != 1 {
+		t.Fatalf("At(root) = %d, want 1", got)
+	}
+	if got := occ.RemainingCapacity(topo.Root()); got != 5 {
+		t.Fatalf("root remaining capacity = %d, want 5", got)
+	}
+	occ.Remove(leaf3)
+	occ.Remove(leaf3)
+	occ.Remove(topo.Root())
+	if got := occ.Count(topo.Root()); got != 0 {
+		t.Fatalf("after removals root count = %d", got)
+	}
+}
+
+func TestOccupancyRemoveUnderflowPanics(t *testing.T) {
+	t.Parallel()
+	topo := NewTopology(4)
+	occ := NewOccupancy(topo)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Remove on empty occupancy did not panic")
+		}
+	}()
+	occ.Remove(topo.Leaf(0))
+}
+
+func TestOccupancyMoveEquivalentToRemoveAdd(t *testing.T) {
+	t.Parallel()
+	topo := NewTopology(16)
+	a := NewOccupancy(topo)
+	b := NewOccupancy(topo)
+	from, to := topo.Leaf(2), topo.Leaf(13)
+	a.Add(from)
+	b.Add(from)
+	a.Move(from, to)
+	b.Remove(from)
+	b.Add(to)
+	for i := 0; i < topo.NumNodes(); i++ {
+		if a.Count(Node(i)) != b.Count(Node(i)) {
+			t.Fatalf("node %d: Move gives %d, Remove+Add gives %d", i, a.Count(Node(i)), b.Count(Node(i)))
+		}
+	}
+}
+
+func TestOccupancyCloneIsIndependent(t *testing.T) {
+	t.Parallel()
+	topo := NewTopology(8)
+	occ := NewOccupancy(topo)
+	occ.Add(topo.Leaf(1))
+	cp := occ.Clone()
+	cp.Add(topo.Leaf(2))
+	if occ.Count(topo.Root()) != 1 {
+		t.Fatalf("mutating clone affected original: root count %d", occ.Count(topo.Root()))
+	}
+	if cp.Count(topo.Root()) != 2 {
+		t.Fatalf("clone root count %d, want 2", cp.Count(topo.Root()))
+	}
+	cp.CopyFrom(occ)
+	if cp.Count(topo.Root()) != 1 {
+		t.Fatalf("CopyFrom root count %d, want 1", cp.Count(topo.Root()))
+	}
+}
+
+func TestKthFreeLeafEnumeratesEmptyLeaves(t *testing.T) {
+	t.Parallel()
+	topo := NewTopology(16)
+	occ := NewOccupancy(topo)
+	// Occupy leaves 0, 3, 7, 8, 15.
+	for _, r := range []int{0, 3, 7, 8, 15} {
+		occ.Add(topo.Leaf(r))
+	}
+	want := []int{1, 2, 4, 5, 6, 9, 10, 11, 12, 13, 14}
+	if rc := occ.RemainingCapacity(topo.Root()); rc != len(want) {
+		t.Fatalf("remaining capacity %d, want %d", rc, len(want))
+	}
+	for k, w := range want {
+		leaf := occ.KthFreeLeaf(topo.Root(), k)
+		if got := topo.LeafRank(leaf); got != w {
+			t.Fatalf("KthFreeLeaf(root,%d) = leaf %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestKthFreeLeafOutOfRangePanics(t *testing.T) {
+	t.Parallel()
+	topo := NewTopology(4)
+	occ := NewOccupancy(topo)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KthFreeLeaf beyond capacity did not panic")
+		}
+	}()
+	occ.KthFreeLeaf(topo.Root(), 4)
+}
+
+func TestCapacityInvariantDetection(t *testing.T) {
+	t.Parallel()
+	topo := NewTopology(4)
+	occ := NewOccupancy(topo)
+	leaf := topo.Leaf(0)
+	occ.Add(leaf)
+	if err := occ.CheckCapacityInvariant(); err != nil {
+		t.Fatalf("valid occupancy flagged: %v", err)
+	}
+	occ.Add(leaf) // two balls on a one-leaf subtree
+	if err := occ.CheckCapacityInvariant(); err == nil {
+		t.Fatal("overfull leaf not detected")
+	}
+}
+
+// TestOccupancyAlgebraProperty checks, for random placements, that subtree
+// counts equal the sum of leaf-interval placements — the algebra Lemma 1's
+// bookkeeping relies on.
+func TestOccupancyAlgebraProperty(t *testing.T) {
+	t.Parallel()
+	prop := func(seed uint32, rawN uint8) bool {
+		n := int(rawN%60) + 1
+		topo := NewTopology(n)
+		occ := NewOccupancy(topo)
+		perLeaf := make([]int, n)
+		s := uint64(seed)*2654435761 + 1
+		balls := 2 * n
+		for i := 0; i < balls; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			r := int(s>>33) % n
+			perLeaf[r]++
+			occ.Add(topo.Leaf(r))
+		}
+		for i := 0; i < topo.NumNodes(); i++ {
+			node := Node(i)
+			sum := 0
+			for r := 0; r < n; r++ {
+				if topo.Contains(node, r) {
+					sum += perLeaf[r]
+				}
+			}
+			if occ.Count(node) != sum {
+				return false
+			}
+			if occ.RemainingCapacity(node) != topo.Leaves(node)-sum {
+				return false
+			}
+		}
+		return occ.CheckConsistency() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOccupancyMove(b *testing.B) {
+	topo := NewTopology(1 << 16)
+	occ := NewOccupancy(topo)
+	from, to := topo.Leaf(0), topo.Leaf(1<<16-1)
+	occ.Add(from)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		occ.Move(from, to)
+		from, to = to, from
+	}
+}
+
+func BenchmarkTopologyBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NewTopology(1 << 14)
+	}
+}

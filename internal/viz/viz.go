@@ -1,0 +1,93 @@
+// Package viz renders small virtual trees as ASCII for cmd/blsim traces —
+// the textual equivalent of the paper's Figures 1, 2 and 4.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"ballsintoleaves/internal/core"
+	"ballsintoleaves/internal/tree"
+)
+
+// MaxRenderableN caps tree rendering; larger systems are summarized.
+const MaxRenderableN = 64
+
+// Tree renders the view's tree with ball occupancy, one node per line:
+//
+//	[0..7] ●●
+//	├─[0..3]
+//	│ ├─[0..1] ...
+//
+// Each ● is a ball parked exactly at that node; leaves show their name.
+func Tree(v *core.View) string {
+	topo := v.Topology()
+	if topo.N() > MaxRenderableN {
+		return fmt.Sprintf("(tree with %d leaves too large to render)\n", topo.N())
+	}
+	occ := v.Occupancy()
+	var sb strings.Builder
+	var walk func(node tree.Node, prefix string, last bool)
+	walk = func(node tree.Node, prefix string, last bool) {
+		connector, childPrefix := "├─", prefix+"│ "
+		if last {
+			connector, childPrefix = "└─", prefix+"  "
+		}
+		if node == topo.Root() {
+			connector, childPrefix = "", ""
+		} else {
+			sb.WriteString(prefix)
+			sb.WriteString(connector)
+		}
+		if topo.IsLeaf(node) {
+			fmt.Fprintf(&sb, "[name %d]", topo.LeafRank(node)+1)
+		} else {
+			lo := topo.LeafRank(leftmostLeaf(topo, node))
+			fmt.Fprintf(&sb, "[%d..%d]", lo+1, lo+topo.Leaves(node))
+		}
+		if at := occ.At(node); at > 0 {
+			sb.WriteString(" ")
+			sb.WriteString(strings.Repeat("●", at))
+		}
+		sb.WriteString("\n")
+		kids := topo.Children(node)
+		for i, child := range kids {
+			walk(child, childPrefix, i == len(kids)-1)
+		}
+	}
+	walk(topo.Root(), "", true)
+	return sb.String()
+}
+
+func leftmostLeaf(topo *tree.Topology, node tree.Node) tree.Node {
+	for !topo.IsLeaf(node) {
+		node = topo.Left(node)
+	}
+	return node
+}
+
+// DepthBars renders a per-depth ball histogram for systems too large for
+// the full tree.
+func DepthBars(v *core.View) string {
+	topo := v.Topology()
+	counts := make([]int, topo.MaxDepth()+1)
+	total := 0
+	for i := 0; i < v.Universe(); i++ {
+		if v.Present(i) {
+			counts[topo.Depth(v.Node(i))]++
+			total++
+		}
+	}
+	if total == 0 {
+		return "(empty view)\n"
+	}
+	var sb strings.Builder
+	for d, c := range counts {
+		if c == 0 {
+			continue
+		}
+		bar := strings.Repeat("█", 1+c*40/total)
+		fmt.Fprintf(&sb, "depth %2d %s %d\n", d, bar, c)
+	}
+	return sb.String()
+}

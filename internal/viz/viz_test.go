@@ -1,0 +1,89 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"ballsintoleaves/internal/core"
+	"ballsintoleaves/internal/ids"
+	"ballsintoleaves/internal/tree"
+)
+
+func makeView(t *testing.T, n int) *core.View {
+	t.Helper()
+	topo := tree.NewTopology(n)
+	return core.NewView(topo, ids.Sequential(n))
+}
+
+func TestTreeRendersRootBalls(t *testing.T) {
+	t.Parallel()
+	v := makeView(t, 4)
+	out := Tree(v)
+	if !strings.Contains(out, "[1..4] ●●●●") {
+		t.Fatalf("missing root with four balls:\n%s", out)
+	}
+	if !strings.Contains(out, "[name 1]") || !strings.Contains(out, "[name 4]") {
+		t.Fatalf("missing leaf labels:\n%s", out)
+	}
+}
+
+func TestTreeRendersPlacedBalls(t *testing.T) {
+	t.Parallel()
+	v := makeView(t, 4)
+	topo := v.Topology()
+	for i := 0; i < 4; i++ {
+		v.SetNode(i, topo.Leaf(i))
+	}
+	out := Tree(v)
+	if strings.Contains(out, "[1..4] ●") {
+		t.Fatalf("root should be empty:\n%s", out)
+	}
+	for _, want := range []string{"[name 1] ●", "[name 2] ●", "[name 3] ●", "[name 4] ●"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTreeTooLarge(t *testing.T) {
+	t.Parallel()
+	v := makeView(t, MaxRenderableN*2)
+	if out := Tree(v); !strings.Contains(out, "too large") {
+		t.Fatalf("large tree not summarized: %q", out)
+	}
+}
+
+func TestDepthBars(t *testing.T) {
+	t.Parallel()
+	v := makeView(t, 8)
+	topo := v.Topology()
+	v.SetNode(0, topo.Leaf(0))
+	v.SetNode(1, topo.Leaf(5))
+	out := DepthBars(v)
+	if !strings.Contains(out, "depth  0") || !strings.Contains(out, "depth  3") {
+		t.Fatalf("bars missing depths:\n%s", out)
+	}
+}
+
+func TestDepthBarsEmpty(t *testing.T) {
+	t.Parallel()
+	v := makeView(t, 2)
+	v.Remove(0)
+	v.Remove(1)
+	if out := DepthBars(v); !strings.Contains(out, "empty") {
+		t.Fatalf("empty view not flagged: %q", out)
+	}
+}
+
+func TestTreeArity(t *testing.T) {
+	t.Parallel()
+	topo := tree.NewTopologyArity(9, 3)
+	v := core.NewView(topo, ids.Sequential(9))
+	out := Tree(v)
+	if !strings.Contains(out, "[1..9] ●●●●●●●●●") {
+		t.Fatalf("arity-3 root missing:\n%s", out)
+	}
+	if !strings.Contains(out, "[1..3]") || !strings.Contains(out, "[7..9]") {
+		t.Fatalf("arity-3 children missing:\n%s", out)
+	}
+}

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	t.Parallel()
+	var w Writer
+	w.Byte(7)
+	w.Uvarint(0)
+	w.Uvarint(127)
+	w.Uvarint(128)
+	w.Uvarint(1 << 60)
+	r := NewReader(w.Bytes())
+	if got := r.Byte(); got != 7 {
+		t.Fatalf("byte = %d", got)
+	}
+	for _, want := range []uint64{0, 127, 128, 1 << 60} {
+		if got := r.Uvarint(); got != want {
+			t.Fatalf("uvarint = %d, want %d", got, want)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestTruncatedDetected(t *testing.T) {
+	t.Parallel()
+	var w Writer
+	w.Uvarint(300) // two bytes
+	r := NewReader(w.Bytes()[:1])
+	r.Uvarint()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", r.Err())
+	}
+	// Subsequent reads stay zero and keep the first error.
+	if got := r.Byte(); got != 0 {
+		t.Fatalf("read after error = %d", got)
+	}
+	if !errors.Is(r.Close(), ErrTruncated) {
+		t.Fatalf("close = %v", r.Close())
+	}
+}
+
+func TestEmptyPayloadByte(t *testing.T) {
+	t.Parallel()
+	r := NewReader(nil)
+	r.Byte()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("err = %v", r.Err())
+	}
+}
+
+func TestTrailingDetected(t *testing.T) {
+	t.Parallel()
+	var w Writer
+	w.Byte(1)
+	w.Byte(2)
+	r := NewReader(w.Bytes())
+	r.Byte()
+	if !errors.Is(r.Close(), ErrTrailing) {
+		t.Fatalf("close = %v, want ErrTrailing", r.Close())
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	t.Parallel()
+	var w Writer
+	w.Uvarint(999)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("len after reset = %d", w.Len())
+	}
+	w.Byte(5)
+	if w.Len() != 1 || w.Bytes()[0] != 5 {
+		t.Fatalf("write after reset corrupted: %v", w.Bytes())
+	}
+}
+
+func TestUvarintLenMatchesEncoding(t *testing.T) {
+	t.Parallel()
+	prop := func(v uint64) bool {
+		var w Writer
+		w.Uvarint(v)
+		return UvarintLen(v) == w.Len()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUvarintRoundTripProperty(t *testing.T) {
+	t.Parallel()
+	prop := func(vs []uint64) bool {
+		var w Writer
+		for _, v := range vs {
+			w.Uvarint(v)
+		}
+		r := NewReader(w.Bytes())
+		for _, v := range vs {
+			if r.Uvarint() != v {
+				return false
+			}
+		}
+		return r.Close() == nil
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"testing"
+
+	"ballsintoleaves/internal/adversary"
+	"ballsintoleaves/internal/core"
+	"ballsintoleaves/internal/stats"
+)
+
+// These tests encode the paper's quantitative claims as assertions, so the
+// reproduction cannot silently drift: if an implementation change bends a
+// round-complexity shape, CI fails. They are statistical, so thresholds are
+// generous; the experiment tables (cmd/blbench) carry the precise numbers.
+
+// meanRounds measures mean rounds over seeds for one configuration.
+func meanRounds(t *testing.T, n, seeds int, strategy core.PathStrategy,
+	mkAdv func(seed uint64) adversary.Strategy) float64 {
+	t.Helper()
+	rounds, err := roundsSample(n, seeds, 0, strategy, mkAdv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.SummarizeInts(rounds).Mean
+}
+
+// TestTheorem2SubLogarithmicGrowth: squaring n (doubling log n) must add
+// only a constant number of rounds — the log log signature. A Θ(log n)
+// algorithm would double its rounds from n=2^6 to n=2^12.
+func TestTheorem2SubLogarithmicGrowth(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("statistical shape test")
+	}
+	r6 := meanRounds(t, 1<<6, 10, core.RandomPaths, nil)
+	r12 := meanRounds(t, 1<<12, 10, core.RandomPaths, nil)
+	r16 := meanRounds(t, 1<<16, 6, core.RandomPaths, nil)
+	if r12-r6 > 4 {
+		t.Fatalf("n 2^6→2^12 added %.1f rounds; not sub-logarithmic", r12-r6)
+	}
+	if r16-r12 > 4 {
+		t.Fatalf("n 2^12→2^16 added %.1f rounds; not sub-logarithmic", r16-r12)
+	}
+	if r16 >= 2*r6 {
+		t.Fatalf("rounds doubled from %.1f to %.1f over 2^6→2^16: logarithmic growth", r6, r16)
+	}
+}
+
+// TestSeparationGrowsWithN: the deterministic comparator's advantage-free
+// rounds must pull away from Balls-into-Leaves as n grows (claim C6).
+func TestSeparationGrowsWithN(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("statistical shape test")
+	}
+	sepAt := func(n int) float64 {
+		det := meanRounds(t, n, 4, core.LevelDescent, nil)
+		bil := meanRounds(t, n, 8, core.RandomPaths, nil)
+		return det / bil
+	}
+	small, large := sepAt(1<<6), sepAt(1<<14)
+	if large <= small {
+		t.Fatalf("separation did not grow: %.2f at 2^6 vs %.2f at 2^14", small, large)
+	}
+	if large < 2 {
+		t.Fatalf("separation at 2^14 only %.2fx", large)
+	}
+}
+
+// TestTheorem4EarlyTerminationScales: rounds of the early-terminating
+// variant must depend on f, not n: with few failures it beats the
+// failure-free randomized algorithm at the same n.
+func TestTheorem4EarlyTerminationScales(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("statistical shape test")
+	}
+	const n = 1 << 12
+	mkAdv := func(f int) func(uint64) adversary.Strategy {
+		return func(seed uint64) adversary.Strategy { return adversary.NewRandom(f, 1, seed) }
+	}
+	f0 := meanRounds(t, n, 6, core.HybridPaths, nil)
+	f4 := meanRounds(t, n, 6, core.HybridPaths, mkAdv(4))
+	f256 := meanRounds(t, n, 6, core.HybridPaths, mkAdv(256))
+	bilFF := meanRounds(t, n, 6, core.RandomPaths, nil)
+	if f0 != 3 {
+		t.Fatalf("failure-free early termination took %.1f rounds, want exactly 3", f0)
+	}
+	if f4 >= bilFF {
+		t.Fatalf("f=4 (%.1f rounds) not faster than failure-free full randomization (%.1f)", f4, bilFF)
+	}
+	if f256 > bilFF+2 {
+		t.Fatalf("f=256 (%.1f rounds) far above the O(lglg n) ceiling (%.1f)", f256, bilFF)
+	}
+}
+
+// TestSection53CrashesDoNotSlow: heavy adaptive crashing must stay within
+// a small constant of the failure-free rounds.
+func TestSection53CrashesDoNotSlow(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("statistical shape test")
+	}
+	const n = 1 << 10
+	base := meanRounds(t, n, 8, core.RandomPaths, nil)
+	crash := meanRounds(t, n, 8, core.RandomPaths, func(seed uint64) adversary.Strategy {
+		return adversary.NewRandom(n/2, 13, seed)
+	})
+	if crash > base+3 {
+		t.Fatalf("crashing half the system raised rounds %.1f → %.1f", base, crash)
+	}
+}
+
+// TestSection6SplitterCollisions: one crash against the rank-indexed first
+// phase must displace close to n/2 balls (claim C10), and the run must
+// still finish quickly.
+func TestSection6SplitterCollisions(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("statistical shape test")
+	}
+	const n = 1 << 12
+	cfg := core.Config{
+		N: n, Seed: 5, Strategy: core.HybridPaths, Metrics: true,
+		Adversary: &adversary.Splitter{Round: 1},
+	}
+	res, err := RunCohort(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := res.Metrics.PerPhase[0]
+	stuck := p1.Balls - p1.AtLeaves
+	if stuck < n/2-n/8 || stuck > n/2+n/8 {
+		t.Fatalf("splitter displaced %d balls, want ~%d", stuck, n/2)
+	}
+	if res.Rounds > 9 {
+		t.Fatalf("recovery took %d rounds", res.Rounds)
+	}
+}
+
+// TestLemma6ContentionBound: after O(lglg n) phases the max per-node
+// contention must sit far below the O(log² n) envelope.
+func TestLemma6ContentionBound(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("statistical shape test")
+	}
+	const n = 1 << 16
+	res, err := RunCohort(core.Config{N: n, Seed: 2, Metrics: true}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := 16.0
+	for _, s := range res.Metrics.PerPhase {
+		if float64(s.MaxAtNode) > lg*lg {
+			t.Fatalf("phase %d contention %d exceeds lg²n = %.0f", s.Phase, s.MaxAtNode, lg*lg)
+		}
+		if s.Phase >= 4 && s.MaxAtNode > int(lg) {
+			t.Fatalf("phase %d contention %d still above lg n", s.Phase, s.MaxAtNode)
+		}
+	}
+}

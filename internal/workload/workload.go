@@ -1,0 +1,116 @@
+// Package workload defines the experiment suite that reproduces every
+// quantitative claim of the paper (see DESIGN.md §5 for the full index):
+//
+//	E1  Theorem 2: O(log log n) rounds w.h.p., failure-free
+//	E2  §1: exponential separation vs deterministic / naive-random renaming
+//	E3  Theorems 3–4: early termination in O(log log f), O(1) failure-free
+//	E4  §5.3: adaptive crashes do not slow the algorithm down
+//	E5  Lemmas 4–6: per-node contention decays to polylog n
+//	E6  Lemmas 7–10: busiest root path drains at a constant rate
+//	E7  Figures 1–2: dispersion after a single phase
+//	E8  Lemma 11: deterministic termination under slow-burn crashes
+//	E9  §2: load balancers are fast but not one-to-one
+//	E10 message/bit complexity per process per round
+//	E11 §6: one splitter crash forces ~n/2 rank collisions
+//	E12 ablations: weighted coin, depth priority, synchronization round
+//
+// Each experiment returns stats.Tables; cmd/blbench renders them and the
+// root bench_test.go exposes each as a benchmark reporting its headline
+// metric.
+package workload
+
+import (
+	"fmt"
+
+	"ballsintoleaves/internal/adversary"
+	"ballsintoleaves/internal/core"
+	"ballsintoleaves/internal/ids"
+	"ballsintoleaves/internal/stats"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks sweeps and replicate counts for CI-speed runs.
+	Quick bool
+	// Seeds is the number of replicates per configuration; 0 picks a
+	// default (30, or 8 with Quick).
+	Seeds int
+	// BaseSeed offsets all seeds, for independent re-runs.
+	BaseSeed uint64
+}
+
+func (o Options) seeds() int {
+	if o.Seeds > 0 {
+		return o.Seeds
+	}
+	if o.Quick {
+		return 8
+	}
+	return 30
+}
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(opt Options) ([]*stats.Table, error)
+}
+
+// All returns the full suite in index order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Rounds vs n, failure-free (Theorem 2)", Run: runE1},
+		{ID: "E2", Title: "Exponential separation (deterministic lower bound)", Run: runE2},
+		{ID: "E3", Title: "Early termination vs failures f (Theorems 3-4)", Run: runE3},
+		{ID: "E4", Title: "Robustness to adaptive crashes (Section 5.3)", Run: runE4},
+		{ID: "E5", Title: "Per-node contention decay (Lemmas 4-6)", Run: runE5},
+		{ID: "E6", Title: "Busiest-path drain rate (Lemmas 7-10)", Run: runE6},
+		{ID: "E7", Title: "Dispersion after one phase (Figures 1-2)", Run: runE7},
+		{ID: "E8", Title: "Deterministic termination bound (Lemma 11)", Run: runE8},
+		{ID: "E9", Title: "Load balancing is not renaming (Section 2)", Run: runE9},
+		{ID: "E10", Title: "Message and bit complexity per round", Run: runE10},
+		{ID: "E11", Title: "Splitter crash collision count (Section 6)", Run: runE11},
+		{ID: "E12", Title: "Ablations: coin, priority, sync round", Run: runE12},
+		{ID: "E13", Title: "Extension: tree arity sweep (depth vs contention)", Run: runE13},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunCohort executes one Balls-into-Leaves simulation on the fast
+// simulator with random labels derived from the seed.
+func RunCohort(cfg core.Config, labelSeed uint64) (core.Result, error) {
+	c, err := core.NewCohort(cfg, ids.Random(cfg.N, labelSeed))
+	if err != nil {
+		return core.Result{}, err
+	}
+	return c.Run()
+}
+
+// roundsSample collects total rounds over `seeds` replicates for a config
+// template (Seed and Adversary are filled per replicate).
+func roundsSample(n, seeds int, base uint64, strategy core.PathStrategy,
+	mkAdv func(seed uint64) adversary.Strategy) ([]int, error) {
+	rounds := make([]int, 0, seeds)
+	for s := 0; s < seeds; s++ {
+		seed := base + uint64(s)
+		cfg := core.Config{N: n, Seed: seed, Strategy: strategy}
+		if mkAdv != nil {
+			cfg.Adversary = mkAdv(seed)
+		}
+		res, err := RunCohort(cfg, seed+0x9000)
+		if err != nil {
+			return nil, fmt.Errorf("n=%d seed=%d: %w", n, seed, err)
+		}
+		rounds = append(rounds, res.Rounds)
+	}
+	return rounds, nil
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"ballsintoleaves/internal/core"
+)
+
+// TestAllExperimentsQuick executes the entire suite in quick mode: every
+// experiment must run to completion and produce well-formed tables. This is
+// the integration test for the reproduction harness itself.
+func TestAllExperimentsQuick(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	opt := Options{Quick: true, Seeds: 4}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables, err := e.Run(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tb.Title)
+				}
+				var sb strings.Builder
+				tb.Render(&sb)
+				if !strings.Contains(sb.String(), tb.Cols[0]) {
+					t.Fatalf("render of %q missing header", tb.Title)
+				}
+				sb.Reset()
+				tb.RenderCSV(&sb)
+				if sb.Len() == 0 {
+					t.Fatalf("csv of %q empty", tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	t.Parallel()
+	if _, ok := ByID("E1"); !ok {
+		t.Fatal("E1 missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("E99 found")
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestOptionsSeeds(t *testing.T) {
+	t.Parallel()
+	if (Options{}).seeds() != 30 {
+		t.Fatal("default seeds")
+	}
+	if (Options{Quick: true}).seeds() != 8 {
+		t.Fatal("quick seeds")
+	}
+	if (Options{Seeds: 3}).seeds() != 3 {
+		t.Fatal("explicit seeds")
+	}
+}
+
+func TestRunCohortHelper(t *testing.T) {
+	t.Parallel()
+	res, err := RunCohort(core.Config{N: 64, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 64 {
+		t.Fatalf("%d decisions", len(res.Decisions))
+	}
+}

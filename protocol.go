@@ -1,0 +1,94 @@
+package ballsintoleaves
+
+import (
+	"fmt"
+
+	"ballsintoleaves/internal/core"
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/tree"
+)
+
+// Message is a payload received from a peer during one synchronous round.
+type Message struct {
+	// From is the sender's original identifier.
+	From uint64
+	// Payload is the sender's broadcast for the round.
+	Payload []byte
+}
+
+// Protocol is the per-process Balls-into-Leaves state machine, exposed for
+// integration with a real transport. The caller is responsible for
+// providing lock-step synchronous rounds:
+//
+//	for round := 1; !p.Done(); round++ {
+//	    payload := p.Send(round)
+//	    transport.Broadcast(payload)              // to all peers and self
+//	    msgs := transport.CollectRound(round)     // all deliveries
+//	    p.Deliver(round, msgs)
+//	}
+//	name, _ := p.Decided()
+//
+// Round 1 is the membership exchange; round 2k is phase k's candidate-path
+// broadcast and round 2k+1 its position broadcast. A process that misses a
+// round is treated as crashed by its peers, exactly as in the paper's
+// model; the transport must therefore deliver every correct process's
+// broadcast to every process each round (delivering a crashing process's
+// final broadcast to only some recipients is tolerated by construction —
+// that is the failure model the algorithm is designed for).
+type Protocol struct {
+	ball *core.Ball
+}
+
+// NewProtocol constructs the state machine for one process.
+//
+// All participating processes must use the same n and seed and distinct
+// non-zero ids; names decided are unique among processes that do not
+// crash. The variant selects the path strategy (BallsIntoLeaves,
+// EarlyTerminating, RankDescent or DeterministicLevelDescent; NaiveRandom
+// is not a tree protocol and is not supported here).
+func NewProtocol(n int, seed uint64, id uint64, variant Algorithm) (*Protocol, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ballsintoleaves: n must be >= 1, got %d", n)
+	}
+	if id == 0 {
+		return nil, fmt.Errorf("ballsintoleaves: id must be non-zero")
+	}
+	if variant == 0 {
+		variant = BallsIntoLeaves
+	}
+	if variant == NaiveRandom {
+		return nil, fmt.Errorf("ballsintoleaves: NaiveRandom is not supported by NewProtocol")
+	}
+	cfg := core.Config{N: n, Seed: seed, Strategy: variant.strategy()}
+	ball, err := core.NewBall(cfg, tree.NewTopology(n), proto.ID(id))
+	if err != nil {
+		return nil, err
+	}
+	return &Protocol{ball: ball}, nil
+}
+
+// ID returns the process's original identifier.
+func (p *Protocol) ID() uint64 { return uint64(p.ball.ID()) }
+
+// Send returns the payload to broadcast in the given round (rounds are
+// numbered from 1). The returned slice is reused across rounds; transports
+// that queue it must copy.
+func (p *Protocol) Send(round int) []byte { return p.ball.Send(round) }
+
+// Deliver hands the process every message received in the round, in any
+// order. The process's own broadcast must be included.
+func (p *Protocol) Deliver(round int, msgs []Message) {
+	converted := make([]proto.Message, len(msgs))
+	for i, m := range msgs {
+		converted[i] = proto.Message{From: proto.ID(m.From), Payload: m.Payload}
+	}
+	p.ball.Deliver(round, converted)
+}
+
+// Decided reports the decided name (in 1..n) once the process has reached
+// a leaf.
+func (p *Protocol) Decided() (name int, ok bool) { return p.ball.Decided() }
+
+// Done reports whether the process has halted: every process it knows of
+// holds a name, and no further rounds are needed.
+func (p *Protocol) Done() bool { return p.ball.Done() }
