@@ -1,5 +1,5 @@
 // Command blbench regenerates the paper-reproduction experiment tables
-// (E1–E12, see DESIGN.md §5 and EXPERIMENTS.md).
+// (E1–E13, see DESIGN.md §5 and EXPERIMENTS.md).
 //
 // Usage:
 //
@@ -7,8 +7,13 @@
 //	blbench -run E1,E3       # selected experiments
 //	blbench -quick           # smaller sweeps (CI scale)
 //	blbench -seeds 10        # replicates per configuration
+//	blbench -parallel 0      # fan replicates across all CPUs
 //	blbench -csv out/        # also write one CSV per table
 //	blbench -list            # list experiments
+//
+// Replicates of each configuration are independent simulations, so
+// -parallel fans them across a worker pool; aggregation is seed-indexed,
+// and the emitted tables are byte-identical at every parallelism level.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,12 +30,13 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		quick = flag.Bool("quick", false, "shrink sweeps and replicates")
-		seeds = flag.Int("seeds", 0, "replicates per configuration (0 = default)")
-		seed  = flag.Uint64("seed", 0, "base seed offset")
-		csv   = flag.String("csv", "", "directory to write per-table CSV files")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick    = flag.Bool("quick", false, "shrink sweeps and replicates")
+		seeds    = flag.Int("seeds", 0, "replicates per configuration (0 = default)")
+		seed     = flag.Uint64("seed", 0, "base seed offset")
+		parallel = flag.Int("parallel", 1, "max concurrent replicate simulations (0 = all CPUs)")
+		csv      = flag.String("csv", "", "directory to write per-table CSV files")
+		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -40,7 +47,11 @@ func main() {
 		return
 	}
 
-	opt := workload.Options{Quick: *quick, Seeds: *seeds, BaseSeed: *seed}
+	workers := *parallel
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opt := workload.Options{Quick: *quick, Seeds: *seeds, BaseSeed: *seed, Parallel: workers}
 	selected := workload.All()
 	if *run != "" {
 		selected = selected[:0]

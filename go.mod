@@ -1,0 +1,3 @@
+module ballsintoleaves
+
+go 1.24

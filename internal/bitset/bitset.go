@@ -1,0 +1,80 @@
+// Package bitset provides a dense fixed-capacity bit set over small integer
+// indices. The cohort simulator uses it for crash-receiver masks and group
+// membership on hot paths where a map[int32]bool would cost a hash per probe
+// and an allocation per entry: membership tests are one shift and mask, and
+// a set over n balls is a single []uint64 allocation.
+package bitset
+
+import "math/bits"
+
+// Set is a bit set over [0, 64*len(s)). The zero value is an empty set of
+// capacity zero; construct with New for a given capacity. Sets are plain
+// slices: they share underlying storage when copied by assignment, and an
+// independent copy requires Clone.
+type Set []uint64
+
+// New returns an empty set with capacity for indices in [0, n).
+func New(n int) Set {
+	return make(Set, (n+63)/64)
+}
+
+// Has reports whether i is in the set. Indices beyond the capacity are
+// reported absent rather than panicking, matching map-lookup semantics.
+func (s Set) Has(i int) bool {
+	w := uint(i) / 64
+	return w < uint(len(s)) && s[w]&(1<<(uint(i)%64)) != 0
+}
+
+// Add inserts i. It panics if i is outside the capacity.
+func (s Set) Add(i int) {
+	s[uint(i)/64] |= 1 << (uint(i) % 64)
+}
+
+// Remove deletes i. It panics if i is outside the capacity.
+func (s Set) Remove(i int) {
+	s[uint(i)/64] &^= 1 << (uint(i) % 64)
+}
+
+// Count returns the number of elements (population count).
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements, without a full popcount.
+func (s Set) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes every element, keeping the capacity.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	cp := make(Set, len(s))
+	copy(cp, s)
+	return cp
+}
+
+// ForEach invokes fn for every element in ascending order.
+func (s Set) ForEach(fn func(i int)) {
+	for w, word := range s {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			fn(w*64 + b)
+			word &= word - 1
+		}
+	}
+}

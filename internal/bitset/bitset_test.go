@@ -1,0 +1,97 @@
+package bitset
+
+import (
+	"testing"
+
+	"ballsintoleaves/internal/rng"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("new set not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Has(i) {
+			t.Fatalf("empty set has %d", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("set missing %d after Add", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	if s.Empty() {
+		t.Fatal("non-empty set reports Empty")
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 7 {
+		t.Fatalf("Remove failed: has=%v count=%d", s.Has(64), s.Count())
+	}
+	// Out-of-capacity probes are absent, not panics.
+	if s.Has(1 << 20) {
+		t.Fatal("out-of-range Has returned true")
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear left elements behind")
+	}
+}
+
+func TestForEachAscending(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 100, 199}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(64)
+	s.Add(5)
+	cp := s.Clone()
+	cp.Add(6)
+	if s.Has(6) {
+		t.Fatal("Clone shares storage")
+	}
+	if !cp.Has(5) {
+		t.Fatal("Clone lost element")
+	}
+}
+
+func TestMatchesMap(t *testing.T) {
+	const n = 500
+	src := rng.New(3)
+	s := New(n)
+	ref := make(map[int]bool)
+	for op := 0; op < 5000; op++ {
+		i := src.Intn(n)
+		switch src.Intn(3) {
+		case 0:
+			s.Add(i)
+			ref[i] = true
+		case 1:
+			s.Remove(i)
+			delete(ref, i)
+		default:
+			if s.Has(i) != ref[i] {
+				t.Fatalf("op %d: Has(%d) = %v, map says %v", op, i, s.Has(i), ref[i])
+			}
+		}
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("Count = %d, map has %d", s.Count(), len(ref))
+	}
+}

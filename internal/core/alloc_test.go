@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"ballsintoleaves/internal/proto"
+)
+
+// TestCohortPhaseZeroAllocs guards the cohort's allocation-free hot path: at
+// steady state a failure-free phase must not touch the heap at all — the
+// candidate-path walks, the priority move pass, the canonical-view update,
+// and the decision/halt bookkeeping all run on preallocated scratch.
+func TestCohortPhaseZeroAllocs(t *testing.T) {
+	const n = 1 << 12
+	labels := make([]proto.ID, n)
+	for i := range labels {
+		labels[i] = proto.ID(i + 1)
+	}
+	c, err := NewCohort(Config{N: n, Seed: 42}, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.initRound()
+	// Phase 1 warms the lazily allocated scratch (ordering buffers).
+	c.runPhase()
+	if !c.anyActive() {
+		t.Fatal("system quiesced after one phase; cannot measure steady state")
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		if c.anyActive() {
+			c.runPhase()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("failure-free phase allocated %v objects at steady state, want 0", allocs)
+	}
+}
+
+// TestCohortRunModestAllocs bounds whole-run allocations: setup is allowed a
+// fixed number of slab allocations, but nothing may scale per ball beyond
+// the O(1) construction slices (the seed implementation allocated one RNG
+// per ball plus per-phase maps and buffers — over 260k objects at this n).
+func TestCohortRunModestAllocs(t *testing.T) {
+	const n = 1 << 14
+	labels := make([]proto.ID, n)
+	for i := range labels {
+		labels[i] = proto.ID(i + 1)
+	}
+	var rounds int
+	allocs := testing.AllocsPerRun(2, func() {
+		c, err := NewCohort(Config{N: n, Seed: 7}, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds = res.Rounds
+	})
+	if rounds == 0 {
+		t.Fatal("run did not complete")
+	}
+	// ~40 construction slabs plus result assembly; 200 leaves slack for
+	// lazily-warmed scratch without letting per-ball allocation regress.
+	if allocs > 200 {
+		t.Errorf("full failure-free run allocated %v objects, want <= 200 (allocation-free hot path regressed)", allocs)
+	}
+}

@@ -90,7 +90,7 @@ func NewBalls(cfg Config, labels []proto.ID) ([]*Ball, error) {
 		}
 		seen[id] = true
 	}
-	topo := tree.NewTopologyArity(cfg.N, cfg.normalized().Arity)
+	topo := tree.Shared(cfg.N, cfg.normalized().Arity)
 	balls := make([]*Ball, len(labels))
 	for i, id := range labels {
 		b, err := NewBall(cfg, topo, id)

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"ballsintoleaves/internal/adversary"
+	"ballsintoleaves/internal/bitset"
 	"ballsintoleaves/internal/proto"
 	"ballsintoleaves/internal/rng"
 	"ballsintoleaves/internal/tree"
@@ -25,12 +27,16 @@ import (
 //     broadcasts they received, and the O(n log n) priority move pass runs
 //     once per distinct group rather than once per ball.
 //
+// Every per-phase buffer is preallocated or reused, so a failure-free phase
+// at steady state performs zero heap allocations (asserted by
+// TestCohortPhaseZeroAllocs).
+//
 // The equivalence is enforced by integration tests (TestCohortMatchesSim*).
 type Cohort struct {
 	cfg    Config
 	topo   *tree.Topology
 	labels []proto.ID // ascending; dense index order
-	srcs   []*rng.Source
+	srcs   []rng.Source
 
 	canon   *View
 	work    *View // scratch group view
@@ -54,10 +60,27 @@ type Cohort struct {
 	metrics *Metrics
 
 	// Per-phase scratch.
-	paths  []Path
-	has    []bool
-	newPos []tree.Node
-	posArr []tree.Node
+	paths   []Path
+	has     []bool
+	newPos  []tree.Node
+	members []int32 // activeMembers buffer
+
+	// Deterministic-phase scratch (lazily allocated: only the hybrid and
+	// deterministic strategies rank balls at nodes).
+	rankArr []int32 // per-ball rank among co-located balls
+	nodeCnt []int32 // per-node ball counter, zeroed after each use
+
+	// Crash-path scratch (lazily allocated: failure-free runs never group).
+	gid        []int32 // per-ball group id during partition refinement
+	remap      []int32 // (old gid, received bit) -> new gid
+	remapMark  []int32 // epoch marks validating remap entries
+	remapEpoch int32
+	groupEnd   []int32 // end offset of each group in memberBuf
+	memberBuf  []int32 // members bucketed by group
+	residueCnt []int32 // adjustRootRanks prefix counts
+	recvCnt    []int32 // adjustRootRanks per-survivor received counts
+
+	rview cohortRoundView // reusable adversary view, one per Cohort
 
 	// OnPhaseEnd, when set before Run, is invoked after each phase's
 	// canonical update with the phase number, its position round, and the
@@ -70,7 +93,7 @@ type Cohort struct {
 // the canonical view records for it.
 type residueEntry struct {
 	idx  int32
-	recv map[int32]bool // dense indices of survivors holding the ball
+	recv bitset.Set // dense indices of survivors holding the ball
 }
 
 // Result summarizes one Cohort run.
@@ -106,18 +129,18 @@ func NewCohort(cfg Config, labels []proto.ID) (*Cohort, error) {
 	}
 	sorted := make([]proto.ID, len(labels))
 	copy(sorted, labels)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	for i := 1; i < len(sorted); i++ {
 		if sorted[i] == sorted[i-1] {
 			return nil, fmt.Errorf("core: duplicate label %v", sorted[i])
 		}
 	}
-	topo := tree.NewTopologyArity(cfg.N, cfg.normalized().Arity)
+	topo := tree.Shared(cfg.N, cfg.normalized().Arity)
 	c := &Cohort{
 		cfg:          cfg,
 		topo:         topo,
 		labels:       sorted,
-		srcs:         make([]*rng.Source, cfg.N),
+		srcs:         make([]rng.Source, cfg.N),
 		canon:        NewView(topo, sorted),
 		inCanon:      make([]bool, cfg.N),
 		active:       make([]bool, cfg.N),
@@ -129,11 +152,12 @@ func NewCohort(cfg Config, labels []proto.ID) (*Cohort, error) {
 		paths:        make([]Path, cfg.N),
 		has:          make([]bool, cfg.N),
 		newPos:       make([]tree.Node, cfg.N),
-		posArr:       make([]tree.Node, cfg.N),
+		members:      make([]int32, 0, cfg.N),
 	}
 	c.work = c.canon.Clone()
+	c.rview.c = c
 	for i := range sorted {
-		c.srcs[i] = rng.Derive(cfg.Seed, uint64(sorted[i]))
+		c.srcs[i].Reseed(rng.DeriveSeed(cfg.Seed, uint64(sorted[i])))
 		c.inCanon[i] = true
 		c.active[i] = true
 	}
@@ -177,7 +201,7 @@ func (c *Cohort) initRound() {
 	victims := c.planCrashes(stageJoin)
 	c.accountRound(stageJoin, victims)
 	for _, v := range victims {
-		if len(v.recv) == 0 {
+		if v.recv.Empty() {
 			c.dropFromCanon(int(v.idx))
 		} else {
 			c.residue = append(c.residue, v)
@@ -186,7 +210,9 @@ func (c *Cohort) initRound() {
 }
 
 // runPhase executes one full phase: candidate-path round then position
-// round, with adversary interleaving, exactly mirroring Algorithm 1.
+// round, with adversary interleaving, exactly mirroring Algorithm 1. The
+// failure-free fast path (no lingering residue, no victims this round) runs
+// entirely on preallocated scratch: no closures, no groups, no allocations.
 func (c *Cohort) runPhase() {
 	c.phase++
 	c.round++ // path round, 2φ
@@ -206,37 +232,25 @@ func (c *Cohort) runPhase() {
 	// inputs) differ between views that do and do not hold residue balls,
 	// so the coins must be flipped against each ball's own group view.
 	det := c.cfg.deterministicPhase(c.phase)
-	limit := c.cfg.pathLimit()
-	choosePaths := func(gv *View, members []int32, ranks map[int32]int) {
-		for _, m := range members {
-			if det {
-				p := deterministicPath(gv, gv.Node(int(m)), ranks[m])
-				p.Limit = limit
-				c.paths[m] = p
-			} else {
-				c.paths[m] = randomPath(gv, gv.Node(int(m)), c.srcs[m], c.cfg.UniformCoin)
-			}
-		}
-	}
 	if len(c.residue) == 0 || rootResidueOnly {
 		members := c.activeMembers()
 		if len(members) > 0 {
-			var ranks map[int32]int
+			var ranks []int32
 			if det {
-				ranks = ranksAtNodes(c.canon, members)
+				ranks = c.ranksAtNodes(c.canon, members)
 				if rootResidueOnly {
 					c.adjustRootRanks(ranks, members)
 				}
 			}
-			choosePaths(c.canon, members, ranks)
+			c.choosePaths(c.canon, members, ranks)
 		}
 	} else {
 		c.forEachGroup(nil, func(gv *View, members []int32) {
-			var ranks map[int32]int
+			var ranks []int32
 			if det {
-				ranks = ranksAtNodes(gv, members)
+				ranks = c.ranksAtNodes(gv, members)
 			}
-			choosePaths(gv, members, ranks)
+			c.choosePaths(gv, members, ranks)
 		})
 	}
 
@@ -244,52 +258,26 @@ func (c *Cohort) runPhase() {
 	c.accountRound(stagePath, pathVictims)
 
 	// Priority move pass, once per (residue mask × path-delivery mask)
-	// group of survivors — or once globally when the only divergence is
-	// root residue, whose mid-pass removal cannot influence any other
-	// ball's walk.
-	movePass := func(gv *View, members []int32) {
-		for i := range c.has {
-			c.has[i] = false
-		}
-		for idx, a := range c.active {
-			if a {
-				c.has[idx] = true // survivors' paths reach everyone
-			}
-		}
-		// Victims' paths reach only their receivers; membership of a
-		// group is uniform by construction, so test any member.
-		probe := members[0]
-		for _, v := range pathVictims {
-			c.has[v.idx] = v.recv[probe]
-		}
-		applyPaths(c.cfg, gv, c.has, c.paths)
-		if c.cfg.CheckInvariants {
-			if err := gv.CheckConsistency(); err != nil {
-				panic(fmt.Sprintf("core: cohort phase %d path pass: %v", c.phase, err))
-			}
-			if !c.cfg.LabelPriority {
-				if err := gv.Occupancy().CheckCapacityInvariant(); err != nil {
-					panic(fmt.Sprintf("core: cohort phase %d path pass: %v", c.phase, err))
-				}
-			}
-			for _, m := range members {
-				if !c.topo.IsAncestor(c.canon.Node(int(m)), gv.Node(int(m))) {
-					panic(fmt.Sprintf("core: cohort ball %d moved upwards (Lemma 2 violated)", m))
-				}
-			}
-		}
-		for _, m := range members {
-			c.newPos[m] = gv.Node(int(m))
-		}
-	}
-	if rootResidueOnly && len(pathVictims) == 0 {
+	// group of survivors — or once globally when there is no divergence at
+	// all, or when the only divergence is root residue, whose mid-pass
+	// removal cannot influence any other ball's walk.
+	if (len(c.residue) == 0 || rootResidueOnly) && len(pathVictims) == 0 {
 		members := c.activeMembers()
 		if len(members) > 0 {
 			c.work.CopyFrom(c.canon)
-			movePass(c.work, members)
+			c.movePass(c.work, members, nil)
+			// A single-group pass computes the exact post-phase canonical
+			// state: survivors sit at their announced positions and silent
+			// balls (halted, or root residue dropped mid-pass) are gone.
+			// Adopt the work view wholesale; finishPhase's per-ball
+			// SetNode/Remove replays then degenerate to no-ops instead of
+			// walking the tree again for every ball.
+			c.canon, c.work = c.work, c.canon
 		}
 	} else {
-		c.forEachGroup(pathVictims, movePass)
+		c.forEachGroup(pathVictims, func(gv *View, members []int32) {
+			c.movePass(gv, members, pathVictims)
+		})
 	}
 
 	if !c.anyActive() {
@@ -306,15 +294,72 @@ func (c *Cohort) runPhase() {
 	c.finishPhase(pathVictims, posVictims)
 }
 
-// activeMembers lists the active dense indices in ascending order.
-func (c *Cohort) activeMembers() []int32 {
-	members := make([]int32, 0, c.cfg.N)
+// choosePaths fills c.paths for the members against their group view. ranks
+// must hold the members' per-node label ranks when the phase is
+// deterministic, and is ignored otherwise.
+func (c *Cohort) choosePaths(gv *View, members []int32, ranks []int32) {
+	if c.cfg.deterministicPhase(c.phase) {
+		limit := c.cfg.pathLimit()
+		for _, m := range members {
+			p := deterministicPath(gv, gv.Node(int(m)), int(ranks[m]))
+			p.Limit = limit
+			c.paths[m] = p
+		}
+		return
+	}
+	for _, m := range members {
+		c.paths[m] = randomPath(gv, gv.Node(int(m)), &c.srcs[m], c.cfg.UniformCoin)
+	}
+}
+
+// movePass runs the priority move pass for one group view, recording the
+// members' resulting positions in c.newPos.
+func (c *Cohort) movePass(gv *View, members []int32, pathVictims []residueEntry) {
+	for i := range c.has {
+		c.has[i] = false
+	}
 	for idx, a := range c.active {
 		if a {
-			members = append(members, int32(idx))
+			c.has[idx] = true // survivors' paths reach everyone
 		}
 	}
-	return members
+	// Victims' paths reach only their receivers; membership of a group is
+	// uniform by construction, so test any member.
+	probe := int(members[0])
+	for _, v := range pathVictims {
+		c.has[v.idx] = v.recv.Has(probe)
+	}
+	applyPaths(c.cfg, gv, c.has, c.paths)
+	if c.cfg.CheckInvariants {
+		if err := gv.CheckConsistency(); err != nil {
+			panic(fmt.Sprintf("core: cohort phase %d path pass: %v", c.phase, err))
+		}
+		if !c.cfg.LabelPriority {
+			if err := gv.Occupancy().CheckCapacityInvariant(); err != nil {
+				panic(fmt.Sprintf("core: cohort phase %d path pass: %v", c.phase, err))
+			}
+		}
+		for _, m := range members {
+			if !c.topo.IsAncestor(c.canon.Node(int(m)), gv.Node(int(m))) {
+				panic(fmt.Sprintf("core: cohort ball %d moved upwards (Lemma 2 violated)", m))
+			}
+		}
+	}
+	for _, m := range members {
+		c.newPos[m] = gv.Node(int(m))
+	}
+}
+
+// activeMembers lists the active dense indices in ascending order into the
+// cohort's reusable buffer. The result is valid until the next call.
+func (c *Cohort) activeMembers() []int32 {
+	c.members = c.members[:0]
+	for idx, a := range c.active {
+		if a {
+			c.members = append(c.members, int32(idx))
+		}
+	}
+	return c.members
 }
 
 // residueAllAtRoot reports whether every lingering residue ball is parked
@@ -333,29 +378,40 @@ func (c *Cohort) residueAllAtRoot() bool {
 // ball) into each survivor's own-view rank: subtract all smaller-labelled
 // root residue, then add back the ones the survivor actually received.
 // Runs in O(n + f + Σ|recv|) rather than O(f·n).
-func (c *Cohort) adjustRootRanks(ranks map[int32]int, members []int32) {
+func (c *Cohort) adjustRootRanks(ranks []int32, members []int32) {
 	root := c.topo.Root()
-	// smallerResidue[i] = number of residue balls with dense index < i.
-	smallerResidue := make([]int32, c.cfg.N+1)
+	if c.residueCnt == nil {
+		c.residueCnt = make([]int32, c.cfg.N+1)
+		c.recvCnt = make([]int32, c.cfg.N)
+	}
+	// residueCnt[i] = number of residue balls with dense index < i.
+	smallerResidue := c.residueCnt
+	for i := range smallerResidue {
+		smallerResidue[i] = 0
+	}
 	for _, r := range c.residue {
 		smallerResidue[r.idx+1]++
 	}
 	for i := 1; i <= c.cfg.N; i++ {
 		smallerResidue[i] += smallerResidue[i-1]
 	}
-	receivedSmaller := make([]int32, c.cfg.N)
+	receivedSmaller := c.recvCnt
+	for i := range receivedSmaller {
+		receivedSmaller[i] = 0
+	}
 	for _, r := range c.residue {
-		for idx := range r.recv {
-			if r.idx < idx {
+		rIdx := int(r.idx)
+		r.recv.ForEach(func(idx int) {
+			if rIdx < idx {
 				receivedSmaller[idx]++
 			}
-		}
+		})
 	}
 	for _, m := range members {
 		if c.canon.Node(int(m)) != root {
 			continue
 		}
-		ranks[m] += int(receivedSmaller[m]) - int(smallerResidue[m])
+		ranks[m] += receivedSmaller[m] - smallerResidue[m]
 	}
 }
 
@@ -388,7 +444,7 @@ func (c *Cohort) finishPhase(pathVictims, posVictims []residueEntry) {
 		}
 	}
 	for _, v := range posVictims {
-		if len(v.recv) == 0 {
+		if v.recv.Empty() {
 			c.dropFromCanon(int(v.idx))
 			continue
 		}
@@ -448,7 +504,7 @@ func (c *Cohort) finishPhase(pathVictims, posVictims []residueEntry) {
 			}
 			blocked := false
 			for _, r := range innerResidue {
-				if r.recv[int32(idx)] {
+				if r.recv.Has(idx) {
 					blocked = true
 					break
 				}
@@ -477,93 +533,145 @@ func (c *Cohort) dropFromCanon(idx int) {
 	}
 }
 
+// sourceRecv returns the receiver mask of the i-th divergence source: the
+// lingering residue entries first, then this round's victims.
+func (c *Cohort) sourceRecv(roundVictims []residueEntry, i int) bitset.Set {
+	if i < len(c.residue) {
+		return c.residue[i].recv
+	}
+	return roundVictims[i-len(c.residue)].recv
+}
+
 // forEachGroup partitions the active balls by which mid-broadcast final
 // messages they received — the lingering residue set plus, when
 // roundVictims is non-nil, this round's victims — builds each group's view
 // (canonical minus the residue the group did not receive) in the shared
 // scratch view, and invokes fn. With no divergence there is a single group
-// over the canonical view itself, cloned into scratch so fn may mutate.
+// over the canonical view itself, copied into scratch so fn may mutate.
+//
+// The partition is computed by iterated refinement over the divergence
+// sources: per source, (group, received-bit) pairs are renumbered into
+// dense new group ids via an epoch-marked remap table. Everything runs on
+// integer scratch slices — no per-ball hash keys, no map of byte-string
+// masks. Group ids are assigned in order of each group's smallest member,
+// and members stay ascending within a group; processing order across
+// groups cannot affect results, since groups are disjoint and each starts
+// from its own copy of the canonical view.
 func (c *Cohort) forEachGroup(roundVictims []residueEntry, fn func(gv *View, members []int32)) {
-	sources := make([]residueEntry, 0, len(c.residue)+len(roundVictims))
-	sources = append(sources, c.residue...)
-	sources = append(sources, roundVictims...)
-
-	var groups map[string][]int32
-	if len(sources) > 0 {
-		keyBytes := (len(sources) + 7) / 8
-		groups = make(map[string][]int32)
-		key := make([]byte, keyBytes)
-		for idx, a := range c.active {
-			if !a {
-				continue
-			}
-			for i := range key {
-				key[i] = 0
-			}
-			for bit, src := range sources {
-				if src.recv[int32(idx)] {
-					key[bit/8] |= 1 << (bit % 8)
-				}
-			}
-			groups[string(key)] = append(groups[string(key)], int32(idx))
-		}
-	} else {
-		members := make([]int32, 0, c.cfg.N)
-		for idx, a := range c.active {
-			if a {
-				members = append(members, int32(idx))
-			}
-		}
-		if len(members) == 0 {
-			return
-		}
-		groups = map[string][]int32{"": members}
+	members := c.activeMembers()
+	if len(members) == 0 {
+		return
 	}
-
-	// Deterministic group order for reproducibility.
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-
-	for _, k := range keys {
-		members := groups[k]
+	nSrc := len(c.residue) + len(roundVictims)
+	if nSrc == 0 {
 		c.work.CopyFrom(c.canon)
-		// Remove the residue this group never heard of. Residue from this
+		fn(c.work, members)
+		return
+	}
+	if c.gid == nil {
+		c.gid = make([]int32, c.cfg.N)
+		c.remap = make([]int32, 2*c.cfg.N+2)
+		c.remapMark = make([]int32, 2*c.cfg.N+2)
+		c.groupEnd = make([]int32, c.cfg.N+1)
+		c.memberBuf = make([]int32, c.cfg.N)
+	}
+	gid := c.gid
+	for _, m := range members {
+		gid[m] = 0
+	}
+	ngroups := int32(1)
+	for si := 0; si < nSrc && int(ngroups) < len(members); si++ {
+		recv := c.sourceRecv(roundVictims, si)
+		c.remapEpoch++
+		if c.remapEpoch == 0 { // epoch counter wrapped: invalidate marks
+			for i := range c.remapMark {
+				c.remapMark[i] = 0
+			}
+			c.remapEpoch = 1
+		}
+		next := int32(0)
+		for _, m := range members {
+			v := 2 * gid[m]
+			if recv.Has(int(m)) {
+				v++
+			}
+			if c.remapMark[v] != c.remapEpoch {
+				c.remapMark[v] = c.remapEpoch
+				c.remap[v] = next
+				next++
+			}
+			gid[m] = c.remap[v]
+		}
+		ngroups = next
+	}
+
+	// Bucket members by group id via counting sort; ids were assigned in
+	// first-encounter order over ascending members, so the fill pass keeps
+	// every group's members ascending.
+	end := c.groupEnd[:ngroups+1]
+	for g := range end {
+		end[g] = 0
+	}
+	for _, m := range members {
+		end[gid[m]+1]++
+	}
+	for g := int32(1); g <= ngroups; g++ {
+		end[g] += end[g-1]
+	}
+	buf := c.memberBuf[:len(members)]
+	for _, m := range members {
+		buf[end[gid[m]]] = m
+		end[gid[m]]++
+	}
+	// After the fill, end[g-1] is the end offset of group g-1... and also
+	// the start of group g, so walk with a running start.
+	start := int32(0)
+	for g := int32(0); g < ngroups; g++ {
+		gm := buf[start:end[g]]
+		start = end[g]
+		c.work.CopyFrom(c.canon)
+		// Remove the residue this group never heard of; receipt is uniform
+		// within a group, so probe its first member. Residue from this
 		// round's victims is not yet in the canonical view, so only the
 		// lingering entries participate.
-		for bit, src := range c.residue {
-			received := len(k) > 0 && k[bit/8]&(1<<(bit%8)) != 0
-			if !received && c.inCanon[src.idx] {
+		probe := int(gm[0])
+		for _, src := range c.residue {
+			if !src.recv.Has(probe) && c.inCanon[src.idx] {
 				c.work.Remove(int(src.idx))
 			}
 		}
-		fn(c.work, members)
+		fn(c.work, gm)
 	}
 }
 
-// ranksAtNodes computes, for each member, its label rank among the present
-// balls parked at the same node — the deterministic path rule input — in a
-// single ascending pass.
-func ranksAtNodes(v *View, members []int32) map[int32]int {
-	want := make(map[int32]bool, len(members))
-	for _, m := range members {
-		want[m] = true
+// ranksAtNodes computes, for each member (ascending), its label rank among
+// the present balls parked at the same node — the deterministic path rule
+// input — in a single ascending pass over reusable scratch. The returned
+// slice is indexed by dense ball index and valid until the next call.
+func (c *Cohort) ranksAtNodes(v *View, members []int32) []int32 {
+	if c.rankArr == nil {
+		c.rankArr = make([]int32, c.cfg.N)
+		c.nodeCnt = make([]int32, c.topo.NumNodes())
 	}
-	counts := make(map[tree.Node]int)
-	ranks := make(map[int32]int, len(members))
+	counts := c.nodeCnt // all-zero on entry; re-zeroed below
+	mi := 0
 	for idx := 0; idx < v.Universe(); idx++ {
 		if !v.Present(idx) {
 			continue
 		}
 		node := v.Node(idx)
-		if want[int32(idx)] {
-			ranks[int32(idx)] = counts[node]
+		if mi < len(members) && members[mi] == int32(idx) {
+			c.rankArr[idx] = counts[node]
+			mi++
 		}
 		counts[node]++
 	}
-	return ranks
+	for idx := 0; idx < v.Universe(); idx++ {
+		if v.Present(idx) {
+			counts[v.Node(idx)] = 0
+		}
+	}
+	return c.rankArr
 }
 
 // stage identifies which broadcast a round carries, for payload encoding
@@ -606,8 +714,12 @@ func (c *Cohort) encodePayload(st stage, idx int) []byte {
 // approved crash specs into residue entries (victim + receiver set),
 // marking victims inactive.
 func (c *Cohort) planCrashes(st stage) []residueEntry {
-	view := &cohortRoundView{c: c, st: st}
-	specs := c.cfg.Adversary.Plan(view)
+	c.rview.st = st
+	c.rview.aliveValid = false
+	specs := c.cfg.Adversary.Plan(&c.rview)
+	if len(specs) == 0 {
+		return nil
+	}
 	// First mark every victim crashed, then build receiver sets: a message
 	// from one victim is never delivered to another process crashing in
 	// the same round (it stopped executing), matching internal/sim.
@@ -632,10 +744,10 @@ func (c *Cohort) planCrashes(st stage) []residueEntry {
 	}
 	victims := make([]residueEntry, 0, len(accepted))
 	for _, p := range accepted {
-		recv := make(map[int32]bool)
+		recv := bitset.New(c.cfg.N)
 		for j, a := range c.active {
 			if a && p.deliver(c.labels[j]) {
-				recv[int32(j)] = true
+				recv.Add(j)
 			}
 		}
 		victims = append(victims, residueEntry{idx: p.idx, recv: recv})
@@ -660,8 +772,9 @@ func (c *Cohort) accountRound(st stage, victims []residueEntry) {
 		}
 	}
 	for _, v := range victims {
-		c.msgs += int64(len(v.recv))
-		c.bytes += int64(c.payloadLen(st, int(v.idx))) * int64(len(v.recv))
+		nRecv := v.recv.Count()
+		c.msgs += int64(nRecv)
+		c.bytes += int64(c.payloadLen(st, int(v.idx))) * int64(nRecv)
 	}
 }
 
@@ -691,15 +804,24 @@ func (c *Cohort) result() Result {
 		Bytes:    c.bytes,
 		Metrics:  c.metrics,
 	}
-	crashedSet := make(map[proto.ID]bool, len(c.crashed))
+	crashedSet := bitset.New(c.cfg.N)
 	for _, id := range c.crashed {
-		crashedSet[id] = true
+		if idx, ok := c.indexOf(id); ok {
+			crashedSet.Add(idx)
+		}
 	}
+	nDecided := 0
+	for idx := range c.labels {
+		if c.decided[idx] && !crashedSet.Has(idx) {
+			nDecided++
+		}
+	}
+	res.Decisions = make([]proto.Decision, 0, nDecided)
 	for idx, id := range c.labels {
 		if !c.decided[idx] {
 			continue
 		}
-		if crashedSet[id] {
+		if crashedSet.Has(idx) {
 			res.CrashedDecided++
 			continue
 		}
@@ -713,22 +835,27 @@ func (c *Cohort) result() Result {
 }
 
 // cohortRoundView adapts the cohort's round state to adversary.RoundView.
+// One instance lives inside the Cohort and is reused round to round; the
+// alive slice is a per-round cache rebuilt lazily on first use.
 type cohortRoundView struct {
-	c     *Cohort
-	st    stage
-	alive []proto.ID
+	c          *Cohort
+	st         stage
+	alive      []proto.ID
+	aliveValid bool
 }
 
 func (v *cohortRoundView) Round() int { return v.c.round }
 func (v *cohortRoundView) N() int     { return v.c.cfg.N }
 
 func (v *cohortRoundView) Alive() []proto.ID {
-	if v.alive == nil {
+	if !v.aliveValid {
+		v.alive = v.alive[:0]
 		for idx, a := range v.c.active {
 			if a {
 				v.alive = append(v.alive, v.c.labels[idx])
 			}
 		}
+		v.aliveValid = true
 	}
 	return v.alive
 }

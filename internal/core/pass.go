@@ -18,7 +18,7 @@ import (
 // path. Both are indexed by dense ball index and must cover the view's
 // universe.
 func applyPaths(cfg Config, v *View, has []bool, paths []Path) {
-	order := v.OrderedPresent(cfg.LabelPriority)
+	order := v.orderedPresent(cfg.LabelPriority)
 	for _, idx := range order {
 		if !has[idx] {
 			v.Remove(int(idx))
@@ -30,8 +30,10 @@ func applyPaths(cfg Config, v *View, has []bool, paths []Path) {
 
 // moveAlongPath walks one ball down its candidate path (lines 14–18): from
 // its current node, step towards the path's target leaf as long as the next
-// subtree has remaining capacity, then park. The ball's own occupancy is
-// lifted out before the walk so it never blocks itself.
+// subtree has remaining capacity, then park. The walk, capacity checks, and
+// occupancy update are fused into a single descent (Occupancy.DescendAdd):
+// lifting the ball out and re-parking it at a descendant cancels on every
+// node from the start to the root, so no parent-chain walk happens at all.
 //
 // Stopping at the last node with available capacity preserves Lemma 1:
 // every prefix subtree the ball enters had capacity at entry time, and
@@ -58,22 +60,7 @@ func moveAlongPath(cfg Config, v *View, idx int, p Path) {
 		}
 		return
 	}
-	occ := v.occ
-	occ.Remove(cur)
-	steps := int32(0)
-	for !topo.IsLeaf(cur) {
-		if p.Limit > 0 && steps >= p.Limit {
-			break
-		}
-		next := topo.OnPathToLeaf(cur, leaf)
-		if occ.RemainingCapacity(next) <= 0 {
-			break
-		}
-		cur = next
-		steps++
-	}
-	occ.Add(cur)
-	v.node[idx] = cur
+	v.node[idx] = v.occ.DescendAdd(cur, leaf, p.Limit)
 }
 
 // applyPositions executes lines 22–28: overwrite each present ball's
@@ -84,7 +71,7 @@ func moveAlongPath(cfg Config, v *View, idx int, p Path) {
 //
 // has[idx] marks balls whose position was received; pos[idx] holds it.
 func applyPositions(cfg Config, v *View, has []bool, pos []tree.Node) {
-	order := v.OrderedPresent(cfg.LabelPriority)
+	order := v.orderedPresent(cfg.LabelPriority)
 	for _, idx := range order {
 		if !has[idx] {
 			v.Remove(int(idx))

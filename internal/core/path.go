@@ -82,17 +82,21 @@ func randomPath(v *View, from tree.Node, src *rng.Source, uniform bool) Path {
 // aligned.
 func randomStep(v *View, cur tree.Node, src *rng.Source, uniform bool) (tree.Node, bool) {
 	topo := v.topo
-	kids := topo.Children(cur)
+	// Children occupy the consecutive node range [c0, c0+fanout), so the
+	// walk touches no child-list indirection and sibling capacities sit on
+	// adjacent array slots.
+	c0 := topo.FirstChild(cur)
+	nk := topo.NumChildren(cur)
 	// Fast path for binary nodes: the paper's weighted coin.
-	if len(kids) == 2 {
-		cl, cr := v.occ.RemainingCapacity(kids[0]), v.occ.RemainingCapacity(kids[1])
+	if nk == 2 {
+		cl, cr := v.occ.RemainingCapacity(c0), v.occ.RemainingCapacity(c0+1)
 		switch {
 		case cl <= 0 && cr <= 0:
 			return tree.None, false
 		case cl <= 0:
-			return kids[1], true
+			return c0 + 1, true
 		case cr <= 0:
-			return kids[0], true
+			return c0, true
 		}
 		var heads bool
 		if uniform {
@@ -101,15 +105,15 @@ func randomStep(v *View, cur tree.Node, src *rng.Source, uniform bool) (tree.Nod
 			heads = src.Coin(uint64(cl), uint64(cl+cr))
 		}
 		if heads {
-			return kids[0], true
+			return c0, true
 		}
-		return kids[1], true
+		return c0 + 1, true
 	}
 	// General arity: one categorical draw over the non-full children.
 	total := 0
 	nonFull := 0
 	var only tree.Node
-	for _, kid := range kids {
+	for kid := c0; kid < c0+tree.Node(nk); kid++ {
 		if c := v.occ.RemainingCapacity(kid); c > 0 {
 			total += c
 			nonFull++
@@ -124,7 +128,7 @@ func randomStep(v *View, cur tree.Node, src *rng.Source, uniform bool) (tree.Nod
 	}
 	if uniform {
 		pick := int(src.Uint64n(uint64(nonFull)))
-		for _, kid := range kids {
+		for kid := c0; kid < c0+tree.Node(nk); kid++ {
 			if v.occ.RemainingCapacity(kid) > 0 {
 				if pick == 0 {
 					return kid, true
@@ -134,7 +138,7 @@ func randomStep(v *View, cur tree.Node, src *rng.Source, uniform bool) (tree.Nod
 		}
 	}
 	draw := int(src.Uint64n(uint64(total)))
-	for _, kid := range kids {
+	for kid := c0; kid < c0+tree.Node(nk); kid++ {
 		c := v.occ.RemainingCapacity(kid)
 		if c <= 0 {
 			continue

@@ -22,6 +22,12 @@ type View struct {
 	node    []tree.Node
 	present []bool
 	count   int
+
+	// Scratch reused by orderedPresent; lazily allocated, never copied by
+	// Clone/CopyFrom (it carries no view state).
+	orderBuf  []int32
+	depthCnt  []int32
+	depthOff  []int32
 }
 
 // NewView builds a view with all the given balls at the root, the initial
@@ -144,7 +150,21 @@ func (v *View) AllAtLeaves() bool {
 // subsequent view mutations (it is a snapshot, exactly what lines 12–21
 // iterate over).
 func (v *View) OrderedPresent(labelOnly bool) []int32 {
-	out := make([]int32, 0, v.count)
+	ordered := v.orderedPresent(labelOnly)
+	out := make([]int32, len(ordered))
+	copy(out, ordered)
+	return out
+}
+
+// orderedPresent is OrderedPresent on the view's reusable scratch: the
+// returned slice is valid only until the next orderedPresent call on this
+// view, but remains a stable snapshot across view mutations, which is all
+// the move passes need. Steady-state calls do not allocate.
+func (v *View) orderedPresent(labelOnly bool) []int32 {
+	if cap(v.orderBuf) < len(v.labels) {
+		v.orderBuf = make([]int32, 0, len(v.labels))
+	}
+	out := v.orderBuf[:0]
 	if labelOnly {
 		for i, p := range v.present {
 			if p {
@@ -154,15 +174,22 @@ func (v *View) OrderedPresent(labelOnly bool) []int32 {
 		return out
 	}
 	maxDepth := v.topo.MaxDepth()
+	if len(v.depthCnt) < maxDepth+1 {
+		v.depthCnt = make([]int32, maxDepth+1)
+		v.depthOff = make([]int32, maxDepth+1)
+	}
 	// Counting sort by depth: bucket sizes, then place in ascending label
 	// order within each depth, deepest bucket first.
-	counts := make([]int32, maxDepth+1)
+	counts := v.depthCnt
+	for d := 0; d <= maxDepth; d++ {
+		counts[d] = 0
+	}
 	for i, p := range v.present {
 		if p {
 			counts[v.topo.Depth(v.node[i])]++
 		}
 	}
-	starts := make([]int32, maxDepth+1)
+	starts := v.depthOff
 	acc := int32(0)
 	for d := maxDepth; d >= 0; d-- {
 		starts[d] = acc

@@ -7,15 +7,47 @@
 package ids
 
 import (
+	"slices"
+
 	"ballsintoleaves/internal/proto"
 	"ballsintoleaves/internal/rng"
 )
 
 // Random returns n distinct uniformly random 64-bit labels.
+//
+// Fast path: draw n labels and verify distinctness with a sort — for 64-bit
+// draws a collision or zero is a once-in-10^9 event, and when none occurs
+// every draw is accepted in order, which is exactly what the map-based loop
+// would have produced. Only an actual clash falls back to the incremental
+// dedupe, replaying the same stream so the output stays bit-identical.
 func Random(n int, seed uint64) []proto.ID {
 	src := rng.Derive(seed, 0x1d5)
+	out := make([]proto.ID, n)
+	ok := true
+	for i := range out {
+		out[i] = proto.ID(src.Uint64())
+		if out[i] == 0 {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		sorted := make([]proto.ID, n)
+		copy(sorted, out)
+		slices.Sort(sorted)
+		for i := 1; i < n; i++ {
+			if sorted[i] == sorted[i-1] {
+				ok = false
+				break
+			}
+		}
+	}
+	if ok {
+		return out
+	}
+	src = rng.Derive(seed, 0x1d5)
 	seen := make(map[proto.ID]bool, n)
-	out := make([]proto.ID, 0, n)
+	out = out[:0]
 	for len(out) < n {
 		id := proto.ID(src.Uint64())
 		if id == 0 || seen[id] {

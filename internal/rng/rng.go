@@ -49,14 +49,22 @@ func (r *Source) Reseed(seed uint64) {
 	}
 }
 
+// DeriveSeed returns the 64-bit seed that Derive(seed, label) feeds to New,
+// so callers holding preallocated Sources can Reseed them in place — e.g.
+// one []Source block for a whole cohort — instead of paying one heap
+// allocation per derived stream.
+func DeriveSeed(seed, label uint64) uint64 {
+	mix := seed
+	h := splitMix64(&mix)
+	mix = h ^ (label * 0xda942042e4dd58b5)
+	return splitMix64(&mix)
+}
+
 // Derive returns an independent stream for the given label, suitable for
 // per-ball randomness: Derive(seed, a) and Derive(seed, b) are decorrelated
 // for a != b because the label is diffused through SplitMix64 before seeding.
 func Derive(seed, label uint64) *Source {
-	mix := seed
-	h := splitMix64(&mix)
-	mix = h ^ (label * 0xda942042e4dd58b5)
-	return New(splitMix64(&mix))
+	return New(DeriveSeed(seed, label))
 }
 
 // Uint64 returns the next 64 random bits.

@@ -1,0 +1,132 @@
+package tree
+
+import (
+	"testing"
+
+	"ballsintoleaves/internal/rng"
+)
+
+// naiveOnPathToLeaf is the reference child scan the flattened OnPathToLeaf
+// must agree with.
+func naiveOnPathToLeaf(t *Topology, node Node, leafRank int) Node {
+	for _, kid := range t.Children(node) {
+		if t.Contains(kid, leafRank) {
+			return kid
+		}
+	}
+	panic("no containing child")
+}
+
+func TestOnPathToLeafMatchesScan(t *testing.T) {
+	for _, tc := range []struct{ n, arity int }{
+		{1, 2}, {2, 2}, {3, 2}, {7, 2}, {64, 2}, {100, 2}, {1023, 2},
+		{5, 3}, {100, 3}, {64, 4}, {1000, 7}, {129, 16}, {4096, 64},
+	} {
+		topo := NewTopologyArity(tc.n, tc.arity)
+		for node := 0; node < topo.NumNodes(); node++ {
+			if topo.IsLeaf(Node(node)) {
+				continue
+			}
+			for leaf := int(topo.lo[node]); leaf < int(topo.hi[node]); leaf++ {
+				got := topo.OnPathToLeaf(Node(node), leaf)
+				want := naiveOnPathToLeaf(topo, Node(node), leaf)
+				if got != want {
+					t.Fatalf("n=%d k=%d OnPathToLeaf(%d, %d) = %d, want %d",
+						tc.n, tc.arity, node, leaf, got, want)
+				}
+			}
+		}
+	}
+}
+
+// slowDescend is the pre-fusion walk: Remove, step while capacity remains,
+// Add — the reference DescendAdd must stay equivalent to.
+func slowDescend(o *Occupancy, from Node, leafRank int, limit int32) Node {
+	t := o.Topology()
+	o.Remove(from)
+	cur := from
+	steps := int32(0)
+	for !t.IsLeaf(cur) {
+		if limit > 0 && steps >= limit {
+			break
+		}
+		next := t.OnPathToLeaf(cur, leafRank)
+		if o.RemainingCapacity(next) <= 0 {
+			break
+		}
+		cur = next
+		steps++
+	}
+	o.Add(cur)
+	return cur
+}
+
+func TestDescendAddMatchesRemoveWalkAdd(t *testing.T) {
+	src := rng.New(7)
+	for _, tc := range []struct{ n, arity int }{
+		{2, 2}, {17, 2}, {256, 2}, {1000, 2}, {100, 3}, {256, 8},
+	} {
+		topo := NewTopologyArity(tc.n, tc.arity)
+		for trial := 0; trial < 50; trial++ {
+			fast := NewOccupancy(topo)
+			slow := NewOccupancy(topo)
+			// Random pre-load: park balls at random nodes (occupancy does
+			// not require the capacity invariant to hold for this algebra).
+			for b := 0; b < tc.n/2; b++ {
+				node := Node(src.Intn(topo.NumNodes()))
+				fast.Add(node)
+				slow.Add(node)
+			}
+			// Walk random balls from random inner positions.
+			for b := 0; b < 20; b++ {
+				from := Node(src.Intn(topo.NumNodes()))
+				fast.Add(from)
+				slow.Add(from)
+				leaf := int(topo.lo[from]) + src.Intn(topo.Leaves(from))
+				limit := int32(src.Intn(3)) // 0 = unlimited
+				got := fast.DescendAdd(from, leaf, limit)
+				want := slowDescend(slow, from, leaf, limit)
+				if got != want {
+					t.Fatalf("n=%d k=%d trial %d: DescendAdd(%d, %d, %d) = %d, want %d",
+						tc.n, tc.arity, trial, from, leaf, limit, got, want)
+				}
+				for node := 0; node < topo.NumNodes(); node++ {
+					if fast.Count(Node(node)) != slow.Count(Node(node)) {
+						t.Fatalf("n=%d k=%d trial %d: count diverged at node %d: %d vs %d",
+							tc.n, tc.arity, trial, node, fast.Count(Node(node)), slow.Count(Node(node)))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMoveFastPathsMatchRemoveAdd(t *testing.T) {
+	src := rng.New(11)
+	topo := NewTopologyArity(300, 2)
+	for trial := 0; trial < 200; trial++ {
+		fast := NewOccupancy(topo)
+		slow := NewOccupancy(topo)
+		nodes := make([]Node, 0, 16)
+		for b := 0; b < 16; b++ {
+			node := Node(src.Intn(topo.NumNodes()))
+			fast.Add(node)
+			slow.Add(node)
+			nodes = append(nodes, node)
+		}
+		for b := 0; b < 16; b++ {
+			from := nodes[b]
+			to := Node(src.Intn(topo.NumNodes()))
+			fast.Move(from, to)
+			slow.Remove(from)
+			slow.Add(to)
+			nodes[b] = to
+		}
+		for node := 0; node < topo.NumNodes(); node++ {
+			if fast.Count(Node(node)) != slow.Count(Node(node)) {
+				t.Fatalf("trial %d: Move diverged at node %d: %d vs %d",
+					trial, node, fast.Count(Node(node)), slow.Count(Node(node)))
+			}
+		}
+	}
+}

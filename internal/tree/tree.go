@@ -16,7 +16,10 @@
 // balls; each view carries only its own Occupancy (subtree ball counts).
 package tree
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Node is an index into a Topology's node arrays. The root is node 0 and
 // nodes are numbered in breadth-first order, so a node's children are
@@ -38,17 +41,48 @@ type Topology struct {
 	numNodes int
 	maxDepth int
 
-	lo, hi    []int32 // leaf-rank interval [lo, hi) covered by each node
-	childOff  []int32 // node -> first index into childList; children are contiguous
-	childList []Node
-	parent    []Node
-	depth     []int32
-	leafNode  []Node // leaf rank -> node index
+	lo, hi     []int32 // leaf-rank interval [lo, hi) covered by each node
+	childOff   []int32 // node -> first index into childList; children are contiguous
+	childList  []Node
+	firstChild []Node // node -> first child, 0 for leaves (the root is never a child)
+	parent     []Node
+	depth      []int32
+	leafNode   []Node // leaf rank -> node index
 }
 
 // NewTopology builds the balanced binary tree over n leaves — the paper's
 // shape. It panics if n < 1.
 func NewTopology(n int) *Topology { return NewTopologyArity(n, 2) }
+
+// sharedCap bounds the shared-topology cache. Experiment sweeps revisit a
+// handful of (n, arity) shapes thousands of times; a few retained shapes
+// cost megabytes while saving a full O(n) rebuild per run.
+const sharedCap = 8
+
+var (
+	sharedMu    sync.Mutex
+	sharedTopos [sharedCap]*Topology // most recently used first
+)
+
+// Shared returns a topology for (n, arity), reusing a cached instance when
+// one exists. Topologies are immutable and safe for concurrent use, so
+// distinct simulations — including parallel replicates — can share one
+// shape. The cache keeps the sharedCap most recently used shapes.
+func Shared(n, arity int) *Topology {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	for i, t := range sharedTopos {
+		if t != nil && t.n == n && t.arity == arity {
+			copy(sharedTopos[1:i+1], sharedTopos[:i])
+			sharedTopos[0] = t
+			return t
+		}
+	}
+	t := NewTopologyArity(n, arity)
+	copy(sharedTopos[1:], sharedTopos[:sharedCap-1])
+	sharedTopos[0] = t
+	return t
+}
 
 // NewTopologyArity builds a balanced arity-k tree over n leaves. It panics
 // if n < 1 or k is outside [2, MaxArity].
@@ -61,18 +95,24 @@ func NewTopologyArity(n, arity int) *Topology {
 	}
 	t := &Topology{n: n, arity: arity}
 	// Breadth-first construction: when a node is processed its children
-	// are allocated consecutively, so the child list stays contiguous.
-	type span struct{ lo, hi int32 }
-	queue := []span{{0, int32(n)}}
-	parents := []Node{None}
-	for head := 0; head < len(queue); head++ {
-		sp := queue[head]
+	// are allocated consecutively, so the child list stays contiguous. The
+	// node arrays double as the BFS queue (a span is exactly its [lo, hi)
+	// interval), and every inner node has at least two children, so the
+	// node count is bounded by 2n-1 and each array is allocated exactly
+	// once.
+	maxNodes := 2*n - 1
+	t.lo = append(make([]int32, 0, maxNodes), 0)
+	t.hi = append(make([]int32, 0, maxNodes), int32(n))
+	t.parent = append(make([]Node, 0, maxNodes), None)
+	t.depth = make([]int32, 0, maxNodes)
+	t.childOff = make([]int32, 0, maxNodes+1)
+	if n > 1 {
+		t.childList = make([]Node, 0, maxNodes-1)
+	}
+	for head := 0; head < len(t.lo); head++ {
 		node := Node(head)
-		t.lo = append(t.lo, sp.lo)
-		t.hi = append(t.hi, sp.hi)
-		t.parent = append(t.parent, parents[head])
 		t.childOff = append(t.childOff, int32(len(t.childList)))
-		if p := parents[head]; p == None {
+		if p := t.parent[head]; p == None {
 			t.depth = append(t.depth, 0)
 		} else {
 			t.depth = append(t.depth, t.depth[p]+1)
@@ -80,7 +120,7 @@ func NewTopologyArity(n, arity int) *Topology {
 		if d := int(t.depth[node]); d > t.maxDepth {
 			t.maxDepth = d
 		}
-		width := sp.hi - sp.lo
+		width := t.hi[head] - t.lo[head]
 		if width == 1 {
 			continue // leaf; children filled lazily below
 		}
@@ -90,25 +130,29 @@ func NewTopologyArity(n, arity int) *Topology {
 			parts = width
 		}
 		base, extra := width/parts, width%parts
-		cur := sp.lo
+		cur := t.lo[head]
 		for i := int32(0); i < parts; i++ {
 			size := base
 			if i < extra {
 				size++
 			}
-			child := Node(len(queue))
+			child := Node(len(t.lo))
 			t.childList = append(t.childList, child)
-			queue = append(queue, span{cur, cur + size})
-			parents = append(parents, node)
+			t.lo = append(t.lo, cur)
+			t.hi = append(t.hi, cur+size)
+			t.parent = append(t.parent, node)
 			cur += size
 		}
 	}
-	t.numNodes = len(queue)
+	t.numNodes = len(t.lo)
 	t.childOff = append(t.childOff, int32(len(t.childList)))
 	t.leafNode = make([]Node, n)
+	t.firstChild = make([]Node, t.numNodes)
 	for i := 0; i < t.numNodes; i++ {
 		if t.hi[i]-t.lo[i] == 1 {
 			t.leafNode[t.lo[i]] = Node(i)
+		} else {
+			t.firstChild[i] = t.childList[t.childOff[i]]
 		}
 	}
 	return t
@@ -129,9 +173,21 @@ func (t *Topology) MaxDepth() int { return t.maxDepth }
 // Root returns the root node.
 func (t *Topology) Root() Node { return 0 }
 
-// IsLeaf reports whether node is a leaf.
+// IsLeaf reports whether node is a leaf: a single load of the firstChild
+// table (the root is node 0 and is never anyone's child, so 0 marks
+// leaves).
 func (t *Topology) IsLeaf(node Node) bool {
-	return t.childOff[node] == t.childOff[node+1]
+	return t.firstChild[node] == 0
+}
+
+// FirstChild returns the node's first child as a single array load, or None
+// for a leaf. In a binary topology every inner node has exactly two
+// children, stored consecutively: the second child is FirstChild+1.
+func (t *Topology) FirstChild(node Node) Node {
+	if c := t.firstChild[node]; c != 0 {
+		return c
+	}
+	return None
 }
 
 // Children returns the node's children, left to right. The returned slice
@@ -173,10 +229,11 @@ func (t *Topology) Leaves(node Node) int { return int(t.hi[node] - t.lo[node]) }
 // decided name of a ball terminating at this leaf is LeafRank+1. It panics
 // if node is not a leaf.
 func (t *Topology) LeafRank(node Node) int {
-	if !t.IsLeaf(node) {
+	lo := t.lo[node]
+	if t.hi[node]-lo != 1 {
 		panic(fmt.Sprintf("tree: LeafRank of inner node %d", node))
 	}
-	return int(t.lo[node])
+	return int(lo)
 }
 
 // Leaf returns the leaf node with the given 0-based left-to-right rank.
@@ -202,18 +259,21 @@ func (t *Topology) OnPathToLeaf(node Node, leafRank int) Node {
 	if !t.Contains(node, leafRank) {
 		panic(fmt.Sprintf("tree: leaf %d not under node %d", leafRank, node))
 	}
-	kids := t.Children(node)
-	// Children are ordered by interval; binary-search the containing one.
-	lo, hi := 0, len(kids)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if int(t.hi[kids[mid]]) <= leafRank {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	// Children are allocated consecutively in BFS order, so they are the
+	// node range [firstChild, firstChild+fanout) and their hi bounds are
+	// adjacent in memory: a short forward scan (one step in the binary
+	// case) replaces the child-list indirection.
+	c := t.firstChild[node]
+	for int32(leafRank) >= t.hi[c] {
+		c++
 	}
-	return kids[lo]
+	return c
+}
+
+// NumChildren returns the node's fan-out (0 for a leaf). Children occupy
+// the consecutive node range [FirstChild, FirstChild+NumChildren).
+func (t *Topology) NumChildren(node Node) int {
+	return int(t.childOff[node+1] - t.childOff[node])
 }
 
 // Sibling returns the next sibling (or for the last child, the previous

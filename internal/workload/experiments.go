@@ -30,7 +30,7 @@ func runE1(opt Options) ([]*stats.Table, error) {
 		if n >= 1<<16 && seeds > 12 {
 			seeds = 12 // large runs: cap replicates to keep the sweep minutes-scale
 		}
-		rounds, err := roundsSample(n, seeds, opt.BaseSeed, core.RandomPaths, nil)
+		rounds, err := roundsSample(opt, n, seeds, core.RandomPaths, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -71,30 +71,33 @@ func runE2(opt Options) ([]*stats.Table, error) {
 		if n >= 1<<12 && seeds > 12 {
 			seeds = 12
 		}
-		bil, err := roundsSample(n, seeds, opt.BaseSeed, core.RandomPaths, nil)
+		bil, err := roundsSample(opt, n, seeds, core.RandomPaths, nil)
 		if err != nil {
 			return nil, err
 		}
-		bilShift, err := roundsSample(n, seeds, opt.BaseSeed, core.RandomPaths, shifter)
+		bilShift, err := roundsSample(opt, n, seeds, core.RandomPaths, shifter)
 		if err != nil {
 			return nil, err
 		}
-		det, err := roundsSample(n, seeds, opt.BaseSeed, core.LevelDescent, nil)
+		det, err := roundsSample(opt, n, seeds, core.LevelDescent, nil)
 		if err != nil {
 			return nil, err
 		}
-		detShift, err := roundsSample(n, seeds, opt.BaseSeed, core.LevelDescent, shifter)
+		detShift, err := roundsSample(opt, n, seeds, core.LevelDescent, shifter)
 		if err != nil {
 			return nil, err
 		}
-		naive := make([]int, 0, seeds)
-		for s := 0; s < seeds; s++ {
+		naive := make([]int, seeds)
+		if err := opt.forEachIndex(seeds, func(s int) error {
 			seed := opt.BaseSeed + uint64(s)
 			rounds, _, _, err := baseline.RunNaiveFast(n, seed, ids.Random(n, seed+0x9000))
 			if err != nil {
-				return nil, err
+				return err
 			}
-			naive = append(naive, rounds)
+			naive[s] = rounds
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		mBil := stats.SummarizeInts(bil).Mean
 		mBilShift := stats.SummarizeInts(bilShift).Mean
@@ -143,7 +146,7 @@ func runE3(opt Options) ([]*stats.Table, error) {
 		if f > 0 {
 			mk = mkAdv(f)
 		}
-		rounds, err := roundsSample(n, opt.seeds(), opt.BaseSeed, core.HybridPaths, mk)
+		rounds, err := roundsSample(opt, n, opt.seeds(), core.HybridPaths, mk)
 		if err != nil {
 			return err
 		}
@@ -205,8 +208,9 @@ func runE4(opt Options) ([]*stats.Table, error) {
 	}
 	var baseMean float64
 	for i, tc := range cases {
-		var rounds, crashes []int
-		for s := 0; s < seedCap; s++ {
+		rounds := make([]int, seedCap)
+		crashes := make([]int, seedCap)
+		if err := opt.forEachIndex(seedCap, func(s int) error {
 			seed := opt.BaseSeed + uint64(s)
 			cfg := core.Config{N: n, Seed: seed}
 			if tc.mk != nil {
@@ -214,10 +218,13 @@ func runE4(opt Options) ([]*stats.Table, error) {
 			}
 			res, err := RunCohort(cfg, seed+0x9000)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			rounds = append(rounds, res.Rounds)
-			crashes = append(crashes, res.Crashes)
+			rounds[s] = res.Rounds
+			crashes[s] = res.Crashes
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		rs := stats.SummarizeInts(rounds)
 		cs := stats.SummarizeInts(crashes)
@@ -238,15 +245,23 @@ func runE5(opt Options) ([]*stats.Table, error) {
 	if opt.Quick {
 		exps = []int{8, 10, 12}
 	}
-	var tables []*stats.Table
-	for _, exp := range exps {
-		n := 1 << exp
-		cfg := core.Config{N: n, Seed: opt.BaseSeed + 1, Metrics: true}
+	results := make([]core.Result, len(exps))
+	if err := opt.forEachIndex(len(exps), func(i int) error {
+		cfg := core.Config{N: 1 << exps[i], Seed: opt.BaseSeed + 1, Metrics: true}
 		res, err := RunCohort(cfg, opt.BaseSeed+0x5000)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		tb := stats.NewTable(fmt.Sprintf("E5: contention decay bmax(phase) (n=%d, seed=%d)", n, cfg.Seed),
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var tables []*stats.Table
+	for i, exp := range exps {
+		n := 1 << exp
+		res := results[i]
+		tb := stats.NewTable(fmt.Sprintf("E5: contention decay bmax(phase) (n=%d, seed=%d)", n, opt.BaseSeed+1),
 			"phase", "bmax", "bmax_inner", "balls_inner", "at_leaves", "lg2(n)^2")
 		lg2sq := math.Pow(math.Log2(float64(n)), 2)
 		for _, s := range res.Metrics.PerPhase {
@@ -296,14 +311,24 @@ func runE7(opt Options) ([]*stats.Table, error) {
 	}
 	tb := stats.NewTable("E7: dispersion after phase 1 (failure-free)",
 		"n", "at_leaves_p1(%)", "at_leaves_p2(%)", "mean_depth_p1", "max_depth")
+	var sizes []int
 	for exp := 8; exp <= maxExp; exp += 2 {
-		n := 1 << exp
-		cfg := core.Config{N: n, Seed: opt.BaseSeed + 3, Metrics: true}
+		sizes = append(sizes, 1<<exp)
+	}
+	results := make([]core.Result, len(sizes))
+	if err := opt.forEachIndex(len(sizes), func(i int) error {
+		cfg := core.Config{N: sizes[i], Seed: opt.BaseSeed + 3, Metrics: true}
 		res, err := RunCohort(cfg, opt.BaseSeed+0x7000)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		snaps := res.Metrics.PerPhase
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		snaps := results[i].Metrics.PerPhase
 		p1 := snaps[0]
 		meanDepth := 0.0
 		for d, c := range p1.DepthHist {
@@ -340,16 +365,23 @@ func runE8(opt Options) ([]*stats.Table, error) {
 			{"one-per-phase", func(uint64) adversary.Strategy { return &adversary.OnePerPhase{} }},
 			{"rank-shifter", func(uint64) adversary.Strategy { return &adversary.RankShifter{} }},
 		} {
-			maxPhases := 0
-			for s := 0; s < opt.seeds(); s++ {
+			phases := make([]int, opt.seeds())
+			if err := opt.forEachIndex(opt.seeds(), func(s int) error {
 				seed := opt.BaseSeed + uint64(s)
 				cfg := core.Config{N: n, Seed: seed, Adversary: tc.mk(seed)}
 				res, err := RunCohort(cfg, seed+0x8000)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				if res.Phases > maxPhases {
-					maxPhases = res.Phases
+				phases[s] = res.Phases
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			maxPhases := 0
+			for _, p := range phases {
+				if p > maxPhases {
+					maxPhases = p
 				}
 			}
 			tb.AddRow(stats.I(n), tc.name, stats.I(maxPhases), stats.I(n+1),
@@ -376,39 +408,47 @@ func runE9(opt Options) ([]*stats.Table, error) {
 		if seeds > 10 {
 			seeds = 10
 		}
-		var relaxed, seq1, seq2, par1, par2, bil []int
-		for s := 0; s < seeds; s++ {
+		relaxed := make([]int, seeds)
+		seq1 := make([]int, seeds)
+		seq2 := make([]int, seeds)
+		par1 := make([]int, seeds)
+		par2 := make([]int, seeds)
+		bil := make([]int, seeds)
+		if err := opt.forEachIndex(seeds, func(s int) error {
 			seed := opt.BaseSeed + uint64(s)
 			r, err := baseline.RunRelaxedOneShot(n, 2, seed)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			relaxed = append(relaxed, r.MaxLoad)
+			relaxed[s] = r.MaxLoad
 			q1, err := baseline.RunSequentialDChoice(n, 1, seed)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			seq1 = append(seq1, q1.MaxLoad)
+			seq1[s] = q1.MaxLoad
 			q2, err := baseline.RunSequentialDChoice(n, 2, seed)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			seq2 = append(seq2, q2.MaxLoad)
+			seq2[s] = q2.MaxLoad
 			p1, err := baseline.RunParallelChoice(n, 1, seed, 0)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			par1 = append(par1, p1.Rounds)
+			par1[s] = p1.Rounds
 			p2, err := baseline.RunParallelChoice(n, 2, seed, 0)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			par2 = append(par2, p2.Rounds)
+			par2[s] = p2.Rounds
 			res, err := RunCohort(core.Config{N: n, Seed: seed}, seed+0x9100)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			bil = append(bil, res.Rounds)
+			bil[s] = res.Rounds
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		tb.AddRow(stats.I(n),
 			stats.F1(stats.SummarizeInts(relaxed).Mean),
@@ -503,17 +543,20 @@ func runE12(opt Options) ([]*stats.Table, error) {
 		{"label-priority", func(c *core.Config) { c.LabelPriority = true }},
 	}
 	for _, v := range variants {
-		var ff, shift []int
-		violations := 0
-		for s := 0; s < opt.seeds(); s++ {
+		seeds := opt.seeds()
+		ff := make([]int, seeds)
+		shiftRounds := make([]int, seeds)
+		shiftOK := make([]bool, seeds)
+		violated := make([]bool, seeds)
+		if err := opt.forEachIndex(seeds, func(s int) error {
 			seed := opt.BaseSeed + uint64(s)
 			cfg := core.Config{N: n, Seed: seed}
 			v.mut(&cfg)
 			res, err := RunCohort(cfg, seed+0xc000)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			ff = append(ff, res.Rounds)
+			ff[s] = res.Rounds
 			cfg = core.Config{N: n, Seed: seed, Adversary: &adversary.RankShifter{}}
 			v.mut(&cfg)
 			res, err = RunCohort(cfg, seed+0xc000)
@@ -522,13 +565,27 @@ func runE12(opt Options) ([]*stats.Table, error) {
 				// reservation argument, so under crashes the ablated
 				// algorithm may stall past MaxRounds: a liveness
 				// violation, recorded rather than fatal.
-				violations++
-				continue
+				violated[s] = true
+				return nil
 			}
 			if proto.Validate(res.Decisions, n) != nil {
+				violated[s] = true
+			}
+			shiftRounds[s] = res.Rounds
+			shiftOK[s] = true
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		var shift []int
+		violations := 0
+		for s := 0; s < seeds; s++ {
+			if violated[s] {
 				violations++
 			}
-			shift = append(shift, res.Rounds)
+			if shiftOK[s] {
+				shift = append(shift, shiftRounds[s])
+			}
 		}
 		shiftMean := "-"
 		if len(shift) > 0 {
@@ -553,18 +610,19 @@ func runE12(opt Options) ([]*stats.Table, error) {
 		{"no-sync", true, false},
 		{"no-sync", true, true},
 	} {
-		violations, runs := 0, 0
-		var rounds []int
 		seeds := opt.seeds()
 		if seeds > 10 {
 			seeds = 10
 		}
-		for s := 0; s < seeds; s++ {
+		roundsBySeed := make([]int, seeds)
+		completed := make([]bool, seeds)
+		violated := make([]bool, seeds)
+		if err := opt.forEachIndex(seeds, func(s int) error {
 			seed := opt.BaseSeed + uint64(s)
 			cfg := core.Config{N: nb, Seed: seed, NoSyncRound: v.noSync}
 			balls, err := core.NewBalls(cfg, ids.Random(nb, seed+0xd000))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			engCfg := sim.Config{MaxRounds: 40 * nb}
 			if v.adv {
@@ -572,20 +630,32 @@ func runE12(opt Options) ([]*stats.Table, error) {
 			}
 			eng, err := sim.New(engCfg, core.Processes(balls))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := eng.Run()
 			if err != nil {
 				// A livelocked no-sync run is itself a liveness failure;
 				// count it as a violation of the protocol's guarantees.
-				violations++
-				runs++
-				continue
+				violated[s] = true
+				return nil
 			}
-			runs++
-			rounds = append(rounds, res.Rounds)
+			completed[s] = true
+			roundsBySeed[s] = res.Rounds
 			if proto.Validate(res.Decisions, nb) != nil {
+				violated[s] = true
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		violations, runs := 0, seeds
+		var rounds []int
+		for s := 0; s < seeds; s++ {
+			if violated[s] {
 				violations++
+			}
+			if completed[s] {
+				rounds = append(rounds, roundsBySeed[s])
 			}
 		}
 		mean := "-"
@@ -613,28 +683,32 @@ func runE13(opt Options) ([]*stats.Table, error) {
 	tb := stats.NewTable(fmt.Sprintf("E13: tree arity sweep, failure-free and under random crashes (n=%d)", n),
 		"arity", "depth", "rounds ff(mean)", "rounds crash(mean)", "bytes/run ff(MB)")
 	for _, arity := range []int{2, 4, 8, 16, 32} {
-		var ff, crash []int
-		var bytes []float64
 		seeds := opt.seeds()
 		if seeds > 12 {
 			seeds = 12
 		}
-		for s := 0; s < seeds; s++ {
+		ff := make([]int, seeds)
+		crash := make([]int, seeds)
+		bytes := make([]float64, seeds)
+		if err := opt.forEachIndex(seeds, func(s int) error {
 			seed := opt.BaseSeed + uint64(s)
 			res, err := RunCohort(core.Config{N: n, Seed: seed, Arity: arity}, seed+0xe000)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			ff = append(ff, res.Rounds)
-			bytes = append(bytes, float64(res.Bytes)/(1<<20))
+			ff[s] = res.Rounds
+			bytes[s] = float64(res.Bytes) / (1 << 20)
 			res, err = RunCohort(core.Config{
 				N: n, Seed: seed, Arity: arity,
 				Adversary: adversary.NewRandom(n/16, 3, seed),
 			}, seed+0xe000)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			crash = append(crash, res.Rounds)
+			crash[s] = res.Rounds
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		depth := 0
 		for span := n; span > 1; span = (span + arity - 1) / arity {

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment suite spends essentially all of its time in independent
+// replicate simulations: the same configuration re-run under different
+// seeds. Each replicate builds its own Cohort (or engine) over the shared
+// immutable topology, so replicates parallelize perfectly — the only care
+// needed is aggregation order.
+//
+// forEachIndex is the replicate engine: it fans fn(0..count-1) across a
+// bounded worker pool and guarantees deterministic results by construction,
+// because every job writes only into its own index-addressed slot and the
+// caller aggregates slots in index order after the barrier. Scheduling
+// order, worker count, and interleaving cannot influence any reported
+// number: same seeds in, same tables out, with -parallel 1 or 64.
+
+// workers resolves an Options.Parallel setting to a worker count: 0 and 1
+// run inline, negative values use every available CPU.
+func (o Options) workers() int {
+	p := o.Parallel
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// forEachIndex runs fn(i) for every i in [0, count), using up to
+// o.workers() concurrent workers. fn must confine its writes to data owned
+// by index i (typically a slot in a preallocated slice). The returned error
+// is the lowest-index failure; when running sequentially, later jobs are
+// skipped after a failure exactly as a plain loop would.
+func (o Options) forEachIndex(count int, fn func(i int) error) error {
+	p := o.workers()
+	if p > count {
+		p = count
+	}
+	if p <= 1 {
+		for i := 0; i < count; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, count)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= count {
+					return
+				}
+				errs[i] = runReplicate(i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runReplicate invokes one job, converting a panic into an error so a
+// single bad replicate fails its experiment instead of killing the whole
+// suite mid-flight with goroutines still running.
+func runReplicate(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("replicate %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachIndexCoversAll checks every index runs exactly once at any
+// worker count.
+func TestForEachIndexCoversAll(t *testing.T) {
+	for _, p := range []int{0, 1, 3, 16, -1} {
+		const count = 57
+		hits := make([]int32, count)
+		err := Options{Parallel: p}.forEachIndex(count, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", p, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("parallel=%d: index %d ran %d times", p, i, h)
+			}
+		}
+	}
+}
+
+// TestForEachIndexFirstErrorByIndex checks the reported error is the
+// lowest-index failure regardless of scheduling.
+func TestForEachIndexFirstErrorByIndex(t *testing.T) {
+	want := errors.New("boom-3")
+	err := Options{Parallel: 8}.forEachIndex(32, func(i int) error {
+		switch i {
+		case 3:
+			return want
+		case 17:
+			return errors.New("boom-17")
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("got %v, want boom-3", err)
+	}
+}
+
+// TestForEachIndexRecoversPanics checks one panicking replicate surfaces as
+// an error instead of crashing the suite.
+func TestForEachIndexRecoversPanics(t *testing.T) {
+	err := Options{Parallel: 4}.forEachIndex(8, func(i int) error {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error from the panicking replicate")
+	}
+}
+
+// TestParallelismDoesNotChangeResults renders experiments sequentially and
+// with a saturated worker pool and requires byte-identical tables: the
+// deterministic, seed-indexed aggregation contract of the parallel engine.
+// E4 exercises crash-heavy cohort runs (view groups), E13 the arity sweep.
+func TestParallelismDoesNotChangeResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-experiment comparison is seconds-long")
+	}
+	for _, id := range []string{"E4", "E13"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		render := func(parallel int) string {
+			tables, err := e.Run(Options{Quick: true, Seeds: 4, Parallel: parallel})
+			if err != nil {
+				t.Fatalf("%s parallel=%d: %v", id, parallel, err)
+			}
+			var buf bytes.Buffer
+			for _, tb := range tables {
+				tb.Render(&buf)
+			}
+			return buf.String()
+		}
+		seq := render(1)
+		par := render(8)
+		if seq != par {
+			t.Errorf("%s: tables differ between -parallel 1 and -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				id, seq, par)
+		}
+	}
+}

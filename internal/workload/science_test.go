@@ -17,7 +17,7 @@ import (
 func meanRounds(t *testing.T, n, seeds int, strategy core.PathStrategy,
 	mkAdv func(seed uint64) adversary.Strategy) float64 {
 	t.Helper()
-	rounds, err := roundsSample(n, seeds, 0, strategy, mkAdv)
+	rounds, err := roundsSample(Options{Parallel: -1}, n, seeds, strategy, mkAdv)
 	if err != nil {
 		t.Fatal(err)
 	}

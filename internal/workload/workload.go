@@ -13,10 +13,12 @@
 //	E10 message/bit complexity per process per round
 //	E11 §6: one splitter crash forces ~n/2 rank collisions
 //	E12 ablations: weighted coin, depth priority, synchronization round
+//	E13 extension: tree arity sweep (depth vs contention)
 //
 // Each experiment returns stats.Tables; cmd/blbench renders them and the
 // root bench_test.go exposes each as a benchmark reporting its headline
-// metric.
+// metric. Replicates are fanned across Options.Parallel workers with
+// seed-indexed aggregation, so tables are identical at any parallelism.
 package workload
 
 import (
@@ -37,6 +39,11 @@ type Options struct {
 	Seeds int
 	// BaseSeed offsets all seeds, for independent re-runs.
 	BaseSeed uint64
+	// Parallel is the maximum number of replicate simulations run
+	// concurrently: 0 or 1 runs sequentially, negative uses every CPU.
+	// Results are identical at any setting — replicates are independent
+	// and aggregation is seed-indexed (see forEachIndex).
+	Parallel int
 }
 
 func (o Options) seeds() int {
@@ -96,21 +103,26 @@ func RunCohort(cfg core.Config, labelSeed uint64) (core.Result, error) {
 }
 
 // roundsSample collects total rounds over `seeds` replicates for a config
-// template (Seed and Adversary are filled per replicate).
-func roundsSample(n, seeds int, base uint64, strategy core.PathStrategy,
+// template (Seed and Adversary are filled per replicate), fanning the
+// replicates across opt's worker pool with seed-indexed aggregation.
+func roundsSample(opt Options, n, seeds int, strategy core.PathStrategy,
 	mkAdv func(seed uint64) adversary.Strategy) ([]int, error) {
-	rounds := make([]int, 0, seeds)
-	for s := 0; s < seeds; s++ {
-		seed := base + uint64(s)
+	rounds := make([]int, seeds)
+	err := opt.forEachIndex(seeds, func(s int) error {
+		seed := opt.BaseSeed + uint64(s)
 		cfg := core.Config{N: n, Seed: seed, Strategy: strategy}
 		if mkAdv != nil {
 			cfg.Adversary = mkAdv(seed)
 		}
 		res, err := RunCohort(cfg, seed+0x9000)
 		if err != nil {
-			return nil, fmt.Errorf("n=%d seed=%d: %w", n, seed, err)
+			return fmt.Errorf("n=%d seed=%d: %w", n, seed, err)
 		}
-		rounds = append(rounds, res.Rounds)
+		rounds[s] = res.Rounds
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rounds, nil
 }

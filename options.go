@@ -245,20 +245,23 @@ func buildOptions(n int, opts []Option) (*options, error) {
 		opt(o)
 	}
 	if o.ids == nil {
+		// Generated ids are distinct and non-zero by construction; only
+		// user-supplied ids need validating.
 		o.ids = ids.Random(n, o.seed^0x1dbadc0de)
-	}
-	if len(o.ids) != n {
-		return nil, fmt.Errorf("ballsintoleaves: %d ids for n=%d", len(o.ids), n)
-	}
-	seen := make(map[proto.ID]bool, n)
-	for _, id := range o.ids {
-		if id == 0 {
-			return nil, fmt.Errorf("ballsintoleaves: ids must be non-zero")
+	} else {
+		if len(o.ids) != n {
+			return nil, fmt.Errorf("ballsintoleaves: %d ids for n=%d", len(o.ids), n)
 		}
-		if seen[id] {
-			return nil, fmt.Errorf("ballsintoleaves: duplicate id %v", id)
+		seen := make(map[proto.ID]bool, n)
+		for _, id := range o.ids {
+			if id == 0 {
+				return nil, fmt.Errorf("ballsintoleaves: ids must be non-zero")
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("ballsintoleaves: duplicate id %v", id)
+			}
+			seen[id] = true
 		}
-		seen[id] = true
 	}
 	switch o.algorithm {
 	case BallsIntoLeaves, EarlyTerminating, RankDescent, DeterministicLevelDescent, NaiveRandom:
