@@ -33,12 +33,21 @@
 //	    ballsintoleaves.WithAlgorithm(ballsintoleaves.EarlyTerminating),
 //	    ballsintoleaves.WithCrashes(ballsintoleaves.RandomCrashes(100, 9, 3)))
 //
-// # Integrating with a real transport
+// # Running on a real network
 //
 // NewProtocol exposes the per-process state machine directly, so the
 // algorithm can run over any transport that provides lock-step rounds:
 // call Send to obtain the round's broadcast, deliver every received
-// message via Deliver, and read Decided/Done.
+// message via Deliver, and read Decided/Done. The full round-driving
+// contract (payload reuse, self-delivery, crash semantics) is documented
+// on Protocol.
+//
+// The repository ships that transport: internal/transport provides an
+// in-process loopback and a length-prefixed TCP implementation with the
+// simulation engines' exact crash semantics, and cmd/blserve runs n OS
+// processes against a coordinator on real sockets, including scripted
+// mid-broadcast crash injection. See ARCHITECTURE.md for how the engines
+// and the transport relate and which tests pin them to each other.
 package ballsintoleaves
 
 import (

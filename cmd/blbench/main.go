@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,54 +29,89 @@ import (
 	"ballsintoleaves/internal/workload"
 )
 
-func main() {
-	var (
-		run      = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		quick    = flag.Bool("quick", false, "shrink sweeps and replicates")
-		seeds    = flag.Int("seeds", 0, "replicates per configuration (0 = default)")
-		seed     = flag.Uint64("seed", 0, "base seed offset")
-		parallel = flag.Int("parallel", 1, "max concurrent replicate simulations (0 = all CPUs)")
-		csv      = flag.String("csv", "", "directory to write per-table CSV files")
-		list     = flag.Bool("list", false, "list experiments and exit")
-	)
-	flag.Parse()
+// errFlagsReported marks parse failures the FlagSet already printed.
+var errFlagsReported = errors.New("flag parsing failed")
 
-	if *list {
+// runConfig is the parsed and validated command line.
+type runConfig struct {
+	opt      workload.Options
+	selected []workload.Experiment
+	csvDir   string
+	list     bool
+}
+
+// parseArgs parses args into a runConfig, resolving -parallel 0 to the CPU
+// count and -run IDs against the experiment registry.
+func parseArgs(args []string) (*runConfig, error) {
+	fs := flag.NewFlagSet("blbench", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		run      = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick    = fs.Bool("quick", false, "shrink sweeps and replicates")
+		seeds    = fs.Int("seeds", 0, "replicates per configuration (0 = default)")
+		seed     = fs.Uint64("seed", 0, "base seed offset")
+		parallel = fs.Int("parallel", 1, "max concurrent replicate simulations (0 = all CPUs)")
+		csv      = fs.String("csv", "", "directory to write per-table CSV files")
+		list     = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		// The FlagSet has already reported the problem (or printed the
+		// -h usage) to stderr; mark it so main does not repeat it.
+		return nil, errors.Join(errFlagsReported, err)
+	}
+	workers := *parallel
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := &runConfig{
+		opt:      workload.Options{Quick: *quick, Seeds: *seeds, BaseSeed: *seed, Parallel: workers},
+		selected: workload.All(),
+		csvDir:   *csv,
+		list:     *list,
+	}
+	if *run != "" {
+		cfg.selected = cfg.selected[:0]
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := workload.ByID(strings.TrimSpace(id))
+			if !ok {
+				return nil, fmt.Errorf("blbench: unknown experiment %q (try -list)", id)
+			}
+			cfg.selected = append(cfg.selected, e)
+		}
+	}
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseArgs(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		if !errors.Is(err, errFlagsReported) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(2)
+	}
+
+	if cfg.list {
 		for _, e := range workload.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		return
 	}
 
-	workers := *parallel
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	opt := workload.Options{Quick: *quick, Seeds: *seeds, BaseSeed: *seed, Parallel: workers}
-	selected := workload.All()
-	if *run != "" {
-		selected = selected[:0]
-		for _, id := range strings.Split(*run, ",") {
-			e, ok := workload.ByID(strings.TrimSpace(id))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "blbench: unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
-			}
-			selected = append(selected, e)
-		}
-	}
-
-	if *csv != "" {
-		if err := os.MkdirAll(*csv, 0o755); err != nil {
+	if cfg.csvDir != "" {
+		if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "blbench: %v\n", err)
 			os.Exit(1)
 		}
 	}
 
-	for _, e := range selected {
+	for _, e := range cfg.selected {
 		start := time.Now()
 		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
-		tables, err := e.Run(opt)
+		tables, err := e.Run(cfg.opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "blbench: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
@@ -83,9 +119,9 @@ func main() {
 		for i, tb := range tables {
 			tb.Render(os.Stdout)
 			fmt.Println()
-			if *csv != "" {
+			if cfg.csvDir != "" {
 				name := fmt.Sprintf("%s_%d.csv", e.ID, i+1)
-				f, err := os.Create(filepath.Join(*csv, name))
+				f, err := os.Create(filepath.Join(cfg.csvDir, name))
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "blbench: %v\n", err)
 					os.Exit(1)

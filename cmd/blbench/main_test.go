@@ -1,0 +1,85 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	t.Parallel()
+	cfg, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.opt.Parallel != 1 {
+		t.Fatalf("default parallel = %d, want 1 (sequential)", cfg.opt.Parallel)
+	}
+	if cfg.opt.Quick || cfg.opt.Seeds != 0 || cfg.opt.BaseSeed != 0 {
+		t.Fatalf("opt = %+v", cfg.opt)
+	}
+	if len(cfg.selected) == 0 || cfg.selected[0].ID != "E1" {
+		t.Fatalf("default selection = %+v", cfg.selected)
+	}
+	if cfg.list || cfg.csvDir != "" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+// TestParseArgsParallel covers the -parallel flag added with the parallel
+// experiment engine: 0 resolves to all CPUs, anything else is taken
+// literally.
+func TestParseArgsParallel(t *testing.T) {
+	t.Parallel()
+	cfg, err := parseArgs([]string{"-parallel", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := runtime.GOMAXPROCS(0); cfg.opt.Parallel != want {
+		t.Fatalf("-parallel 0 resolved to %d, want %d", cfg.opt.Parallel, want)
+	}
+	cfg, err = parseArgs([]string{"-parallel", "3", "-quick", "-seeds", "5", "-seed", "9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.opt.Parallel != 3 || !cfg.opt.Quick || cfg.opt.Seeds != 5 || cfg.opt.BaseSeed != 9 {
+		t.Fatalf("opt = %+v", cfg.opt)
+	}
+}
+
+func TestParseArgsSelection(t *testing.T) {
+	t.Parallel()
+	cfg, err := parseArgs([]string{"-run", "E3, E1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.selected) != 2 || cfg.selected[0].ID != "E3" || cfg.selected[1].ID != "E1" {
+		t.Fatalf("selection = %+v", cfg.selected)
+	}
+	if _, err := parseArgs([]string{"-run", "E99"}); err == nil || !strings.Contains(err.Error(), "E99") {
+		t.Fatalf("unknown experiment: err = %v", err)
+	}
+	if _, err := parseArgs([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestParseArgsListAndCSV(t *testing.T) {
+	t.Parallel()
+	cfg, err := parseArgs([]string{"-list", "-csv", "out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.list || cfg.csvDir != "out" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+func TestParseArgsHelpIsErrHelp(t *testing.T) {
+	t.Parallel()
+	if _, err := parseArgs([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h err = %v, want flag.ErrHelp", err)
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"testing"
+	"time"
+
+	bil "ballsintoleaves"
+)
+
+func TestParseFlagsCoordinator(t *testing.T) {
+	t.Parallel()
+	cfg, err := parseFlags([]string{"-listen", "127.0.0.1:4710", "-n", "8", "-seed", "7", "-algo", "early"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.listen != "127.0.0.1:4710" || cfg.n != 8 || cfg.seed != 7 || cfg.algo != bil.EarlyTerminating {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.timeout != 30*time.Second {
+		t.Fatalf("default timeout = %v", cfg.timeout)
+	}
+}
+
+func TestParseFlagsClient(t *testing.T) {
+	t.Parallel()
+	cfg, err := parseFlags([]string{"-connect", "127.0.0.1:4710", "-id", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.connect != "127.0.0.1:4710" || cfg.id != 5 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+func TestParseFlagsCrashInjection(t *testing.T) {
+	t.Parallel()
+	cfg, err := parseFlags([]string{"-listen", ":0", "-n", "4", "-crash-round", "3", "-crash-id", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.crashRound != 3 || cfg.crashID != 2 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+func TestParseFlagsRejectsInvalid(t *testing.T) {
+	t.Parallel()
+	cases := [][]string{
+		{}, // no mode
+		{"-listen", ":0", "-connect", ":0", "-id", "1"}, // both modes
+		{"-connect", ":0"},                                                    // client without id
+		{"-listen", ":0", "-n", "0"},                                          // bad n
+		{"-listen", ":0", "-crash-round", "3"},                                // crash flags split
+		{"-listen", ":0", "-crash-id", "3"},                                   // crash flags split
+		{"-connect", ":0", "-id", "1", "-crash-round", "3", "-crash-id", "2"}, // injection on client
+		{"-listen", ":0", "-algo", "bogus"},                                   // unknown algorithm
+	}
+	for _, args := range cases {
+		if _, err := parseFlags(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseAlgo(t *testing.T) {
+	t.Parallel()
+	cases := map[string]bil.Algorithm{
+		"balls":         bil.BallsIntoLeaves,
+		"random":        bil.BallsIntoLeaves,
+		"early":         bil.EarlyTerminating,
+		"hybrid":        bil.EarlyTerminating,
+		"rankdescent":   bil.RankDescent,
+		"deterministic": bil.RankDescent,
+		"leveldescent":  bil.DeterministicLevelDescent,
+		"level":         bil.DeterministicLevelDescent,
+	}
+	for in, want := range cases {
+		got, err := parseAlgo(in)
+		if err != nil || got != want {
+			t.Fatalf("parseAlgo(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseAlgo("naive"); err == nil {
+		t.Fatal("naive accepted (not a tree protocol)")
+	}
+}
+
+func TestParseFlagsHelpIsErrHelp(t *testing.T) {
+	t.Parallel()
+	if _, err := parseFlags([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h err = %v, want flag.ErrHelp", err)
+	}
+}

@@ -1,11 +1,13 @@
-// Transport integration: run the Balls-into-Leaves state machine over your
-// own network layer via the NewProtocol API.
+// Transport integration: run the Balls-into-Leaves state machine over the
+// repository's real transport layer via the NewProtocol API.
 //
-// The example acts as the transport itself: it drives lock-step rounds,
-// broadcasts every process's payload (including back to the sender), and
-// crashes one process mid-broadcast so that its final message reaches only
-// half the peers — the paper's exact failure model. The survivors rename
-// around the crash.
+// Each process runs in its own goroutine and talks only to its
+// transport.Transport endpoint — here the in-process loopback, but the
+// identical loop drives the TCP transport (see cmd/blserve, or `go run
+// ./cmd/blserve -h` for running this on real sockets). The loopback's
+// fault injection crashes one process mid-broadcast so that its final
+// message reaches only alternating peers — the paper's exact failure
+// model. The survivors rename around the crash.
 //
 // Run with:
 //
@@ -15,8 +17,12 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	bil "ballsintoleaves"
+	"ballsintoleaves/internal/adversary"
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/transport"
 )
 
 const (
@@ -26,90 +32,84 @@ const (
 )
 
 func main() {
-	peerIDs := make([]uint64, n)
-	procs := make(map[uint64]*bil.Protocol, n)
+	peerIDs := make([]proto.ID, n)
 	for i := range peerIDs {
-		id := uint64(500 + i)
-		peerIDs[i] = id
-		p, err := bil.NewProtocol(n, seed, id, bil.BallsIntoLeaves)
+		peerIDs[i] = proto.ID(500 + i)
+	}
+	victim := peerIDs[0]
+
+	// The loopback hub provides lock-step rounds with the simulation
+	// engines' exact crash semantics; the scripted adversary kills the
+	// victim mid-broadcast with alternating partial delivery.
+	hub, err := transport.NewLoopback(peerIDs, transport.NetConfig{
+		Adversary: &adversary.Scripted{Round: crashRound, Victim: victim},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One goroutine per process: the round-driving loop documented on
+	// NewProtocol, with the transport standing in for the network.
+	var wg sync.WaitGroup
+	for _, id := range peerIDs {
+		p, err := bil.NewProtocol(n, seed, uint64(id), bil.BallsIntoLeaves)
 		if err != nil {
 			log.Fatal(err)
 		}
-		procs[id] = p
+		ep, err := hub.Endpoint(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id proto.ID) {
+			defer wg.Done()
+			drive(ep, p)
+		}(id)
 	}
-	victim := peerIDs[0]
-	alive := make(map[uint64]bool, n)
-	for _, id := range peerIDs {
-		alive[id] = true
-	}
+	wg.Wait()
 
+	sum := hub.Summary()
+	fmt.Printf("all surviving processes halted after round %d\n\n", sum.Rounds)
+	for _, d := range sum.Decisions {
+		fmt.Printf("process %d: decided name %d (round %d)\n", uint64(d.ID), d.Name, d.Round)
+	}
+	for _, id := range sum.Crashed {
+		fmt.Printf("process %d: crashed\n", uint64(id))
+	}
+	fmt.Printf("\n%d messages, %d bytes on the wire\n", sum.Messages, sum.Bytes)
+	fmt.Println("\nany transport providing lock-step broadcast rounds (with self-delivery)")
+	fmt.Println("can host the protocol; partial delivery of a crashing sender is tolerated")
+}
+
+// drive is the per-process loop: broadcast, collect, deliver — until the
+// state machine halts or the transport reports this process crashed.
+// Payload buffers returned by Send are reused across rounds; Broadcast
+// consumes them synchronously, so no copy is needed here.
+func drive(ep transport.Transport, p *bil.Protocol) {
+	var decidedRound int
 	for round := 1; ; round++ {
 		if round > 100 {
 			log.Fatal("protocol did not terminate")
 		}
-		// Send half: collect every live process's broadcast. Payload
-		// buffers are reused by the protocol, so a transport must copy.
-		payloads := make(map[uint64][]byte)
-		for _, id := range peerIDs {
-			if !alive[id] || procs[id].Done() {
-				continue
-			}
-			raw := procs[id].Send(round)
-			cp := make([]byte, len(raw))
-			copy(cp, raw)
-			payloads[id] = cp
+		if err := ep.Broadcast(round, p.Send(round)); err != nil {
+			return // crashed mid-broadcast
 		}
-
-		// Failure injection: the victim crashes during its broadcast in
-		// crashRound — only peers with odd index still receive its final
-		// message. Afterwards it is silent forever.
-		partial := map[uint64]bool{}
-		if round == crashRound && alive[victim] {
-			alive[victim] = false
-			for i, id := range peerIDs {
-				if i%2 == 1 {
-					partial[id] = true
-				}
-			}
-			fmt.Printf("round %d: process %d crashes mid-broadcast; final message reaches %d of %d peers\n",
-				round, victim, len(partial), n-1)
+		rd, err := ep.Collect(round)
+		if err != nil {
+			return // crashed: by the model's rules, fall silent forever
 		}
-
-		// Deliver half: every live process receives the round's messages.
-		done := true
-		for _, id := range peerIDs {
-			if !alive[id] || procs[id].Done() {
-				continue
-			}
-			var msgs []bil.Message
-			for from, payload := range payloads {
-				if from == victim && round == crashRound && !partial[id] && id != victim {
-					continue // this peer missed the victim's final broadcast
-				}
-				msgs = append(msgs, bil.Message{From: from, Payload: payload})
-			}
-			procs[id].Deliver(round, msgs)
-			if !procs[id].Done() {
-				done = false
-			}
+		msgs := make([]bil.Message, len(rd.Msgs))
+		for i, m := range rd.Msgs {
+			msgs[i] = bil.Message{From: uint64(m.From), Payload: m.Payload}
 		}
-		if done {
-			fmt.Printf("all surviving processes halted after round %d\n\n", round)
-			break
+		p.Deliver(round, msgs)
+		name, ok := p.Decided()
+		if ok && decidedRound == 0 {
+			decidedRound = round
+		}
+		if p.Done() {
+			ep.Halt(transport.Halt{Round: round, Decided: ok, Name: name, DecidedRound: decidedRound})
+			return
 		}
 	}
-
-	for _, id := range peerIDs {
-		if !alive[id] {
-			fmt.Printf("process %d: crashed\n", id)
-			continue
-		}
-		name, ok := procs[id].Decided()
-		if !ok {
-			log.Fatalf("process %d never decided", id)
-		}
-		fmt.Printf("process %d: decided name %d\n", id, name)
-	}
-	fmt.Println("\nany transport providing lock-step broadcast rounds (with self-delivery)")
-	fmt.Println("can host the protocol; partial delivery of a crashing sender is tolerated")
 }

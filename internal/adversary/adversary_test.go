@@ -264,3 +264,44 @@ func TestFuncAdapter(t *testing.T) {
 		t.Fatal("nil fn should plan nothing")
 	}
 }
+
+func TestScriptedCrashesNamedVictimOnce(t *testing.T) {
+	t.Parallel()
+	s := &Scripted{Round: 3, Victim: 30}
+	if specs := s.Plan(&fakeView{round: 2, alive: idsUpTo(4), budget: 3}); specs != nil {
+		t.Fatalf("fired early: %v", specs)
+	}
+	specs := s.Plan(&fakeView{round: 3, alive: idsUpTo(4), budget: 3})
+	if len(specs) != 1 || specs[0].Victim != 30 {
+		t.Fatalf("specs = %+v", specs)
+	}
+	// Survivors 10,20,40; alternating delivery reaches ranks 0 and 2.
+	if !specs[0].Deliver(10) || specs[0].Deliver(20) || !specs[0].Deliver(40) {
+		t.Fatal("alternating delivery wrong")
+	}
+	if again := s.Plan(&fakeView{round: 3, alive: idsUpTo(4), budget: 3}); again != nil {
+		t.Fatalf("fired twice: %v", again)
+	}
+}
+
+func TestScriptedSkipsDeadVictimAndBudget(t *testing.T) {
+	t.Parallel()
+	s := &Scripted{Round: 1, Victim: 99}
+	if specs := s.Plan(&fakeView{round: 1, alive: idsUpTo(4), budget: 3}); specs != nil {
+		t.Fatalf("crashed an absent victim: %v", specs)
+	}
+	s2 := &Scripted{Round: 1, Victim: 10}
+	if specs := s2.Plan(&fakeView{round: 1, alive: idsUpTo(4), budget: 0}); specs != nil {
+		t.Fatalf("ignored budget: %v", specs)
+	}
+}
+
+func TestScriptedEmptyAliveSetIsNoOp(t *testing.T) {
+	t.Parallel()
+	s := &Scripted{Round: 2, Victim: 10}
+	// Every other participant already crashed or halted: Plan must be a
+	// clean no-op, not a panic (regression: negative survivor capacity).
+	if specs := s.Plan(&fakeView{round: 2, alive: nil, budget: 1}); specs != nil {
+		t.Fatalf("specs = %v", specs)
+	}
+}

@@ -210,6 +210,52 @@ func (o *OnePerPhase) Plan(view RoundView) []CrashSpec {
 	return []CrashSpec{{Victim: victim, Deliver: PrefixByRank(survivors, len(survivors)/2)}}
 }
 
+// Scripted crashes one named victim in one named round, delivering its
+// final broadcast to alternating survivors by rank (the splitter pattern,
+// but with the victim chosen by identity rather than by rank). Because the
+// schedule is fully determined by (Round, Victim), the same Scripted value
+// reproduces the same execution on every engine — internal/sim,
+// internal/runtime, and the transport layer's coordinators — which is what
+// the transport-vs-sim equivalence tests and blserve's
+// -crash-round/-crash-id fault injection rely on.
+type Scripted struct {
+	// Round is the 1-based round in which the victim crashes
+	// mid-broadcast.
+	Round int
+	// Victim is the original identifier of the process to crash. If it is
+	// not alive in that round the script is a no-op.
+	Victim proto.ID
+	done   bool
+}
+
+// Name implements Strategy.
+func (s *Scripted) Name() string { return "scripted" }
+
+// Plan implements Strategy.
+func (s *Scripted) Plan(view RoundView) []CrashSpec {
+	if s.done || view.Round() != s.Round || view.Budget() < 1 {
+		return nil
+	}
+	alive := view.Alive()
+	if len(alive) == 0 {
+		return nil
+	}
+	survivors := make([]proto.ID, 0, len(alive)-1)
+	found := false
+	for _, id := range alive {
+		if id == s.Victim {
+			found = true
+		} else {
+			survivors = append(survivors, id)
+		}
+	}
+	if !found {
+		return nil
+	}
+	s.done = true
+	return []CrashSpec{{Victim: s.Victim, Deliver: AlternatingByRank(survivors)}}
+}
+
 // Recorder wraps a Strategy and records every crash it actually planned,
 // for assertions in tests and for replaying executions.
 type Recorder struct {

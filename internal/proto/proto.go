@@ -29,14 +29,17 @@ type Message struct {
 	Payload []byte
 }
 
-// Process is the state-machine contract driven by both engines
-// (internal/sim and internal/runtime). The engine calls Send at the start of
-// each round to collect the process's broadcast payload, applies the
-// adversary's crash and delivery plan, and then calls Deliver with the
-// messages that reached the process.
+// Process is the state-machine contract driven by the simulation engines
+// (internal/sim and internal/runtime) and, through internal/transport's Run
+// loop, by the real network transports. The driver calls Send at the start
+// of each round to collect the process's broadcast payload, applies the
+// adversary's crash and delivery plan (or, on a real network, observes
+// actual connection failures), and then calls Deliver with the messages
+// that reached the process.
 //
 // Implementations must be deterministic given their construction-time seed:
-// both engines rely on replayability for cross-validation.
+// the engines and the transport layer rely on replayability for
+// cross-validation.
 type Process interface {
 	// ID returns the process's original identifier.
 	ID() ID

@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"fmt"
+
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/wire"
+)
+
+// The TCP transport frames the repository's varint wire format
+// (internal/wire) over length-prefixed frames (wire.ReadFrame /
+// wire.WriteFrame). Every frame body starts with a one-byte kind tag;
+// malformed bodies surface wire.ErrTruncated / wire.ErrTrailing as clean
+// per-connection errors and the offending connection is treated as
+// crashed — never trusted further, never a panic.
+const (
+	frameHello  byte = 1 // client → coordinator: protocol version + process ID
+	frameConfig byte = 2 // coordinator → client: run parameters (n, seed, variant)
+	frameData   byte = 3 // client → coordinator: one round's broadcast payload
+	frameRound  byte = 4 // coordinator → client: one round's deliveries + crash notices
+	frameHalt   byte = 5 // client → coordinator: clean sign-off with the decision
+)
+
+// protocolVersion is the hello handshake version; mismatches are rejected
+// at admission.
+const protocolVersion = 1
+
+// maxFrame bounds any frame on the wire. A round frame carries at most n
+// payloads of O(log n) bits each, so a megabyte accommodates systems far
+// beyond what a single coordinator would serve.
+const maxFrame = 1 << 20
+
+// RunConfig is the run configuration the coordinator distributes to every
+// admitted client in the config frame. Variant is opaque to the transport;
+// cmd/blserve maps it to a ballsintoleaves.Algorithm.
+type RunConfig struct {
+	N       int
+	Seed    uint64
+	Variant uint64
+}
+
+func appendHello(w *wire.Writer, id proto.ID) {
+	w.Byte(frameHello)
+	w.Uvarint(protocolVersion)
+	w.Uvarint(uint64(id))
+}
+
+func decodeHello(body []byte) (proto.ID, error) {
+	r := wire.NewReader(body)
+	if k := r.Byte(); r.Err() == nil && k != frameHello {
+		return 0, fmt.Errorf("transport: expected hello, got frame kind %d", k)
+	}
+	version := r.Uvarint()
+	id := proto.ID(r.Uvarint())
+	if err := r.Close(); err != nil {
+		return 0, err
+	}
+	if version != protocolVersion {
+		return 0, fmt.Errorf("transport: protocol version %d, want %d", version, protocolVersion)
+	}
+	if id == 0 {
+		return 0, fmt.Errorf("transport: process ID must be non-zero")
+	}
+	return id, nil
+}
+
+func appendConfig(w *wire.Writer, cfg RunConfig) {
+	w.Byte(frameConfig)
+	w.Uvarint(uint64(cfg.N))
+	w.Uvarint(cfg.Seed)
+	w.Uvarint(cfg.Variant)
+}
+
+func decodeConfig(body []byte) (RunConfig, error) {
+	r := wire.NewReader(body)
+	if k := r.Byte(); r.Err() == nil && k != frameConfig {
+		return RunConfig{}, fmt.Errorf("transport: expected config, got frame kind %d", k)
+	}
+	cfg := RunConfig{
+		N:       int(r.Uvarint()),
+		Seed:    r.Uvarint(),
+		Variant: r.Uvarint(),
+	}
+	if err := r.Close(); err != nil {
+		return RunConfig{}, err
+	}
+	if cfg.N < 1 {
+		return RunConfig{}, fmt.Errorf("transport: config n must be >= 1, got %d", cfg.N)
+	}
+	return cfg, nil
+}
+
+func appendData(w *wire.Writer, round int, payload []byte) {
+	w.Byte(frameData)
+	w.Uvarint(uint64(round))
+	w.Raw(payload)
+}
+
+func decodeData(body []byte) (round int, payload []byte, err error) {
+	r := wire.NewReader(body)
+	if k := r.Byte(); r.Err() == nil && k != frameData {
+		return 0, nil, fmt.Errorf("transport: expected data, got frame kind %d", k)
+	}
+	round = int(r.Uvarint())
+	payload = r.Rest()
+	if err := r.Close(); err != nil {
+		return 0, nil, err
+	}
+	return round, payload, nil
+}
+
+func appendRound(w *wire.Writer, round int, rd Round) {
+	w.Byte(frameRound)
+	w.Uvarint(uint64(round))
+	w.Uvarint(uint64(len(rd.Crashed)))
+	for _, id := range rd.Crashed {
+		w.Uvarint(uint64(id))
+	}
+	w.Uvarint(uint64(len(rd.Msgs)))
+	for _, m := range rd.Msgs {
+		w.Uvarint(uint64(m.From))
+		w.Uvarint(uint64(len(m.Payload)))
+		w.Raw(m.Payload)
+	}
+}
+
+func decodeRound(body []byte) (round int, rd Round, err error) {
+	r := wire.NewReader(body)
+	if k := r.Byte(); r.Err() == nil && k != frameRound {
+		return 0, Round{}, fmt.Errorf("transport: expected round, got frame kind %d", k)
+	}
+	round = int(r.Uvarint())
+	nCrashed := r.Uvarint()
+	if nCrashed > uint64(r.Remaining()) {
+		return 0, Round{}, fmt.Errorf("%w: %d crash notices in %d bytes", wire.ErrTruncated, nCrashed, r.Remaining())
+	}
+	for i := uint64(0); i < nCrashed && r.Err() == nil; i++ {
+		rd.Crashed = append(rd.Crashed, proto.ID(r.Uvarint()))
+	}
+	nMsgs := r.Uvarint()
+	if nMsgs > uint64(r.Remaining()) {
+		return 0, Round{}, fmt.Errorf("%w: %d messages in %d bytes", wire.ErrTruncated, nMsgs, r.Remaining())
+	}
+	for i := uint64(0); i < nMsgs && r.Err() == nil; i++ {
+		from := proto.ID(r.Uvarint())
+		length := r.Uvarint()
+		if length > uint64(r.Remaining()) {
+			return 0, Round{}, fmt.Errorf("%w: payload of %d bytes in %d remaining", wire.ErrTruncated, length, r.Remaining())
+		}
+		payload := r.Bytes(int(length))
+		rd.Msgs = append(rd.Msgs, proto.Message{From: from, Payload: payload})
+	}
+	if err := r.Close(); err != nil {
+		return 0, Round{}, err
+	}
+	return round, rd, nil
+}
+
+func appendHalt(w *wire.Writer, h Halt) {
+	w.Byte(frameHalt)
+	w.Uvarint(uint64(h.Round))
+	decided := byte(0)
+	if h.Decided {
+		decided = 1
+	}
+	w.Byte(decided)
+	w.Uvarint(uint64(h.Name))
+	w.Uvarint(uint64(h.DecidedRound))
+}
+
+func decodeHalt(body []byte) (Halt, error) {
+	r := wire.NewReader(body)
+	if k := r.Byte(); r.Err() == nil && k != frameHalt {
+		return Halt{}, fmt.Errorf("transport: expected halt, got frame kind %d", k)
+	}
+	h := Halt{Round: int(r.Uvarint())}
+	h.Decided = r.Byte() == 1
+	h.Name = int(r.Uvarint())
+	h.DecidedRound = int(r.Uvarint())
+	if err := r.Close(); err != nil {
+		return Halt{}, err
+	}
+	return h, nil
+}

@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/wire"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	t.Parallel()
+	var w wire.Writer
+	appendHello(&w, 0xbeef)
+	id, err := decodeHello(w.Bytes())
+	if err != nil || id != 0xbeef {
+		t.Fatalf("decodeHello = %v, %v", id, err)
+	}
+}
+
+func TestHelloRejectsBadVersionAndZeroID(t *testing.T) {
+	t.Parallel()
+	var w wire.Writer
+	w.Byte(frameHello)
+	w.Uvarint(protocolVersion + 1)
+	w.Uvarint(7)
+	if _, err := decodeHello(w.Bytes()); err == nil {
+		t.Fatal("future version accepted")
+	}
+	w.Reset()
+	appendHello(&w, 0)
+	if _, err := decodeHello(w.Bytes()); err == nil {
+		t.Fatal("zero ID accepted")
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	t.Parallel()
+	var w wire.Writer
+	want := RunConfig{N: 64, Seed: 99, Variant: 2}
+	appendConfig(&w, want)
+	got, err := decodeConfig(w.Bytes())
+	if err != nil || got != want {
+		t.Fatalf("decodeConfig = %+v, %v", got, err)
+	}
+	w.Reset()
+	appendConfig(&w, RunConfig{N: 0})
+	if _, err := decodeConfig(w.Bytes()); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	t.Parallel()
+	for _, payload := range [][]byte{nil, {}, {1}, {1, 2, 3, 0xff}} {
+		var w wire.Writer
+		appendData(&w, 12, payload)
+		round, got, err := decodeData(w.Bytes())
+		if err != nil || round != 12 {
+			t.Fatalf("decodeData = round %d, %v", round, err)
+		}
+		if len(got) != len(payload) {
+			t.Fatalf("payload = %v, want %v", got, payload)
+		}
+	}
+}
+
+func TestRoundFrameRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := Round{
+		Msgs: []proto.Message{
+			{From: 3, Payload: []byte{9, 9}},
+			{From: 5, Payload: nil},
+			{From: 7, Payload: []byte{1}},
+		},
+		Crashed: []proto.ID{11, 13},
+	}
+	var w wire.Writer
+	appendRound(&w, 4, in)
+	round, out, err := decodeRound(w.Bytes())
+	if err != nil || round != 4 {
+		t.Fatalf("decodeRound = round %d, %v", round, err)
+	}
+	if len(out.Msgs) != 3 || out.Msgs[0].From != 3 || out.Msgs[2].From != 7 {
+		t.Fatalf("msgs = %+v", out.Msgs)
+	}
+	if len(out.Msgs[0].Payload) != 2 || len(out.Msgs[1].Payload) != 0 {
+		t.Fatalf("payloads = %+v", out.Msgs)
+	}
+	if len(out.Crashed) != 2 || out.Crashed[1] != 13 {
+		t.Fatalf("crashed = %v", out.Crashed)
+	}
+}
+
+// TestRoundFrameMalformed covers the per-connection failure paths a hostile
+// or corrupt peer can trigger: truncated bodies, trailing bytes and absurd
+// element counts must surface the wire sentinels and never panic.
+func TestRoundFrameMalformed(t *testing.T) {
+	t.Parallel()
+	var w wire.Writer
+	appendRound(&w, 4, Round{Msgs: []proto.Message{{From: 3, Payload: []byte{9, 9}}}})
+	full := append([]byte(nil), w.Bytes()...)
+
+	// Every truncation point is a clean ErrTruncated.
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := decodeRound(full[:cut]); !errors.Is(err, wire.ErrTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+	// Trailing bytes after a well-formed body are ErrTrailing.
+	if _, _, err := decodeRound(append(append([]byte(nil), full...), 0xaa)); !errors.Is(err, wire.ErrTrailing) {
+		t.Fatalf("trailing: err = %v, want ErrTrailing", err)
+	}
+	// A count field claiming more elements than bytes remain must be
+	// rejected before any allocation sized by it.
+	var huge wire.Writer
+	huge.Byte(frameRound)
+	huge.Uvarint(4)
+	huge.Uvarint(1 << 40) // crash-notice count
+	if _, _, err := decodeRound(huge.Bytes()); !errors.Is(err, wire.ErrTruncated) {
+		t.Fatalf("huge count: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestHaltRoundTrip(t *testing.T) {
+	t.Parallel()
+	want := Halt{Round: 9, Decided: true, Name: 5, DecidedRound: 7}
+	var w wire.Writer
+	appendHalt(&w, want)
+	got, err := decodeHalt(w.Bytes())
+	if err != nil || got != want {
+		t.Fatalf("decodeHalt = %+v, %v", got, err)
+	}
+	w.Reset()
+	appendHalt(&w, Halt{Round: 3})
+	got, err = decodeHalt(w.Bytes())
+	if err != nil || got.Decided || got.Round != 3 {
+		t.Fatalf("undecided halt = %+v, %v", got, err)
+	}
+}
+
+func TestWrongKindRejected(t *testing.T) {
+	t.Parallel()
+	var w wire.Writer
+	appendHello(&w, 7)
+	if _, err := decodeConfig(w.Bytes()); err == nil {
+		t.Fatal("hello accepted as config")
+	}
+	if _, _, err := decodeRound(w.Bytes()); err == nil {
+		t.Fatal("hello accepted as round")
+	}
+	if _, err := decodeHalt(w.Bytes()); err == nil {
+		t.Fatal("hello accepted as halt")
+	}
+}

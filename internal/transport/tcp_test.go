@@ -1,0 +1,371 @@
+package transport_test
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	bil "ballsintoleaves"
+	"ballsintoleaves/internal/adversary"
+	"ballsintoleaves/internal/core"
+	"ballsintoleaves/internal/ids"
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/sim"
+	"ballsintoleaves/internal/transport"
+)
+
+// bilProcess adapts the public ballsintoleaves.Protocol to the transport
+// driver — the same adapter cmd/blserve uses, so this test exercises the
+// exact state-machine path a real blserve client runs.
+type bilProcess struct{ p *bil.Protocol }
+
+func (a bilProcess) Send(round int) []byte { return a.p.Send(round) }
+func (a bilProcess) Deliver(round int, msgs []proto.Message) {
+	conv := make([]bil.Message, len(msgs))
+	for i, m := range msgs {
+		conv[i] = bil.Message{From: uint64(m.From), Payload: m.Payload}
+	}
+	a.p.Deliver(round, conv)
+}
+func (a bilProcess) Decided() (int, bool) { return a.p.Decided() }
+func (a bilProcess) Done() bool           { return a.p.Done() }
+
+// dialAndRun is one blserve-style client: dial, build the public protocol
+// from the coordinator's config, and drive it to completion.
+func dialAndRun(addr string, id proto.ID) (transport.RunResult, error) {
+	c, err := transport.Dial(addr, id, 10*time.Second)
+	if err != nil {
+		return transport.RunResult{}, err
+	}
+	defer c.Close()
+	cfg := c.Config()
+	p, err := bil.NewProtocol(cfg.N, cfg.Seed, uint64(id), bil.Algorithm(cfg.Variant))
+	if err != nil {
+		return transport.RunResult{}, err
+	}
+	return transport.Run(c, bilProcess{p}, 10*cfg.N+64)
+}
+
+// TestTCPMatchesSimWithScriptedCrash is the transport's acceptance test: 8
+// client processes execute bil.Protocol over real TCP sockets through the
+// coordinator while the scripted adversary crashes one of them
+// mid-broadcast in round 4, delivering its final message to only
+// alternating survivors. The run must terminate with unique names and be
+// field-for-field identical — decisions (names and rounds), crash set,
+// round count, message and byte traffic — to internal/sim under the
+// equivalent adversary schedule.
+func TestTCPMatchesSimWithScriptedCrash(t *testing.T) {
+	t.Parallel()
+	const (
+		n          = 8
+		seed       = 7
+		crashRound = 4
+	)
+	labels := ids.Random(n, 123)
+	victim := labels[2]
+	script := func() adversary.Strategy { return &adversary.Scripted{Round: crashRound, Victim: victim} }
+
+	// Reference execution on the single-threaded engine.
+	balls, err := core.NewBalls(core.Config{N: n, Seed: seed, Strategy: core.RandomPaths, CheckInvariants: true}, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sim.New(sim.Config{Adversary: script()}, core.Processes(balls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Crashed) != 1 || want.Crashed[0] != victim {
+		t.Fatalf("reference run crashed %v, want exactly %v", want.Crashed, victim)
+	}
+
+	// The same system over TCP.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		results = make(map[proto.ID]transport.RunResult, n)
+	)
+	for _, id := range labels {
+		wg.Add(1)
+		go func(id proto.ID) {
+			defer wg.Done()
+			res, err := dialAndRun(ln.Addr().String(), id)
+			if err != nil {
+				t.Errorf("client %v: %v", id, err)
+			}
+			mu.Lock()
+			results[id] = res
+			mu.Unlock()
+		}(id)
+	}
+
+	got, err := transport.Serve(ln, transport.CoordinatorConfig{
+		Run:       transport.RunConfig{N: n, Seed: seed, Variant: uint64(bil.BallsIntoLeaves)},
+		Net:       transport.NetConfig{Adversary: script()},
+		IOTimeout: 10 * time.Second,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	assertSummaryMatches(t, got, want)
+	if err := proto.Validate(got.Decisions, n); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Decisions) != n-1 {
+		t.Fatalf("%d survivors decided, want %d", len(got.Decisions), n-1)
+	}
+	if !results[victim].Crashed {
+		t.Fatalf("victim result = %+v, want Crashed", results[victim])
+	}
+	for _, d := range want.Decisions {
+		res := results[d.ID]
+		if !res.Decided || res.Name != d.Name || res.DecidedRound != d.Round {
+			t.Fatalf("client %v local result %+v, want name %d round %d", d.ID, res, d.Name, d.Round)
+		}
+	}
+}
+
+// TestTCPFailureFreeMatchesSim runs a crash-free system over sockets and
+// pins it to the reference engine.
+func TestTCPFailureFreeMatchesSim(t *testing.T) {
+	t.Parallel()
+	const (
+		n    = 5
+		seed = 3
+	)
+	labels := ids.Random(n, 9)
+	balls, err := core.NewBalls(core.Config{N: n, Seed: seed, Strategy: core.RandomPaths}, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sim.New(sim.Config{}, core.Processes(balls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	for _, id := range labels {
+		wg.Add(1)
+		go func(id proto.ID) {
+			defer wg.Done()
+			if _, err := dialAndRun(ln.Addr().String(), id); err != nil {
+				t.Errorf("client %v: %v", id, err)
+			}
+		}(id)
+	}
+	got, err := transport.Serve(ln, transport.CoordinatorConfig{
+		Run:       transport.RunConfig{N: n, Seed: seed, Variant: uint64(bil.BallsIntoLeaves)},
+		IOTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	assertSummaryMatches(t, got, want)
+}
+
+// TestTCPConnectionDropIsMidBroadcastCrash covers the unscripted failure
+// model: a client that vanishes without a halt sign-off is a crash. The
+// client drops after fully participating in round 2, so the coordinator
+// discovers the loss when collecting round 3 — equivalent to an adversary
+// crashing it in round 3 with no final delivery, which is asserted against
+// internal/sim.
+func TestTCPConnectionDropIsMidBroadcastCrash(t *testing.T) {
+	t.Parallel()
+	const (
+		n         = 4
+		seed      = 11
+		dropAfter = 2 // rounds the dropping client completes
+	)
+	labels := ids.Random(n, 77)
+	dropper := labels[1]
+
+	// Reference: the drop surfaces in round dropAfter+1 as a crash whose
+	// final broadcast reaches nobody (it was never sent).
+	script := adversary.Func{Label: "conn-drop", Fn: func(v adversary.RoundView) []adversary.CrashSpec {
+		if v.Round() != dropAfter+1 {
+			return nil
+		}
+		return []adversary.CrashSpec{{Victim: dropper, Deliver: adversary.DeliverNone}}
+	}}
+	balls, err := core.NewBalls(core.Config{N: n, Seed: seed, Strategy: core.RandomPaths}, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sim.New(sim.Config{Adversary: script}, core.Processes(balls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	for _, id := range labels {
+		wg.Add(1)
+		go func(id proto.ID) {
+			defer wg.Done()
+			if id != dropper {
+				if _, err := dialAndRun(ln.Addr().String(), id); err != nil {
+					t.Errorf("client %v: %v", id, err)
+				}
+				return
+			}
+			// The dropper participates for dropAfter rounds and then
+			// vanishes without a sign-off.
+			c, err := transport.Dial(ln.Addr().String(), id, 10*time.Second)
+			if err != nil {
+				t.Errorf("dropper dial: %v", err)
+				return
+			}
+			cfg := c.Config()
+			p, err := bil.NewProtocol(cfg.N, cfg.Seed, uint64(id), bil.Algorithm(cfg.Variant))
+			if err != nil {
+				t.Errorf("dropper protocol: %v", err)
+				return
+			}
+			proc := bilProcess{p}
+			for round := 1; round <= dropAfter; round++ {
+				if err := c.Broadcast(round, proc.Send(round)); err != nil {
+					t.Errorf("dropper round %d: %v", round, err)
+					return
+				}
+				rd, err := c.Collect(round)
+				if err != nil {
+					t.Errorf("dropper round %d: %v", round, err)
+					return
+				}
+				proc.Deliver(round, rd.Msgs)
+			}
+			c.Close()
+		}(id)
+	}
+	got, err := transport.Serve(ln, transport.CoordinatorConfig{
+		Run:       transport.RunConfig{N: n, Seed: seed, Variant: uint64(bil.BallsIntoLeaves)},
+		IOTimeout: 10 * time.Second,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	assertSummaryMatches(t, got, want)
+}
+
+// TestTCPAdmissionRejectsMalformedHandshakes asserts that garbage,
+// oversized and duplicate handshakes are rejected per-connection while the
+// coordinator keeps serving honest clients.
+func TestTCPAdmissionRejectsMalformedHandshakes(t *testing.T) {
+	t.Parallel()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// A stream of hostile connections first, then one honest client.
+		for _, raw := range [][]byte{
+			{0xff, 0xff, 0xff, 0xff},       // oversized length prefix
+			{0x00, 0x00, 0x00, 0x05, 0x01}, // truncated frame body
+			{0x00, 0x00, 0x00, 0x01, 0x63}, // well-framed garbage kind
+		} {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Errorf("hostile dial: %v", err)
+				return
+			}
+			conn.Write(raw)
+			conn.Close()
+		}
+		if _, err := dialAndRun(addr, 42); err != nil {
+			t.Errorf("honest client: %v", err)
+		}
+	}()
+
+	sum, err := transport.Serve(ln, transport.CoordinatorConfig{
+		Run:       transport.RunConfig{N: 1, Seed: 1, Variant: uint64(bil.BallsIntoLeaves)},
+		IOTimeout: 10 * time.Second,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(sum.Decisions) != 1 || sum.Decisions[0].ID != 42 || sum.Decisions[0].Name != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+// TestTCPVariantsOverSockets smoke-runs every tree algorithm end to end on
+// sockets, checking unique-name termination (the equivalence tests above
+// pin exact behavior for the default variant).
+func TestTCPVariantsOverSockets(t *testing.T) {
+	t.Parallel()
+	for _, variant := range []bil.Algorithm{bil.EarlyTerminating, bil.RankDescent, bil.DeterministicLevelDescent} {
+		t.Run(fmt.Sprint(variant), func(t *testing.T) {
+			t.Parallel()
+			const n = 4
+			labels := ids.Random(n, 5)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			var wg sync.WaitGroup
+			for _, id := range labels {
+				wg.Add(1)
+				go func(id proto.ID) {
+					defer wg.Done()
+					if _, err := dialAndRun(ln.Addr().String(), id); err != nil {
+						t.Errorf("client %v: %v", id, err)
+					}
+				}(id)
+			}
+			sum, err := transport.Serve(ln, transport.CoordinatorConfig{
+				Run:       transport.RunConfig{N: n, Seed: 2, Variant: uint64(variant)},
+				IOTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+			if len(sum.Decisions) != n {
+				t.Fatalf("%d decisions, want %d: %+v", len(sum.Decisions), n, sum)
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame I/O: the length-prefixed framing used to carry wire payloads over a
+// byte stream (a TCP connection in internal/transport). Each frame is a
+// 4-byte big-endian length followed by that many payload bytes. The framing
+// layer is deliberately dumb — it knows nothing about payload contents — so
+// every failure mode of a real socket maps onto one of three clean errors:
+//
+//   - a stream that ends cleanly on a frame boundary yields io.EOF;
+//   - a stream cut mid-header or mid-body yields ErrTruncated, exactly as a
+//     payload cut mid-field does inside Reader — the two layers share the
+//     sentinel so "the sender crashed mid-broadcast" is one error class;
+//   - a length prefix above the caller's limit yields ErrOversized before
+//     any body byte is read, bounding memory against corrupt or hostile
+//     peers.
+
+// ErrOversized is returned by ReadFrame when a frame's length prefix
+// exceeds the caller's limit. The body is not read; the connection should
+// be closed, since the stream position is no longer trustworthy.
+var ErrOversized = errors.New("wire: frame length exceeds limit")
+
+// frameHeaderLen is the size of the big-endian length prefix.
+const frameHeaderLen = 4
+
+// WriteFrame writes payload as one length-prefixed frame. Writers that
+// batch frames (bufio.Writer over a socket) should flush once per frame or
+// per round.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r, reusing buf's capacity
+// when it suffices. It returns io.EOF only when the stream ends cleanly
+// before the first header byte; a partial header or body yields
+// ErrTruncated, and a length prefix above max yields ErrOversized.
+func ReadFrame(r io.Reader, buf []byte, max int) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: frame header cut short", ErrTruncated)
+		}
+		return nil, err
+	}
+	// Compare before narrowing to int: on 32-bit platforms a hostile
+	// prefix >= 2^31 would otherwise wrap negative and bypass the guard.
+	length32 := binary.BigEndian.Uint32(hdr[:])
+	if max < 0 || uint64(length32) > uint64(max) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrOversized, length32, max)
+	}
+	length := int(length32)
+	if cap(buf) < length {
+		buf = make([]byte, length)
+	}
+	buf = buf[:length]
+	if n, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: frame body cut short (%d of %d bytes)", ErrTruncated, n, length)
+		}
+		return nil, err
+	}
+	return buf, nil
+}

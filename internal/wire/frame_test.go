@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+const testMaxFrame = 1 << 16
+
+func TestFrameRoundTrip(t *testing.T) {
+	t.Parallel()
+	payloads := [][]byte{
+		[]byte("hello"),
+		nil,
+		bytes.Repeat([]byte{0xab}, 1000),
+		{0},
+	}
+	var stream bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrame(&stream, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf []byte
+	for i, want := range payloads {
+		got, err := ReadFrame(&stream, buf, testMaxFrame)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d = %q, want %q", i, got, want)
+		}
+		buf = got
+	}
+	if _, err := ReadFrame(&stream, buf, testMaxFrame); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameBufferReuse(t *testing.T) {
+	t.Parallel()
+	var stream bytes.Buffer
+	if err := WriteFrame(&stream, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 64)
+	got, err := ReadFrame(&stream, buf, testMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("frame body not read into the provided buffer")
+	}
+}
+
+// TestFrameTruncatedHeader covers a connection dropped mid-length-prefix:
+// every partial header length must surface ErrTruncated, not io.EOF and not
+// a panic.
+func TestFrameTruncatedHeader(t *testing.T) {
+	t.Parallel()
+	var stream bytes.Buffer
+	if err := WriteFrame(&stream, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	full := stream.Bytes()
+	for cut := 1; cut < frameHeaderLen; cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]), nil, testMaxFrame)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("header cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+// TestFrameTruncatedBody covers a sender crashing mid-broadcast: the length
+// prefix arrived but the body was cut short at every possible offset.
+func TestFrameTruncatedBody(t *testing.T) {
+	t.Parallel()
+	var stream bytes.Buffer
+	if err := WriteFrame(&stream, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	full := stream.Bytes()
+	for cut := frameHeaderLen; cut < len(full); cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]), nil, testMaxFrame)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("body cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+// TestFrameOversized asserts that a hostile or corrupt length prefix is
+// rejected before any body byte is read, so no allocation is sized by
+// attacker-controlled input.
+func TestFrameOversized(t *testing.T) {
+	t.Parallel()
+	var stream bytes.Buffer
+	if err := WriteFrame(&stream, bytes.Repeat([]byte{1}, testMaxFrame+1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFrame(&stream, nil, testMaxFrame)
+	if !errors.Is(err, ErrOversized) {
+		t.Fatalf("err = %v, want ErrOversized", err)
+	}
+	// A length prefix with the high bytes set (claims ~4 GiB) must fail the
+	// same way even though no such body exists.
+	_, err = ReadFrame(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff}), nil, testMaxFrame)
+	if !errors.Is(err, ErrOversized) {
+		t.Fatalf("err = %v, want ErrOversized", err)
+	}
+}
+
+// TestFrameGarbageNeverPanics feeds random byte streams to ReadFrame; every
+// outcome must be a clean error or a well-formed frame.
+func TestFrameGarbageNeverPanics(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		raw := make([]byte, rng.Intn(64))
+		rng.Read(raw)
+		r := bytes.NewReader(raw)
+		var buf []byte
+		for {
+			frame, err := ReadFrame(r, buf, 32)
+			if err != nil {
+				break
+			}
+			buf = frame
+		}
+	}
+}
+
+func TestReaderRest(t *testing.T) {
+	t.Parallel()
+	var w Writer
+	w.Byte(9)
+	w.Uvarint(300)
+	tail := []byte{1, 2, 3}
+	for _, b := range tail {
+		w.Byte(b)
+	}
+	r := NewReader(w.Bytes())
+	r.Byte()
+	r.Uvarint()
+	if got := r.Rest(); !bytes.Equal(got, tail) {
+		t.Fatalf("rest = %v, want %v", got, tail)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("close after rest: %v", err)
+	}
+	// Rest after an error stays nil and preserves the error.
+	r2 := NewReader([]byte{0x80}) // truncated uvarint
+	r2.Uvarint()
+	if got := r2.Rest(); got != nil {
+		t.Fatalf("rest after error = %v", got)
+	}
+	if !errors.Is(r2.Err(), ErrTruncated) {
+		t.Fatalf("err = %v", r2.Err())
+	}
+}

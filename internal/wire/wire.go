@@ -40,6 +40,10 @@ func (w *Writer) Bytes() []byte { return w.buf }
 // Byte appends a single raw byte (used for message kind tags).
 func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
 
+// Raw appends b verbatim (used for nested payloads whose length is carried
+// by the enclosing frame or by a preceding varint).
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
 // Uvarint appends an unsigned varint.
 func (w *Writer) Uvarint(v uint64) {
 	w.buf = binary.AppendUvarint(w.buf, v)
@@ -96,6 +100,33 @@ func (r *Reader) Byte() byte {
 	}
 	b := r.buf[r.off]
 	r.off++
+	return b
+}
+
+// Bytes consumes and returns exactly n bytes. The slice aliases the
+// reader's buffer. Fewer than n remaining bytes is an ErrTruncated.
+func (r *Reader) Bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.buf)-r.off {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Rest consumes and returns every remaining byte. The slice aliases the
+// reader's buffer. It is used for payloads whose length is implied by the
+// enclosing frame rather than encoded explicitly.
+func (r *Reader) Rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	b := r.buf[r.off:]
+	r.off = len(r.buf)
 	return b
 }
 

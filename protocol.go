@@ -12,7 +12,9 @@ import (
 type Message struct {
 	// From is the sender's original identifier.
 	From uint64
-	// Payload is the sender's broadcast for the round.
+	// Payload is the sender's broadcast for the round. The protocol decodes
+	// it during Deliver and never retains it, so the slice may alias a
+	// receive buffer that is reused afterwards.
 	Payload []byte
 }
 
@@ -29,23 +31,50 @@ type Message struct {
 //	name, _ := p.Decided()
 //
 // Round 1 is the membership exchange; round 2k is phase k's candidate-path
-// broadcast and round 2k+1 its position broadcast. A process that misses a
-// round is treated as crashed by its peers, exactly as in the paper's
-// model; the transport must therefore deliver every correct process's
-// broadcast to every process each round (delivering a crashing process's
-// final broadcast to only some recipients is tolerated by construction —
-// that is the failure model the algorithm is designed for).
+// broadcast and round 2k+1 its position broadcast.
+//
+// The round-driving contract, which internal/transport implements over
+// in-process channels and over TCP (cmd/blserve) and which
+// examples/transport demonstrates:
+//
+//   - Lock-step rounds. Rounds are numbered from 1. Every live process
+//     broadcasts exactly once per round, and no process receives round
+//     r+1 traffic before it has delivered round r.
+//
+//   - Payload reuse. The slice returned by Send aliases an internal
+//     encoding buffer that is overwritten by the next Send; a transport
+//     that queues or retains payloads must copy them first. Symmetrically,
+//     Deliver never retains message payloads, so the transport may reuse
+//     its receive buffers between rounds.
+//
+//   - Self-delivery. Each round's deliveries must include the process's
+//     own broadcast; the algorithm counts itself like any other ball.
+//
+//   - Crash semantics. A process from which no message arrives in a round
+//     is removed from its peers' views, exactly as a crashed process in
+//     the paper's model — there is no separate failure-notification
+//     channel, silence is the signal. Consequently the transport must
+//     deliver every correct process's broadcast to every process each
+//     round; losing a correct process's message is indistinguishable from
+//     crashing it. Delivering a crashing process's final broadcast to only
+//     a subset of recipients is tolerated by construction — that is the
+//     failure model (§3) the algorithm is designed for — and malformed
+//     payloads are treated as the sender having crashed.
 type Protocol struct {
 	ball *core.Ball
 }
 
-// NewProtocol constructs the state machine for one process.
+// NewProtocol constructs the state machine for one process, to be driven
+// under the round contract documented on Protocol.
 //
 // All participating processes must use the same n and seed and distinct
 // non-zero ids; names decided are unique among processes that do not
 // crash. The variant selects the path strategy (BallsIntoLeaves,
 // EarlyTerminating, RankDescent or DeterministicLevelDescent; NaiveRandom
-// is not a tree protocol and is not supported here).
+// is not a tree protocol and is not supported here). Executions are
+// deterministic in (n, seed, ids, variant) and the delivery schedule, so a
+// networked run can be replayed — and is pinned by integration tests —
+// against the simulation engines.
 func NewProtocol(n int, seed uint64, id uint64, variant Algorithm) (*Protocol, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("ballsintoleaves: n must be >= 1, got %d", n)
@@ -71,12 +100,14 @@ func NewProtocol(n int, seed uint64, id uint64, variant Algorithm) (*Protocol, e
 func (p *Protocol) ID() uint64 { return uint64(p.ball.ID()) }
 
 // Send returns the payload to broadcast in the given round (rounds are
-// numbered from 1). The returned slice is reused across rounds; transports
-// that queue it must copy.
+// numbered from 1). The returned slice aliases a buffer that the next Send
+// overwrites; transports that queue it must copy.
 func (p *Protocol) Send(round int) []byte { return p.ball.Send(round) }
 
 // Deliver hands the process every message received in the round, in any
-// order. The process's own broadcast must be included.
+// order. The process's own broadcast must be included. Payloads are
+// decoded synchronously and not retained; a malformed payload is treated
+// as the sender having crashed.
 func (p *Protocol) Deliver(round int, msgs []Message) {
 	converted := make([]proto.Message, len(msgs))
 	for i, m := range msgs {
