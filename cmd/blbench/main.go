@@ -9,6 +9,7 @@
 //	blbench -seeds 10        # replicates per configuration
 //	blbench -parallel 0      # fan replicates across all CPUs
 //	blbench -csv out/        # also write one CSV per table
+//	blbench -json            # one JSON object per experiment (for BENCH_*.json artifacts)
 //	blbench -list            # list experiments
 //
 // Replicates of each configuration are independent simulations, so
@@ -17,15 +18,18 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
+	"ballsintoleaves/internal/stats"
 	"ballsintoleaves/internal/workload"
 )
 
@@ -38,6 +42,7 @@ type runConfig struct {
 	selected []workload.Experiment
 	csvDir   string
 	list     bool
+	json     bool
 }
 
 // parseArgs parses args into a runConfig, resolving -parallel 0 to the CPU
@@ -53,6 +58,7 @@ func parseArgs(args []string) (*runConfig, error) {
 		parallel = fs.Int("parallel", 1, "max concurrent replicate simulations (0 = all CPUs)")
 		csv      = fs.String("csv", "", "directory to write per-table CSV files")
 		list     = fs.Bool("list", false, "list experiments and exit")
+		jsonOut  = fs.Bool("json", false, "emit one JSON object per experiment on stdout instead of text tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		// The FlagSet has already reported the problem (or printed the
@@ -68,6 +74,7 @@ func parseArgs(args []string) (*runConfig, error) {
 		selected: workload.All(),
 		csvDir:   *csv,
 		list:     *list,
+		json:     *jsonOut,
 	}
 	if *run != "" {
 		cfg.selected = cfg.selected[:0]
@@ -110,15 +117,25 @@ func main() {
 
 	for _, e := range cfg.selected {
 		start := time.Now()
-		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+		if !cfg.json {
+			fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+		}
 		tables, err := e.Run(cfg.opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "blbench: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		if cfg.json {
+			if err := writeJSON(os.Stdout, e, tables, time.Since(start)); err != nil {
+				fmt.Fprintf(os.Stderr, "blbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		for i, tb := range tables {
-			tb.Render(os.Stdout)
-			fmt.Println()
+			if !cfg.json {
+				tb.Render(os.Stdout)
+				fmt.Println()
+			}
 			if cfg.csvDir != "" {
 				name := fmt.Sprintf("%s_%d.csv", e.ID, i+1)
 				f, err := os.Create(filepath.Join(cfg.csvDir, name))
@@ -133,6 +150,40 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if !cfg.json {
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
 	}
+}
+
+// jsonTable is the machine-readable rendering of one stats.Table.
+type jsonTable struct {
+	Title string     `json:"title"`
+	Cols  []string   `json:"cols"`
+	Rows  [][]string `json:"rows"`
+	Notes []string   `json:"notes,omitempty"`
+}
+
+// jsonExperiment is one -json output line: everything a tracking pipeline
+// needs to archive a run as a BENCH_<id>.json artifact.
+type jsonExperiment struct {
+	Experiment string      `json:"experiment"`
+	Title      string      `json:"title"`
+	ElapsedMS  int64       `json:"elapsed_ms"`
+	Tables     []jsonTable `json:"tables"`
+}
+
+// writeJSON emits one experiment as a single JSON object on its own line.
+func writeJSON(w io.Writer, e workload.Experiment, tables []*stats.Table, elapsed time.Duration) error {
+	out := jsonExperiment{
+		Experiment: e.ID,
+		Title:      e.Title,
+		ElapsedMS:  elapsed.Milliseconds(),
+		Tables:     make([]jsonTable, len(tables)),
+	}
+	for i, tb := range tables {
+		out.Tables[i] = jsonTable{Title: tb.Title, Cols: tb.Cols, Rows: tb.Rows, Notes: tb.Notes}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
 }

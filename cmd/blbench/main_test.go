@@ -1,11 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
+
+	"ballsintoleaves/internal/stats"
+	"ballsintoleaves/internal/workload"
 )
 
 func TestParseArgsDefaults(t *testing.T) {
@@ -74,6 +80,55 @@ func TestParseArgsListAndCSV(t *testing.T) {
 	}
 	if !cfg.list || cfg.csvDir != "out" {
 		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+// TestParseArgsJSON covers the -json flag: machine-readable output for
+// tracking the perf trajectory as BENCH_*.json artifacts.
+func TestParseArgsJSON(t *testing.T) {
+	t.Parallel()
+	cfg, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.json {
+		t.Fatal("json defaults to true")
+	}
+	cfg, err = parseArgs([]string{"-json", "-run", "E1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.json || len(cfg.selected) != 1 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+// TestWriteJSONShape pins the artifact schema: one object per experiment,
+// with tables carried verbatim.
+func TestWriteJSONShape(t *testing.T) {
+	t.Parallel()
+	tb := stats.NewTable("demo", "n", "rounds")
+	tb.AddRow("8", "3.00")
+	tb.AddNote("a note")
+	e := workload.Experiment{ID: "EX", Title: "demo experiment"}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, e, []*stats.Table{tb}, 1500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var got jsonExperiment
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Experiment != "EX" || got.Title != "demo experiment" || got.ElapsedMS != 1500 {
+		t.Fatalf("got = %+v", got)
+	}
+	if len(got.Tables) != 1 || got.Tables[0].Title != "demo" ||
+		len(got.Tables[0].Rows) != 1 || got.Tables[0].Rows[0][0] != "8" ||
+		len(got.Tables[0].Notes) != 1 {
+		t.Fatalf("tables = %+v", got.Tables)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") || strings.Count(buf.String(), "\n") != 1 {
+		t.Fatal("each experiment must be exactly one line")
 	}
 }
 

@@ -1,0 +1,322 @@
+// Command blload is the load generator for the blnamed name-allocation
+// daemon: it drives pipelined acquire/release traffic over real sockets and
+// reports sustained throughput and the acquire-latency distribution
+// (p50/p90/p99/p999) from a mergeable log-linear histogram
+// (internal/stats.Histogram).
+//
+// Closed loop (default): each of -conns connections keeps -outstanding
+// acquires in flight; every grant is released immediately and replaced, so
+// offered load tracks service capacity:
+//
+//	blload -connect 127.0.0.1:4720 -conns 4 -outstanding 64 -duration 5s
+//
+// Open loop: -rate offers a fixed number of acquires per second across the
+// connections regardless of completions (bounded by -outstanding per
+// connection; acquires shed at the cap are reported, so coordinated
+// omission is visible rather than hidden):
+//
+//	blload -connect 127.0.0.1:4720 -conns 4 -rate 50000 -duration 10s
+//
+// Every grant is checked against a process-wide active-name table: a name
+// granted while still active is a uniqueness violation. The final report's
+// "duplicates: 0" line is what CI's end-to-end smoke greps for; any
+// duplicate or error makes blload exit 1.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ballsintoleaves/internal/namesvc"
+	"ballsintoleaves/internal/stats"
+)
+
+// errFlagsReported marks parse failures the FlagSet already printed.
+var errFlagsReported = errors.New("flag parsing failed")
+
+// config is the parsed and validated command line.
+type config struct {
+	connect     string
+	conns       int
+	outstanding int
+	duration    time.Duration
+	rate        int
+	timeout     time.Duration
+}
+
+// parseFlags parses args into a validated config.
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("blload", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	cfg := &config{}
+	fs.StringVar(&cfg.connect, "connect", "", "blnamed address to connect to (required)")
+	fs.IntVar(&cfg.conns, "conns", 4, "concurrent connections")
+	fs.IntVar(&cfg.outstanding, "outstanding", 64, "in-flight acquires per connection")
+	fs.DurationVar(&cfg.duration, "duration", 5*time.Second, "measurement duration")
+	fs.IntVar(&cfg.rate, "rate", 0, "open-loop offered acquires/s across all connections (0 = closed loop)")
+	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "dial and write timeout")
+	if err := fs.Parse(args); err != nil {
+		// The FlagSet has already reported the problem (or printed the
+		// -h usage) to stderr; mark it so main does not repeat it.
+		return nil, errors.Join(errFlagsReported, err)
+	}
+	switch {
+	case cfg.connect == "":
+		return nil, fmt.Errorf("blload: -connect is required")
+	case cfg.conns < 1:
+		return nil, fmt.Errorf("blload: -conns must be >= 1, got %d", cfg.conns)
+	case cfg.outstanding < 1:
+		return nil, fmt.Errorf("blload: -outstanding must be >= 1, got %d", cfg.outstanding)
+	case cfg.duration <= 0:
+		return nil, fmt.Errorf("blload: -duration must be positive, got %v", cfg.duration)
+	case cfg.rate < 0:
+		return nil, fmt.Errorf("blload: -rate must be >= 0, got %d", cfg.rate)
+	}
+	return cfg, nil
+}
+
+// report is the outcome of one load run.
+type report struct {
+	elapsed    time.Duration
+	acquires   uint64
+	releases   uint64
+	shed       uint64
+	duplicates uint64
+	errors     uint64
+	lat        stats.Histogram
+	svc        namesvc.Stats
+}
+
+// print renders the human-readable report.
+func (r *report) print(w *os.File) {
+	secs := r.elapsed.Seconds()
+	fmt.Fprintf(w, "ran %.2fs: %d acquires (%.1f acquires/s), %d releases",
+		secs, r.acquires, float64(r.acquires)/secs, r.releases)
+	if r.shed > 0 {
+		fmt.Fprintf(w, ", %d shed at the in-flight cap", r.shed)
+	}
+	fmt.Fprintln(w)
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	fmt.Fprintf(w, "acquire latency: p50=%.0fµs p90=%.0fµs p99=%.0fµs p999=%.0fµs max=%.0fµs mean=%.0fµs\n",
+		us(r.lat.P50()), us(r.lat.P90()), us(r.lat.P99()), us(r.lat.P999()), us(r.lat.Max()), r.lat.Mean()/1e3)
+	fmt.Fprintf(w, "server: %d epochs, %d grants, %d releases, %d absorbed, %d assigned, %d free\n",
+		r.svc.Epochs, r.svc.Grants, r.svc.Releases, r.svc.Absorbed, r.svc.Assigned, r.svc.Free)
+	fmt.Fprintf(w, "duplicates: %d, errors: %d\n", r.duplicates, r.errors)
+}
+
+// worker is one connection's closed/open-loop driver. Callbacks run on the
+// client's read goroutine, so the histogram and counters are goroutine-local.
+type worker struct {
+	c        *namesvc.Client
+	shared   *shared
+	lat      stats.Histogram
+	inflight atomic.Int64
+	acquires uint64
+	releases uint64
+	done     chan struct{} // closed when stopped and drained
+	doneOnce sync.Once
+}
+
+// shared is the cross-worker state: stop flag, duplicate detection, global
+// counters.
+type shared struct {
+	stop     atomic.Bool
+	clientID atomic.Uint64
+	active   []atomic.Uint32 // 1+name -> held?
+	dups     atomic.Uint64
+	errs     atomic.Uint64
+	shed     atomic.Uint64
+}
+
+// issue starts one acquire (claiming an in-flight slot); the grant callback
+// releases the name and, in closed-loop mode, chains the next acquire. The
+// chained issue is started before this slot retires, so the in-flight count
+// never spuriously touches zero mid-run.
+func (wk *worker) issue(chain bool) {
+	sh := wk.shared
+	client := sh.clientID.Add(1)
+	wk.inflight.Add(1)
+	t0 := time.Now()
+	err := wk.c.Acquire(client, func(g namesvc.Grant, err error) {
+		defer wk.finish()
+		if err != nil {
+			// Connection teardown after the run window is the expected way
+			// in-flight tails end; only mid-run failures are errors.
+			if !sh.stop.Load() {
+				sh.errs.Add(1)
+			}
+			return
+		}
+		wk.lat.Record(time.Since(t0).Nanoseconds())
+		wk.acquires++
+		if !sh.active[g.Name].CompareAndSwap(0, 1) {
+			sh.dups.Add(1)
+		}
+		// Mark free before the release frame is sent: once the server
+		// processes it the name may be re-granted to any connection, and
+		// the table must already allow it.
+		sh.active[g.Name].Store(0)
+		relErr := wk.c.Release(g.Name, func(err error) {
+			if err != nil && !sh.stop.Load() {
+				sh.errs.Add(1)
+			}
+		})
+		if relErr == nil {
+			wk.releases++
+		} else if !sh.stop.Load() {
+			sh.errs.Add(1)
+		}
+		if chain && !sh.stop.Load() {
+			wk.issue(true)
+		}
+	})
+	if err != nil {
+		if !sh.stop.Load() {
+			sh.errs.Add(1)
+		}
+		wk.finish()
+	}
+}
+
+// finish retires one in-flight slot and signals drain completion.
+func (wk *worker) finish() {
+	if wk.inflight.Add(-1) == 0 && wk.shared.stop.Load() {
+		wk.doneOnce.Do(func() { close(wk.done) })
+	}
+}
+
+// runLoad executes one measurement run.
+func runLoad(cfg *config) (*report, error) {
+	sh := &shared{}
+	workers := make([]*worker, cfg.conns)
+	for i := range workers {
+		c, err := namesvc.Dial(cfg.connect, namesvc.ClientConfig{Timeout: cfg.timeout})
+		if err != nil {
+			for _, wk := range workers[:i] {
+				wk.c.Close()
+			}
+			return nil, err
+		}
+		if sh.active == nil {
+			sh.active = make([]atomic.Uint32, c.Capacity()+1)
+		}
+		workers[i] = &worker{c: c, shared: sh, done: make(chan struct{})}
+	}
+	defer func() {
+		for _, wk := range workers {
+			wk.c.Close()
+		}
+	}()
+
+	start := time.Now()
+	if cfg.rate == 0 {
+		for _, wk := range workers {
+			for i := 0; i < cfg.outstanding; i++ {
+				wk.issue(true)
+			}
+			wk.c.Flush()
+		}
+		time.Sleep(cfg.duration)
+	} else {
+		interval := time.Second / time.Duration(cfg.rate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		deadline := start.Add(cfg.duration)
+		next := 0
+		for t := time.Now(); t.Before(deadline); t = time.Now() {
+			wk := workers[next%len(workers)]
+			next++
+			if int(wk.inflight.Load()) >= cfg.outstanding {
+				sh.shed.Add(1)
+			} else {
+				wk.issue(false)
+			}
+			// Pace the offered load; Sleep granularity coarsens very high
+			// rates, where bursts of catch-up issues approximate the rate.
+			until := start.Add(time.Duration(next) * interval)
+			if d := time.Until(until); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	sh.stop.Store(true)
+	elapsed := time.Since(start)
+
+	// Drain the in-flight tails so every grant has been released.
+	drain := time.After(cfg.timeout)
+	for _, wk := range workers {
+		if wk.inflight.Load() == 0 {
+			continue
+		}
+		wk.c.Flush()
+		select {
+		case <-wk.done:
+		case <-drain:
+		}
+	}
+
+	rep := &report{elapsed: elapsed}
+	// Let the tail releases buffered on other connections reach the server
+	// before sampling its counters: poll until Assigned is stable.
+	if st, err := workers[0].c.StatsSync(); err == nil {
+		for settle := 0; settle < 50; settle++ {
+			time.Sleep(10 * time.Millisecond)
+			next, err := workers[0].c.StatsSync()
+			if err != nil {
+				break
+			}
+			stable := next.Assigned == st.Assigned
+			st = next
+			if stable {
+				break
+			}
+		}
+		rep.svc = st
+	}
+	// The per-worker histograms and counters are owned by the clients' read
+	// goroutines; stop those goroutines (even if the drain timed out with
+	// acquires still in flight) before aggregating.
+	for _, wk := range workers {
+		wk.c.Close()
+	}
+	for _, wk := range workers {
+		wk.c.Wait()
+	}
+	for _, wk := range workers {
+		rep.acquires += wk.acquires
+		rep.releases += wk.releases
+		rep.lat.Merge(&wk.lat)
+	}
+	rep.shed = sh.shed.Load()
+	rep.duplicates = sh.dups.Load()
+	rep.errors = sh.errs.Load()
+	return rep, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		if !errors.Is(err, errFlagsReported) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(2)
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blload: %v\n", err)
+		os.Exit(1)
+	}
+	rep.print(os.Stdout)
+	if rep.duplicates > 0 || rep.errors > 0 {
+		os.Exit(1)
+	}
+}

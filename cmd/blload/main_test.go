@@ -1,0 +1,117 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"net"
+	"testing"
+	"time"
+
+	"ballsintoleaves/internal/namesvc"
+)
+
+func TestParseFlagsValidation(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing connect", nil},
+		{"zero conns", []string{"-connect", "x:1", "-conns", "0"}},
+		{"zero outstanding", []string{"-connect", "x:1", "-outstanding", "0"}},
+		{"zero duration", []string{"-connect", "x:1", "-duration", "0s"}},
+		{"negative rate", []string{"-connect", "x:1", "-rate", "-5"}},
+	}
+	for _, tc := range cases {
+		if _, err := parseFlags(tc.args); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := parseFlags([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h err = %v", err)
+	}
+	cfg, err := parseFlags([]string{"-connect", "h:1", "-conns", "2", "-outstanding", "8",
+		"-duration", "250ms", "-rate", "1000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.conns != 2 || cfg.outstanding != 8 || cfg.duration != 250*time.Millisecond || cfg.rate != 1000 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+// startDaemon brings up an in-process namesvc server for load runs.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	svc, err := namesvc.New(namesvc.Config{Shards: 2, ShardCap: 256, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := namesvc.NewServer(namesvc.ServerConfig{Service: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ln.Close()
+		srv.Close()
+	})
+	return ln.Addr().String()
+}
+
+// TestClosedLoopRun drives a short closed-loop burst and checks the
+// accounting: progress, zero duplicates, zero errors, latency recorded.
+func TestClosedLoopRun(t *testing.T) {
+	t.Parallel()
+	addr := startDaemon(t)
+	cfg, err := parseFlags([]string{"-connect", addr, "-conns", "2", "-outstanding", "16",
+		"-duration", "300ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.acquires == 0 {
+		t.Fatal("no acquires completed")
+	}
+	if rep.duplicates != 0 || rep.errors != 0 {
+		t.Fatalf("duplicates=%d errors=%d", rep.duplicates, rep.errors)
+	}
+	if rep.lat.Count() != rep.acquires {
+		t.Fatalf("recorded %d latencies for %d acquires", rep.lat.Count(), rep.acquires)
+	}
+	if rep.lat.P99() <= 0 {
+		t.Fatal("p99 latency not recorded")
+	}
+	if rep.svc.Epochs == 0 || rep.svc.Grants == 0 {
+		t.Fatalf("server stats not collected: %+v", rep.svc)
+	}
+}
+
+// TestOpenLoopRun covers the -rate pacer path.
+func TestOpenLoopRun(t *testing.T) {
+	t.Parallel()
+	addr := startDaemon(t)
+	cfg, err := parseFlags([]string{"-connect", addr, "-conns", "1", "-outstanding", "32",
+		"-duration", "200ms", "-rate", "2000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.acquires == 0 || rep.duplicates != 0 || rep.errors != 0 {
+		t.Fatalf("acquires=%d duplicates=%d errors=%d", rep.acquires, rep.duplicates, rep.errors)
+	}
+	// Open loop may shed, but never more offers than the pacer made.
+	if rep.acquires+rep.shed > 2000 {
+		t.Fatalf("offered %d in 200ms at rate 2000/s", rep.acquires+rep.shed)
+	}
+}

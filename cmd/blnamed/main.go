@@ -1,0 +1,160 @@
+// Command blnamed is the long-lived name-allocation daemon: it serves
+// acquire/release traffic over TCP, batching arriving acquires into epochs
+// and running one Balls-into-Leaves renaming instance per epoch against the
+// free slice of a sharded namespace (see internal/namesvc).
+//
+// Start a daemon serving 4 independent shards of 4096 names each:
+//
+//	blnamed -listen 127.0.0.1:4720 -shards 4 -shard-cap 4096 -seed 7
+//
+// Drive it with the load generator:
+//
+//	blload -connect 127.0.0.1:4720 -conns 4 -outstanding 64 -duration 5s
+//
+// The -runner flag selects the epoch engine: "cohort" (default) runs the
+// fast in-process whole-system simulator; "transport" runs each epoch as a
+// true distributed execution of the public Protocol over an in-process
+// loopback transport — orders of magnitude slower, useful to validate that
+// both engines produce identical ledgers for identical traffic.
+//
+// Connection failures map onto the paper's crash model: a connection that
+// dies mid-epoch has its queued acquires cancelled or its fresh grants
+// absorbed (assigned and immediately released, never observable twice), and
+// every name it held is returned to the free pool. Malformed frames are
+// clean per-connection errors; the rest of the daemon is unaffected.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ballsintoleaves/internal/namesvc"
+)
+
+// errFlagsReported marks parse failures the FlagSet already printed.
+var errFlagsReported = errors.New("flag parsing failed")
+
+// config is the parsed and validated command line.
+type config struct {
+	listen   string
+	shards   int
+	shardCap int
+	seed     uint64
+	maxBatch int
+	epoch    time.Duration
+	runner   namesvc.Runner
+	timeout  time.Duration
+	quiet    bool
+}
+
+// parseFlags parses args into a validated config.
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("blnamed", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	cfg := &config{}
+	var runner string
+	fs.StringVar(&cfg.listen, "listen", "", "address to listen on (required)")
+	fs.IntVar(&cfg.shards, "shards", 1, "independent namespace shards")
+	fs.IntVar(&cfg.shardCap, "shard-cap", 1024, "names per shard")
+	fs.Uint64Var(&cfg.seed, "seed", 0, "seed driving every epoch's renaming randomness")
+	fs.IntVar(&cfg.maxBatch, "max-batch", 0, "max acquires assigned per epoch (0 = shard capacity)")
+	fs.DurationVar(&cfg.epoch, "epoch", 0, "batching window before closing an epoch (0 = group commit)")
+	fs.StringVar(&runner, "runner", "cohort", "epoch engine: cohort | transport")
+	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-operation network timeout")
+	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress per-connection logging")
+	if err := fs.Parse(args); err != nil {
+		// The FlagSet has already reported the problem (or printed the
+		// -h usage) to stderr; mark it so main does not repeat it.
+		return nil, errors.Join(errFlagsReported, err)
+	}
+	switch runner {
+	case "cohort":
+		cfg.runner = namesvc.CohortRunner{}
+	case "transport":
+		cfg.runner = namesvc.TransportRunner{}
+	default:
+		return nil, fmt.Errorf("blnamed: unknown runner %q (want cohort or transport)", runner)
+	}
+	switch {
+	case cfg.listen == "":
+		return nil, fmt.Errorf("blnamed: -listen is required")
+	case cfg.shards < 1:
+		return nil, fmt.Errorf("blnamed: -shards must be >= 1, got %d", cfg.shards)
+	case cfg.shardCap < 1:
+		return nil, fmt.Errorf("blnamed: -shard-cap must be >= 1, got %d", cfg.shardCap)
+	}
+	return cfg, nil
+}
+
+// build assembles the service and server from a config.
+func build(cfg *config) (*namesvc.Server, error) {
+	svc, err := namesvc.New(namesvc.Config{
+		Shards:   cfg.shards,
+		ShardCap: cfg.shardCap,
+		Seed:     cfg.seed,
+		Runner:   cfg.runner,
+		MaxBatch: cfg.maxBatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	scfg := namesvc.ServerConfig{
+		Service:       svc,
+		EpochInterval: cfg.epoch,
+		IOTimeout:     cfg.timeout,
+	}
+	if !cfg.quiet {
+		scfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "blnamed: "+format+"\n", args...)
+		}
+	}
+	return namesvc.NewServer(scfg)
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		if !errors.Is(err, errFlagsReported) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(2)
+	}
+	srv, err := build(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blnamed: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blnamed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("blnamed: serving %d shard(s) x %d names on %s (runner %s, seed %d)\n",
+		cfg.shards, cfg.shardCap, ln.Addr(), cfg.runner.Name(), cfg.seed)
+
+	// SIGINT/SIGTERM drain: stop accepting, tear down connections, exit 0.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		ln.Close()
+	}()
+
+	err = srv.Serve(ln)
+	ln.Close()
+	srv.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blnamed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("blnamed: shut down cleanly")
+}

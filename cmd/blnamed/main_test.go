@@ -1,0 +1,157 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"net"
+	"testing"
+	"time"
+
+	"ballsintoleaves/internal/namesvc"
+)
+
+func TestParseFlagsValidation(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing listen", nil},
+		{"bad runner", []string{"-listen", ":0", "-runner", "warp"}},
+		{"zero shards", []string{"-listen", ":0", "-shards", "0"}},
+		{"zero shard-cap", []string{"-listen", ":0", "-shard-cap", "0"}},
+	}
+	for _, tc := range cases {
+		if _, err := parseFlags(tc.args); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := parseFlags([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h err = %v", err)
+	}
+	cfg, err := parseFlags([]string{"-listen", "127.0.0.1:0", "-shards", "4", "-shard-cap", "64",
+		"-seed", "9", "-epoch", "1ms", "-runner", "transport", "-quiet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.shards != 4 || cfg.shardCap != 64 || cfg.seed != 9 ||
+		cfg.epoch != time.Millisecond || !cfg.quiet {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.runner.Name() != (namesvc.TransportRunner{}).Name() {
+		t.Fatalf("runner = %s", cfg.runner.Name())
+	}
+}
+
+// TestDaemonEndToEnd drives a built-from-flags daemon over a real socket:
+// multiple epochs of churn, uniqueness, reuse only after release, and a
+// mid-epoch disconnect absorbed without leaking capacity. A single shard
+// keeps capacity reasoning global (an acquire blocks while its hash shard
+// is full, by design); the shard-aware multi-shard socket scenarios live in
+// internal/namesvc's server tests.
+func TestDaemonEndToEnd(t *testing.T) {
+	t.Parallel()
+	cfg, err := parseFlags([]string{"-listen", "127.0.0.1:0", "-shards", "1", "-shard-cap", "16",
+		"-seed", "12", "-quiet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		ln.Close()
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+
+	c, err := namesvc.Dial(ln.Addr().String(), namesvc.ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	active := map[int]bool{}
+	everHeld := map[int]bool{}
+	released := map[int]bool{}
+	var names []int
+	for client := uint64(1); client <= 12; client++ {
+		g, err := c.AcquireSync(client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if active[g.Name] {
+			t.Fatalf("duplicate grant of %d", g.Name)
+		}
+		active[g.Name] = true
+		everHeld[g.Name] = true
+		names = append(names, g.Name)
+	}
+	for _, name := range names[:6] {
+		if err := c.ReleaseSync(name); err != nil {
+			t.Fatal(err)
+		}
+		delete(active, name)
+		released[name] = true
+	}
+	for client := uint64(50); client <= 55; client++ {
+		g, err := c.AcquireSync(client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if active[g.Name] {
+			t.Fatalf("duplicate grant of %d", g.Name)
+		}
+		if everHeld[g.Name] && !released[g.Name] {
+			t.Fatalf("name %d reused without release", g.Name)
+		}
+		active[g.Name] = true
+	}
+
+	// A second connection with a pending acquire dies; capacity may not
+	// leak and nothing may be double-granted afterwards.
+	c2, err := namesvc.Dial(ln.Addr().String(), namesvc.ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Acquire(999, func(namesvc.Grant, error) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+
+	st, err := c.StatsSync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epochs < 3 {
+		t.Fatalf("only %d epochs", st.Epochs)
+	}
+	// The dead connection's request is either cancelled or its grant was
+	// absorbed; wait until neither pending nor holding.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err = c.StatsSync()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Pending == 0 && st.Assigned == len(active) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead connection leaked capacity: %+v with %d held here", st, len(active))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -156,7 +156,12 @@ func coordinate(cfg *config) int {
 		}
 	}
 	if cfg.crashRound != 0 {
-		ccfg.Net.Adversary = &adversary.Scripted{Round: cfg.crashRound, Victim: proto.ID(cfg.crashID)}
+		scripted, err := adversary.NewScripted(cfg.crashRound, proto.ID(cfg.crashID))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blserve: %v\n", err)
+			return 2
+		}
+		ccfg.Net.Adversary = scripted
 		fmt.Printf("fault injection: crash %d mid-broadcast in round %d\n", cfg.crashID, cfg.crashRound)
 	}
 	fmt.Printf("listening on %s: %v, n=%d, seed=%d\n", ln.Addr(), cfg.algo, cfg.n, cfg.seed)

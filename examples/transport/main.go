@@ -41,9 +41,11 @@ func main() {
 	// The loopback hub provides lock-step rounds with the simulation
 	// engines' exact crash semantics; the scripted adversary kills the
 	// victim mid-broadcast with alternating partial delivery.
-	hub, err := transport.NewLoopback(peerIDs, transport.NetConfig{
-		Adversary: &adversary.Scripted{Round: crashRound, Victim: victim},
-	})
+	scripted, err := adversary.NewScripted(crashRound, victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hub, err := transport.NewLoopback(peerIDs, transport.NetConfig{Adversary: scripted})
 	if err != nil {
 		log.Fatal(err)
 	}

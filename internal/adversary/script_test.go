@@ -1,0 +1,117 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"ballsintoleaves/internal/proto"
+)
+
+func TestNewScriptedValidates(t *testing.T) {
+	t.Parallel()
+	if _, err := NewScripted(0, 5); err == nil {
+		t.Fatal("round 0 accepted")
+	}
+	if _, err := NewScripted(-3, 5); err == nil {
+		t.Fatal("negative round accepted")
+	}
+	if _, err := NewScripted(2, 0); err == nil {
+		t.Fatal("zero victim accepted")
+	}
+	s, err := NewScripted(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Round != 2 || s.Victim != 5 {
+		t.Fatalf("scripted = %+v", s)
+	}
+}
+
+func TestNewScriptRejectsBadSchedules(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		entries []ScriptEntry
+		wantErr string
+	}{
+		{"negative round", []ScriptEntry{{Round: -1, Victim: 10}}, "round must be >= 1"},
+		{"zero round", []ScriptEntry{{Round: 0, Victim: 10}}, "round must be >= 1"},
+		{"zero victim", []ScriptEntry{{Round: 1, Victim: 0}}, "victim must be non-zero"},
+		{"out-of-order rounds", []ScriptEntry{{Round: 4, Victim: 10}, {Round: 2, Victim: 20}}, "round order"},
+		{"duplicate victim", []ScriptEntry{{Round: 1, Victim: 10}, {Round: 3, Victim: 10}}, "both crash victim"},
+		{"duplicate victim same round", []ScriptEntry{{Round: 2, Victim: 10}, {Round: 2, Victim: 10}}, "both crash victim"},
+	}
+	for _, tc := range cases {
+		_, err := NewScript(tc.entries...)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestScriptPlansScheduleInOrder(t *testing.T) {
+	t.Parallel()
+	s, err := NewScript(
+		ScriptEntry{Round: 2, Victim: 10},
+		ScriptEntry{Round: 2, Victim: 30},
+		ScriptEntry{Round: 5, Victim: 20},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "script" {
+		t.Fatal("name")
+	}
+	if specs := s.Plan(&fakeView{round: 1, alive: idsUpTo(4), budget: 3}); specs != nil {
+		t.Fatalf("fired early: %v", specs)
+	}
+	specs := s.Plan(&fakeView{round: 2, alive: idsUpTo(4), budget: 3})
+	if len(specs) != 2 || specs[0].Victim != 10 || specs[1].Victim != 30 {
+		t.Fatalf("round 2 specs = %+v", specs)
+	}
+	// Survivors of round 2 are 20 and 40 for both victims (same-round
+	// victims never deliver to each other); alternating delivery reaches
+	// rank 0 only.
+	if !specs[0].Deliver(20) || specs[0].Deliver(40) {
+		t.Fatal("round 2 delivery pattern wrong")
+	}
+	if specs := s.Plan(&fakeView{round: 3, alive: idsUpTo(4), budget: 3}); specs != nil {
+		t.Fatalf("fired between scheduled rounds: %v", specs)
+	}
+	specs = s.Plan(&fakeView{round: 5, alive: []proto.ID{20, 40}, budget: 3})
+	if len(specs) != 1 || specs[0].Victim != 20 {
+		t.Fatalf("round 5 specs = %+v", specs)
+	}
+	if again := s.Plan(&fakeView{round: 5, alive: idsUpTo(4), budget: 3}); again != nil {
+		t.Fatalf("replanned a consumed round: %v", again)
+	}
+}
+
+func TestScriptSkipsDeadVictimsAndBudget(t *testing.T) {
+	t.Parallel()
+	s, err := NewScript(ScriptEntry{Round: 1, Victim: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs := s.Plan(&fakeView{round: 1, alive: idsUpTo(4), budget: 3}); specs != nil {
+		t.Fatalf("crashed an absent victim: %v", specs)
+	}
+	s2, err := NewScript(ScriptEntry{Round: 1, Victim: 10}, ScriptEntry{Round: 1, Victim: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := s2.Plan(&fakeView{round: 1, alive: idsUpTo(4), budget: 1})
+	if len(specs) != 1 || specs[0].Victim != 10 {
+		t.Fatalf("budget 1 specs = %+v", specs)
+	}
+	// The budget-skipped victim (20) stays alive, so it remains in the
+	// survivor set: survivors {20,30,40}, alternating delivery reaches
+	// ranks 0 and 2.
+	if !specs[0].Deliver(20) || specs[0].Deliver(30) || !specs[0].Deliver(40) {
+		t.Fatal("budget-skipped victim excluded from the survivor delivery set")
+	}
+}

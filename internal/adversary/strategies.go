@@ -1,6 +1,8 @@
 package adversary
 
 import (
+	"fmt"
+
 	"ballsintoleaves/internal/proto"
 	"ballsintoleaves/internal/rng"
 )
@@ -218,6 +220,9 @@ func (o *OnePerPhase) Plan(view RoundView) []CrashSpec {
 // internal/runtime, and the transport layer's coordinators — which is what
 // the transport-vs-sim equivalence tests and blserve's
 // -crash-round/-crash-id fault injection rely on.
+//
+// Construct with NewScripted to have the schedule validated; multi-crash
+// schedules go through NewScript.
 type Scripted struct {
 	// Round is the 1-based round in which the victim crashes
 	// mid-broadcast.
@@ -254,6 +259,116 @@ func (s *Scripted) Plan(view RoundView) []CrashSpec {
 	}
 	s.done = true
 	return []CrashSpec{{Victim: s.Victim, Deliver: AlternatingByRank(survivors)}}
+}
+
+// NewScripted validates and builds a single-crash script: the round must
+// be positive and the victim non-zero (engines reject zero process IDs, so
+// a zero victim is always a schedule bug, not a no-op).
+func NewScripted(round int, victim proto.ID) (*Scripted, error) {
+	if round < 1 {
+		return nil, fmt.Errorf("adversary: scripted round must be >= 1, got %d", round)
+	}
+	if victim == 0 {
+		return nil, fmt.Errorf("adversary: scripted victim must be non-zero")
+	}
+	return &Scripted{Round: round, Victim: victim}, nil
+}
+
+// ScriptEntry names one crash of a multi-crash script: the given victim
+// crashes mid-broadcast in the given round, delivering to alternating
+// survivors by rank.
+type ScriptEntry struct {
+	Round  int
+	Victim proto.ID
+}
+
+// Script is the validated multi-crash generalization of Scripted: a fixed
+// schedule of (round, victim) crashes, each delivering its final broadcast
+// to alternating survivors. Schedules are validated at construction —
+// non-positive rounds, out-of-order rounds, zero or duplicate victims are
+// construction errors rather than silently dropped entries. At plan time
+// an entry is skipped (exactly as an unavailable Scripted victim is) when
+// its victim is no longer alive or the engine's crash budget is exhausted;
+// skipped victims stay in the survivor delivery set, since they keep
+// executing.
+type Script struct {
+	entries []ScriptEntry
+	next    int
+}
+
+// NewScript validates and builds a crash schedule.
+func NewScript(entries ...ScriptEntry) (*Script, error) {
+	seen := make(map[proto.ID]int, len(entries))
+	for i, e := range entries {
+		if e.Round < 1 {
+			return nil, fmt.Errorf("adversary: script entry %d: round must be >= 1, got %d", i, e.Round)
+		}
+		if e.Victim == 0 {
+			return nil, fmt.Errorf("adversary: script entry %d: victim must be non-zero", i)
+		}
+		if i > 0 && e.Round < entries[i-1].Round {
+			return nil, fmt.Errorf("adversary: script entry %d: round %d after round %d (schedule must be in round order)",
+				i, e.Round, entries[i-1].Round)
+		}
+		if prev, dup := seen[e.Victim]; dup {
+			return nil, fmt.Errorf("adversary: script entries %d and %d both crash victim %v", prev, i, e.Victim)
+		}
+		seen[e.Victim] = i
+	}
+	return &Script{entries: append([]ScriptEntry(nil), entries...)}, nil
+}
+
+// Name implements Strategy.
+func (s *Script) Name() string { return "script" }
+
+// Plan implements Strategy.
+func (s *Script) Plan(view RoundView) []CrashSpec {
+	// Entries are in round order, so the schedule is a cursor: skip past
+	// rounds (a strategy is never consulted for the same round twice), then
+	// plan every entry for this round.
+	for s.next < len(s.entries) && s.entries[s.next].Round < view.Round() {
+		s.next++
+	}
+	if s.next >= len(s.entries) || s.entries[s.next].Round != view.Round() {
+		return nil
+	}
+	var victims []proto.ID
+	for s.next < len(s.entries) && s.entries[s.next].Round == view.Round() {
+		victims = append(victims, s.entries[s.next].Victim)
+		s.next++
+	}
+	// Decide who actually crashes first: absent victims and entries beyond
+	// the engine's remaining budget stay alive, so they must remain in the
+	// survivor set and keep receiving deliveries. Same-round victims never
+	// deliver to each other (they stopped executing), so every crashing
+	// victim's alternating pattern ranks the same survivor set.
+	alive := view.Alive()
+	aliveSet := make(map[proto.ID]bool, len(alive))
+	for _, id := range alive {
+		aliveSet[id] = true
+	}
+	crashing := make(map[proto.ID]bool, len(victims))
+	order := make([]proto.ID, 0, len(victims))
+	for _, v := range victims {
+		if aliveSet[v] && !crashing[v] && len(order) < view.Budget() {
+			crashing[v] = true
+			order = append(order, v)
+		}
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	survivors := make([]proto.ID, 0, len(alive))
+	for _, id := range alive {
+		if !crashing[id] {
+			survivors = append(survivors, id)
+		}
+	}
+	specs := make([]CrashSpec, 0, len(order))
+	for _, v := range order {
+		specs = append(specs, CrashSpec{Victim: v, Deliver: AlternatingByRank(survivors)})
+	}
+	return specs
 }
 
 // Recorder wraps a Strategy and records every crash it actually planned,

@@ -1,0 +1,390 @@
+package namesvc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ballsintoleaves/internal/wire"
+)
+
+// ErrClientClosed is reported (wrapped) by client operations and pending
+// callbacks once the connection is gone.
+var ErrClientClosed = errors.New("namesvc: client closed")
+
+// RejectError is a server reject mapped onto the Go error surface.
+type RejectError struct {
+	Code RejectCode
+	Msg  string
+}
+
+// Error implements error.
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("namesvc: rejected (%v): %s", e.Code, e.Msg)
+}
+
+// ClientConfig parameterizes Dial.
+type ClientConfig struct {
+	// Timeout bounds the dial, the handshake, and every write. Zero means
+	// 30 seconds. Reads are unbounded: a quiet server is a server with no
+	// grants to hand out yet.
+	Timeout time.Duration
+	// FlushInterval is the write-coalescing window: operations buffer their
+	// frames and a background flusher pushes them at this cadence, so a
+	// pipelining caller pays one syscall per window, not per operation.
+	// Zero means 200µs; Flush forces the buffer out immediately.
+	FlushInterval time.Duration
+}
+
+func (c *ClientConfig) normalize() {
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 200 * time.Microsecond
+	}
+}
+
+// pendingOp is one in-flight request awaiting its response frame.
+type pendingOp struct {
+	onGrant   func(Grant, error)
+	onRelease func(error)
+	onStats   func(Stats, error)
+}
+
+// fail invokes whichever callback is set with the error.
+func (p pendingOp) fail(err error) {
+	switch {
+	case p.onGrant != nil:
+		p.onGrant(Grant{}, err)
+	case p.onRelease != nil:
+		p.onRelease(err)
+	case p.onStats != nil:
+		p.onStats(Stats{}, err)
+	}
+}
+
+// Client is a pipelining connection to a name service Server. Operations
+// are asynchronous: they enqueue a frame and return; the response invokes
+// the callback on the client's read goroutine, so callbacks must be fast
+// and must not block on the client's own responses (issuing further
+// operations from a callback is fine and is how closed-loop drivers chain).
+// Sync convenience wrappers are provided for tests and simple callers.
+type Client struct {
+	conn     net.Conn
+	cfg      ClientConfig
+	shards   int
+	shardCap int
+
+	wmu   sync.Mutex
+	bw    *bufio.Writer
+	w     wire.Writer
+	dirty bool
+	werr  error
+
+	mu      sync.Mutex
+	pending map[uint64]pendingOp
+	rerr    error
+
+	nextTag  atomic.Uint64
+	closed   chan struct{}
+	readDone chan struct{}
+	once     sync.Once
+}
+
+// Dial connects, performs the hello/welcome handshake, and starts the read
+// and flush loops.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	cfg.normalize()
+	conn, err := net.DialTimeout("tcp", addr, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:     conn,
+		cfg:      cfg,
+		bw:       bufio.NewWriter(conn),
+		pending:  make(map[uint64]pendingOp),
+		closed:   make(chan struct{}),
+		readDone: make(chan struct{}),
+	}
+	c.w.Reset()
+	appendSvcHello(&c.w)
+	conn.SetWriteDeadline(time.Now().Add(cfg.Timeout))
+	if err := wire.WriteFrame(c.bw, c.w.Bytes()); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("namesvc: hello: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("namesvc: hello: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(cfg.Timeout))
+	body, err := wire.ReadFrame(br, nil, svcMaxFrame)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("namesvc: awaiting welcome: %w", err)
+	}
+	if c.shards, c.shardCap, err = decodeWelcome(body); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Time{})
+	go c.readLoop(br, body)
+	go c.flushLoop()
+	return c, nil
+}
+
+// Shards returns the server's shard count.
+func (c *Client) Shards() int { return c.shards }
+
+// ShardCap returns the server's per-shard namespace size.
+func (c *Client) ShardCap() int { return c.shardCap }
+
+// Capacity returns the server's total namespace size.
+func (c *Client) Capacity() int { return c.shards * c.shardCap }
+
+// Close tears the connection down; every in-flight callback fails with a
+// wrapped ErrClientClosed.
+func (c *Client) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.conn.Close()
+}
+
+// Wait blocks until the read goroutine has exited and therefore no further
+// callback will run — the synchronization point for callers that aggregate
+// callback-owned state after Close.
+func (c *Client) Wait() { <-c.readDone }
+
+// Acquire requests a name for the given client ID; cb receives the grant
+// (or the reject/connection error) on the read goroutine.
+func (c *Client) Acquire(client uint64, cb func(Grant, error)) error {
+	if client == 0 {
+		return fmt.Errorf("namesvc: client ID must be non-zero")
+	}
+	tag := c.nextTag.Add(1)
+	return c.send(tag, pendingOp{onGrant: cb}, func(w *wire.Writer) { appendAcquire(w, tag, client) })
+}
+
+// Release returns a held name; cb receives nil on success.
+func (c *Client) Release(name int, cb func(error)) error {
+	tag := c.nextTag.Add(1)
+	return c.send(tag, pendingOp{onRelease: cb}, func(w *wire.Writer) { appendRelease(w, tag, name) })
+}
+
+// Stats requests the server's counters.
+func (c *Client) Stats(cb func(Stats, error)) error {
+	tag := c.nextTag.Add(1)
+	return c.send(tag, pendingOp{onStats: cb}, func(w *wire.Writer) { appendStatsReq(w, tag) })
+}
+
+// AcquireSync acquires and waits for the grant.
+func (c *Client) AcquireSync(client uint64) (Grant, error) {
+	type result struct {
+		g   Grant
+		err error
+	}
+	ch := make(chan result, 1)
+	if err := c.Acquire(client, func(g Grant, err error) { ch <- result{g, err} }); err != nil {
+		return Grant{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Grant{}, err
+	}
+	r := <-ch
+	return r.g, r.err
+}
+
+// ReleaseSync releases and waits for the acknowledgement.
+func (c *Client) ReleaseSync(name int) error {
+	ch := make(chan error, 1)
+	if err := c.Release(name, func(err error) { ch <- err }); err != nil {
+		return err
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	return <-ch
+}
+
+// StatsSync fetches the server's counters.
+func (c *Client) StatsSync() (Stats, error) {
+	type result struct {
+		st  Stats
+		err error
+	}
+	ch := make(chan result, 1)
+	if err := c.Stats(func(st Stats, err error) { ch <- result{st, err} }); err != nil {
+		return Stats{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Stats{}, err
+	}
+	r := <-ch
+	return r.st, r.err
+}
+
+// send registers the pending op, then buffers the frame. Registration comes
+// first so a response racing the flusher always finds its callback.
+func (c *Client) send(tag uint64, op pendingOp, fill func(*wire.Writer)) error {
+	c.mu.Lock()
+	if c.rerr != nil {
+		err := c.rerr
+		c.mu.Unlock()
+		return err
+	}
+	c.pending[tag] = op
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.werr != nil {
+		c.dropPending(tag)
+		return c.werr
+	}
+	c.w.Reset()
+	fill(&c.w)
+	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.Timeout))
+	if err := wire.WriteFrame(c.bw, c.w.Bytes()); err != nil {
+		c.werr = err
+		c.dropPending(tag)
+		return err
+	}
+	c.dirty = true
+	return nil
+}
+
+// dropPending removes a registration whose frame never made it out.
+func (c *Client) dropPending(tag uint64) {
+	c.mu.Lock()
+	delete(c.pending, tag)
+	c.mu.Unlock()
+}
+
+// Flush forces buffered frames onto the wire.
+func (c *Client) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.werr != nil {
+		return c.werr
+	}
+	if !c.dirty {
+		return nil
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.Timeout))
+	if err := c.bw.Flush(); err != nil {
+		c.werr = err
+		return err
+	}
+	c.dirty = false
+	return nil
+}
+
+// flushLoop pushes buffered frames every FlushInterval until Close.
+func (c *Client) flushLoop() {
+	ticker := time.NewTicker(c.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-ticker.C:
+			c.Flush() // a write error surfaces through the read loop too
+		}
+	}
+}
+
+// readLoop dispatches response frames to their callbacks; on any error it
+// fails every pending operation.
+func (c *Client) readLoop(br *bufio.Reader, rbuf []byte) {
+	defer close(c.readDone)
+	for {
+		body, err := wire.ReadFrame(br, rbuf, svcMaxFrame)
+		if err != nil {
+			c.failAll(fmt.Errorf("%w: %v", ErrClientClosed, err))
+			return
+		}
+		rbuf = body
+		if err := c.dispatch(body); err != nil {
+			c.failAll(fmt.Errorf("%w: %v", ErrClientClosed, err))
+			c.conn.Close()
+			return
+		}
+	}
+}
+
+// dispatch decodes one response frame and invokes its callback.
+func (c *Client) dispatch(body []byte) error {
+	op := byte(0)
+	if len(body) > 0 {
+		op = body[0]
+	}
+	switch op {
+	case opGrant:
+		tag, g, err := decodeGrant(body)
+		if err != nil {
+			return err
+		}
+		if p, ok := c.takePending(tag); ok && p.onGrant != nil {
+			p.onGrant(g, nil)
+		}
+	case opReleased:
+		tag, err := decodeReleased(body)
+		if err != nil {
+			return err
+		}
+		if p, ok := c.takePending(tag); ok && p.onRelease != nil {
+			p.onRelease(nil)
+		}
+	case opStatsRep:
+		tag, st, err := decodeStatsRep(body)
+		if err != nil {
+			return err
+		}
+		if p, ok := c.takePending(tag); ok && p.onStats != nil {
+			p.onStats(st, nil)
+		}
+	case opReject:
+		tag, code, msg, err := decodeReject(body)
+		if err != nil {
+			return err
+		}
+		if p, ok := c.takePending(tag); ok {
+			p.fail(&RejectError{Code: code, Msg: msg})
+		}
+	default:
+		return fmt.Errorf("namesvc: unexpected op %d from server", op)
+	}
+	return nil
+}
+
+// takePending claims the pending op for a tag.
+func (c *Client) takePending(tag uint64) (pendingOp, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pending[tag]
+	if ok {
+		delete(c.pending, tag)
+	}
+	return p, ok
+}
+
+// failAll fails every pending op and poisons the client.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.rerr == nil {
+		c.rerr = err
+	}
+	pend := c.pending
+	c.pending = make(map[uint64]pendingOp)
+	c.mu.Unlock()
+	for _, p := range pend {
+		p.fail(err)
+	}
+	c.once.Do(func() { close(c.closed) })
+}

@@ -1,0 +1,143 @@
+package namesvc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EntryOp tags one ledger journal entry.
+type EntryOp uint8
+
+const (
+	// OpAssign records a name leaving the free pool for a client.
+	OpAssign EntryOp = iota + 1
+	// OpRelease records a name returning to the free pool.
+	OpRelease
+)
+
+// String implements fmt.Stringer.
+func (op EntryOp) String() string {
+	switch op {
+	case OpAssign:
+		return "assign"
+	case OpRelease:
+		return "release"
+	default:
+		return fmt.Sprintf("EntryOp(%d)", uint8(op))
+	}
+}
+
+// Entry is one event in a shard's assignment ledger. Name is shard-local
+// (1..ShardCap); the service-level view adds the shard offset. ReqID is the
+// acquire request that produced an assignment, and 0 for releases.
+type Entry struct {
+	Epoch  uint64
+	Op     EntryOp
+	Client uint64
+	ReqID  uint64
+	Name   int
+}
+
+// fnvOffset/fnvPrime are the FNV-1a 64-bit parameters used for the rolling
+// ledger digest.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// ledger is one shard's namespace bookkeeping: which local names are held by
+// whom, the ascending free list the epoch batches draw from, and a rolling
+// digest (plus an optional full journal) of every assign/release event, so
+// two replays of the same trace can be compared in O(1) space.
+//
+// The ledger is not safe for concurrent use; its owning shard serializes
+// access.
+type ledger struct {
+	cap    int
+	holder []uint64 // holder[name-1]: holding client, 0 = free
+	free   []int    // ascending free local names
+	epoch  uint64   // completed epochs
+	digest uint64   // rolling FNV-1a over all journal events
+
+	journal  bool
+	entries  []Entry
+	assigns  uint64
+	releases uint64
+}
+
+// newLedger builds a ledger over local names 1..capacity.
+func newLedger(capacity int, journal bool) *ledger {
+	l := &ledger{
+		cap:     capacity,
+		holder:  make([]uint64, capacity),
+		free:    make([]int, capacity),
+		digest:  fnvOffset,
+		journal: journal,
+	}
+	for i := range l.free {
+		l.free[i] = i + 1
+	}
+	return l
+}
+
+// freeCount returns the number of unassigned local names.
+func (l *ledger) freeCount() int { return len(l.free) }
+
+// peekFree returns the k smallest free names without removing them. The
+// returned slice aliases the free list and is valid only until the next
+// mutation.
+func (l *ledger) peekFree(k int) []int { return l.free[:k] }
+
+// assign moves a free local name to the client, recording the event. The
+// name must currently be free; assigning a held name panics, because the
+// epoch loop only hands out names drawn from the free list and anything
+// else is ledger corruption.
+func (l *ledger) assign(epoch, reqID, client uint64, name int) {
+	i := sort.SearchInts(l.free, name)
+	if i >= len(l.free) || l.free[i] != name {
+		panic(fmt.Sprintf("namesvc: assigning non-free name %d", name))
+	}
+	l.free = append(l.free[:i], l.free[i+1:]...)
+	l.holder[name-1] = client
+	l.assigns++
+	l.record(Entry{Epoch: epoch, Op: OpAssign, Client: client, ReqID: reqID, Name: name})
+}
+
+// release returns a held local name to the free pool. It errors if the name
+// is not currently held by the given client, so a buggy or hostile caller
+// cannot free someone else's name.
+func (l *ledger) release(epoch, client uint64, name int) error {
+	if name < 1 || name > l.cap {
+		return fmt.Errorf("namesvc: name %d outside 1..%d", name, l.cap)
+	}
+	switch h := l.holder[name-1]; {
+	case h == 0:
+		return fmt.Errorf("namesvc: name %d is not assigned", name)
+	case h != client:
+		return fmt.Errorf("namesvc: name %d is not held by client %d", name, client)
+	}
+	l.holder[name-1] = 0
+	i := sort.SearchInts(l.free, name)
+	l.free = append(l.free, 0)
+	copy(l.free[i+1:], l.free[i:])
+	l.free[i] = name
+	l.releases++
+	l.record(Entry{Epoch: epoch, Op: OpRelease, Client: client, Name: name})
+	return nil
+}
+
+// record folds an event into the rolling digest and, when journaling, the
+// full entry log.
+func (l *ledger) record(e Entry) {
+	d := l.digest
+	for _, v := range [...]uint64{e.Epoch, uint64(e.Op), e.Client, e.ReqID, uint64(e.Name)} {
+		for s := 0; s < 64; s += 8 {
+			d ^= (v >> s) & 0xff
+			d *= fnvPrime
+		}
+	}
+	l.digest = d
+	if l.journal {
+		l.entries = append(l.entries, e)
+	}
+}

@@ -1,0 +1,98 @@
+package namesvc
+
+import (
+	"testing"
+)
+
+func TestLedgerAssignRelease(t *testing.T) {
+	t.Parallel()
+	l := newLedger(4, true)
+	if got := l.freeCount(); got != 4 {
+		t.Fatalf("freeCount = %d, want 4", got)
+	}
+	l.assign(1, 10, 7, 2)
+	l.assign(1, 11, 8, 1)
+	if got := l.freeCount(); got != 2 {
+		t.Fatalf("freeCount = %d, want 2", got)
+	}
+	if got := l.peekFree(2); got[0] != 3 || got[1] != 4 {
+		t.Fatalf("free = %v, want [3 4]", got)
+	}
+	if err := l.release(1, 7, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Released names rejoin in sorted position.
+	if got := l.peekFree(3); got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("free = %v, want [2 3 4]", got)
+	}
+	want := []Entry{
+		{Epoch: 1, Op: OpAssign, Client: 7, ReqID: 10, Name: 2},
+		{Epoch: 1, Op: OpAssign, Client: 8, ReqID: 11, Name: 1},
+		{Epoch: 1, Op: OpRelease, Client: 7, Name: 2},
+	}
+	if len(l.entries) != len(want) {
+		t.Fatalf("journal has %d entries, want %d", len(l.entries), len(want))
+	}
+	for i, e := range want {
+		if l.entries[i] != e {
+			t.Fatalf("journal[%d] = %+v, want %+v", i, l.entries[i], e)
+		}
+	}
+}
+
+func TestLedgerReleaseValidation(t *testing.T) {
+	t.Parallel()
+	l := newLedger(4, false)
+	l.assign(1, 10, 7, 1)
+	for name, client := range map[int]uint64{
+		0: 7, // out of range low
+		5: 7, // out of range high
+		2: 7, // not assigned
+		1: 9, // wrong holder
+	} {
+		if err := l.release(1, client, name); err == nil {
+			t.Errorf("release(client=%d, name=%d) succeeded, want error", client, name)
+		}
+	}
+	if err := l.release(1, 7, 1); err != nil {
+		t.Fatalf("valid release failed: %v", err)
+	}
+	if err := l.release(1, 7, 1); err == nil {
+		t.Fatal("double release succeeded, want error")
+	}
+}
+
+func TestLedgerAssignNonFreePanics(t *testing.T) {
+	t.Parallel()
+	l := newLedger(2, false)
+	l.assign(1, 10, 7, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("assigning a held name did not panic")
+		}
+	}()
+	l.assign(1, 11, 8, 1)
+}
+
+func TestLedgerDigestTracksHistory(t *testing.T) {
+	t.Parallel()
+	a, b := newLedger(4, false), newLedger(4, false)
+	if a.digest != b.digest {
+		t.Fatal("fresh ledgers differ")
+	}
+	a.assign(1, 10, 7, 1)
+	b.assign(1, 10, 7, 1)
+	if a.digest != b.digest {
+		t.Fatal("identical histories produced different digests")
+	}
+	// Same multiset of events in a different order must differ: the
+	// digest is a history hash, not a state hash.
+	c, d := newLedger(4, false), newLedger(4, false)
+	c.assign(1, 10, 7, 1)
+	c.assign(1, 11, 8, 2)
+	d.assign(1, 11, 8, 2)
+	d.assign(1, 10, 7, 1)
+	if c.digest == d.digest {
+		t.Fatal("different histories collided")
+	}
+}

@@ -1,0 +1,466 @@
+// Package namesvc is the long-lived name-allocation service layer: it turns
+// the repository's one-shot renaming machinery into a system that serves
+// continuous acquire/release traffic.
+//
+// One-shot renaming (the paper's problem) assigns each of n processes a
+// unique name in 1..n once. A long-lived service instead sees clients arrive
+// over time, hold a name for a while, and release it for reuse — the regime
+// of the long-lived/adaptive renaming literature. namesvc bridges the two by
+// *epoch batching*:
+//
+//   - Arriving acquire requests queue per shard.
+//   - Closing an epoch snapshots the batch, runs one renaming instance over
+//     it (the fast in-process core.Cohort, or the public Protocol over
+//     internal/transport for distributed mode), and maps the decided ranks
+//     onto the k smallest free names of the shard's namespace.
+//   - Releases return names to the free pool immediately; a released name
+//     can be re-granted by any later epoch, and never before.
+//
+// The namespace is partitioned into Shards independent ledgers of ShardCap
+// names each, with a deterministic client → shard router, so epochs on
+// different shards run concurrently and throughput scales with shards.
+//
+// Every grant and release is folded into a per-shard rolling digest (and an
+// optional full journal), making executions auditable and replayable: a
+// fixed (seed, arrival trace, shards) reproduces an identical assignment
+// ledger on any instance, which the determinism tests pin.
+//
+// The Service is the deterministic core; Server/Client (server.go,
+// client.go) put it on real sockets behind cmd/blnamed, and cmd/blload
+// drives it with load.
+package namesvc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/rng"
+)
+
+// shardSalt decorrelates the shard router from every other use of the seed.
+const shardSalt = 0x5a4d5e5fca11ab1e
+
+// Config parameterizes a Service.
+type Config struct {
+	// Shards is the number of independent namespaces; zero means 1.
+	Shards int
+	// ShardCap is the number of names per shard; required. The service's
+	// namespace is 1..Shards*ShardCap.
+	ShardCap int
+	// Seed drives every epoch's renaming randomness. Executions are pure
+	// functions of (Seed, arrival trace, Shards, ShardCap, Runner).
+	Seed uint64
+	// Runner executes one renaming instance per epoch; nil means
+	// CohortRunner{} (in-process fast path).
+	Runner Runner
+	// MaxBatch caps the number of requests assigned per epoch; zero means
+	// ShardCap. Batches are additionally capped by the shard's free names.
+	MaxBatch int
+	// Journal records the full per-shard assignment journal (tests, audit).
+	// The rolling digest is always maintained; the journal grows without
+	// bound and is meant for bounded runs only.
+	Journal bool
+}
+
+// normalized returns the config with defaults applied.
+func (c Config) normalized() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.MaxBatch <= 0 || c.MaxBatch > c.ShardCap {
+		c.MaxBatch = c.ShardCap
+	}
+	if c.Runner == nil {
+		c.Runner = CohortRunner{}
+	}
+	return c
+}
+
+// validate reports configuration errors.
+func (c Config) validate() error {
+	if c.ShardCap < 1 {
+		return fmt.Errorf("namesvc: ShardCap must be >= 1, got %d", c.ShardCap)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("namesvc: Shards must be >= 0, got %d", c.Shards)
+	}
+	shards := c.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if uint64(shards)*uint64(c.ShardCap) > 1<<31 {
+		return fmt.Errorf("namesvc: namespace %d x %d exceeds 2^31 names", shards, c.ShardCap)
+	}
+	return nil
+}
+
+// Grant is one completed acquire: the request was assigned Name (global, in
+// 1..Shards*ShardCap) during the shard's given epoch.
+type Grant struct {
+	ReqID  uint64
+	Client uint64
+	Shard  int
+	Epoch  uint64
+	Name   int
+}
+
+// request is one queued acquire.
+type request struct {
+	id        uint64
+	client    uint64
+	notify    func(Grant) bool
+	cancelled bool
+}
+
+// shard is one independent namespace with its pending queue. mu serializes
+// everything, including the epoch's renaming run, so an epoch observes (and
+// commits) a consistent free list.
+type shard struct {
+	mu      sync.Mutex
+	led     *ledger
+	pending []*request
+	index   map[uint64]*request // reqID -> queued request
+	seed    uint64              // per-shard seed root for epoch derivation
+
+	acquires uint64
+	absorbed uint64
+}
+
+// Service is the deterministic name-allocation core: sharded ledgers, FIFO
+// pending queues, and the epoch loop. It is safe for concurrent use; each
+// shard is an independent lock domain.
+type Service struct {
+	cfg     Config
+	shards  []*shard
+	nextReq atomic.Uint64
+}
+
+// New builds a Service.
+func New(cfg Config) (*Service, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
+	s := &Service{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			led:   newLedger(cfg.ShardCap, cfg.Journal),
+			index: make(map[uint64]*request),
+			seed:  rng.DeriveSeed(cfg.Seed, shardSalt+uint64(i)),
+		}
+	}
+	return s, nil
+}
+
+// Shards returns the number of shards.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// ShardCap returns the number of names per shard.
+func (s *Service) ShardCap() int { return s.cfg.ShardCap }
+
+// Capacity returns the total namespace size Shards*ShardCap.
+func (s *Service) Capacity() int { return len(s.shards) * s.cfg.ShardCap }
+
+// Shard is the deterministic shard router: the shard that serves the given
+// client's acquires. It hashes the client ID, so any fixed client population
+// spreads across shards regardless of how the IDs were chosen.
+func (s *Service) Shard(client uint64) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return int(rng.DeriveSeed(shardSalt, client) % uint64(len(s.shards)))
+}
+
+// ShardOfName returns the shard that owns a global name.
+func (s *Service) ShardOfName(name int) (int, error) {
+	if name < 1 || name > s.Capacity() {
+		return 0, fmt.Errorf("namesvc: name %d outside 1..%d", name, s.Capacity())
+	}
+	return (name - 1) / s.cfg.ShardCap, nil
+}
+
+// globalName maps a shard-local name to the service-wide namespace.
+func (s *Service) globalName(shardIdx, local int) int {
+	return shardIdx*s.cfg.ShardCap + local
+}
+
+// Acquire enqueues one acquire request for the client's shard and returns
+// its request ID (the renaming label it will carry into its epoch). The
+// request completes when a later CloseEpoch on that shard assigns it a name.
+//
+// notify, when non-nil, is invoked with the grant during CloseEpoch — under
+// the shard lock, so it must be fast, must not block, and must not call back
+// into the Service. Its return value reports whether the recipient still
+// exists: returning false makes the service absorb the grant as a crash,
+// releasing the name immediately (journaled as an assign + release in the
+// same epoch). A nil notify accepts every grant; callers then collect grants
+// from CloseEpoch's return value.
+func (s *Service) Acquire(client uint64, notify func(Grant) bool) (uint64, error) {
+	if client == 0 {
+		return 0, fmt.Errorf("namesvc: client ID must be non-zero")
+	}
+	id := s.nextReq.Add(1)
+	sh := s.shards[s.Shard(client)]
+	req := &request{id: id, client: client, notify: notify}
+	sh.mu.Lock()
+	sh.pending = append(sh.pending, req)
+	sh.index[id] = req
+	sh.acquires++
+	sh.mu.Unlock()
+	return id, nil
+}
+
+// Cancel revokes a still-queued acquire request. It reports whether the
+// request was revoked before being granted; false means the request is
+// unknown — never issued, already granted (release the name instead), or
+// already cancelled. A cancelled request never reaches a renaming batch.
+func (s *Service) Cancel(client, reqID uint64) bool {
+	sh := s.shards[s.Shard(client)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	req, ok := sh.index[reqID]
+	if !ok {
+		return false
+	}
+	req.cancelled = true
+	delete(sh.index, reqID)
+	return true
+}
+
+// Release returns a held global name to its shard's free pool. It errors if
+// the name is outside the namespace or not currently held by the client.
+func (s *Service) Release(client uint64, name int) error {
+	shardIdx, err := s.ShardOfName(name)
+	if err != nil {
+		return err
+	}
+	local := name - shardIdx*s.cfg.ShardCap
+	sh := s.shards[shardIdx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.led.release(sh.led.epoch, client, local)
+}
+
+// Pending returns the number of queued (uncancelled) requests on a shard.
+func (s *Service) Pending(shardIdx int) int {
+	sh := s.shards[shardIdx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := 0
+	for _, r := range sh.pending {
+		if !r.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// EpochRunnable reports whether CloseEpoch on the shard could currently
+// assign anything: queued requests exist and free names remain. Epoch-loop
+// drivers use it to distinguish "nothing to do" from "an epoch ran but
+// every grant was absorbed" (the latter must keep draining).
+func (s *Service) EpochRunnable(shardIdx int) bool {
+	sh := s.shards[shardIdx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.led.freeCount() == 0 {
+		return false
+	}
+	for _, r := range sh.pending {
+		if !r.cancelled {
+			return true
+		}
+	}
+	return false
+}
+
+// CloseEpoch runs one renaming epoch on the given shard: it batches up to
+// MaxBatch queued requests (bounded by the free names), runs the configured
+// Runner over the batch with a seed derived from (Seed, shard, epoch), and
+// assigns each request the rank-th smallest free name. It returns the grants
+// that were accepted (see Acquire's notify contract); grants whose recipient
+// vanished are absorbed as crashes. With nothing to do — no queued requests,
+// or no free names — it returns nil without advancing the epoch.
+//
+// The shard lock is held for the whole epoch, including the renaming run:
+// concurrent Acquire/Release on the same shard wait, which is exactly the
+// group-commit batching that lets the next epoch absorb them in one run.
+func (s *Service) CloseEpoch(shardIdx int) ([]Grant, error) {
+	if shardIdx < 0 || shardIdx >= len(s.shards) {
+		return nil, fmt.Errorf("namesvc: shard %d outside 0..%d", shardIdx, len(s.shards)-1)
+	}
+	sh := s.shards[shardIdx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	// Drop cancelled requests (their index entries are already gone), then
+	// snapshot the batch: FIFO prefix, bounded by the free pool.
+	kept := sh.pending[:0]
+	for _, r := range sh.pending {
+		if !r.cancelled {
+			kept = append(kept, r)
+		}
+	}
+	sh.pending = kept
+	limit := min(s.cfg.MaxBatch, sh.led.freeCount(), len(sh.pending))
+	if limit == 0 {
+		return nil, nil
+	}
+	batch := sh.pending[:limit]
+
+	labels := make([]proto.ID, len(batch))
+	for i, r := range batch {
+		labels[i] = proto.ID(r.id)
+	}
+	epoch := sh.led.epoch + 1
+	seed := rng.DeriveSeed(sh.seed, epoch)
+	ranks, err := s.cfg.Runner.Assign(seed, labels)
+	if err != nil {
+		// The batch stays queued; a later epoch retries it.
+		return nil, fmt.Errorf("namesvc: shard %d epoch %d: %w", shardIdx, epoch, err)
+	}
+	if err := checkPermutation(ranks, len(batch)); err != nil {
+		return nil, fmt.Errorf("namesvc: shard %d epoch %d: runner %s: %w", shardIdx, epoch, s.cfg.Runner.Name(), err)
+	}
+
+	// Commit: rank r takes the r-th smallest free name. The snapshot is
+	// copied because assign mutates the free list it aliases.
+	freeSnap := append([]int(nil), sh.led.peekFree(limit)...)
+	sh.led.epoch = epoch
+	grants := make([]Grant, 0, len(batch))
+	for i, req := range batch {
+		local := freeSnap[ranks[i]-1]
+		sh.led.assign(epoch, req.id, req.client, local)
+		delete(sh.index, req.id)
+		g := Grant{
+			ReqID:  req.id,
+			Client: req.client,
+			Shard:  shardIdx,
+			Epoch:  epoch,
+			Name:   s.globalName(shardIdx, local),
+		}
+		if req.notify != nil && !req.notify(g) {
+			// The requester is gone — a crash between acquire and grant.
+			// The name bounces straight back to the free pool; uniqueness
+			// holds because it was never observable outside this epoch.
+			sh.absorbed++
+			if err := sh.led.release(epoch, req.client, local); err != nil {
+				panic(fmt.Sprintf("namesvc: absorbing crashed grant: %v", err))
+			}
+			continue
+		}
+		grants = append(grants, g)
+	}
+	sh.pending = append(sh.pending[:0], sh.pending[limit:]...)
+	return grants, nil
+}
+
+// CloseEpochs runs CloseEpoch on every shard in order and concatenates the
+// grants — the single-threaded convenience for tests and examples.
+func (s *Service) CloseEpochs() ([]Grant, error) {
+	var all []Grant
+	for i := range s.shards {
+		grants, err := s.CloseEpoch(i)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, grants...)
+	}
+	return all, nil
+}
+
+// checkPermutation verifies a runner returned each rank 1..n exactly once.
+func checkPermutation(ranks []int, n int) error {
+	if len(ranks) != n {
+		return fmt.Errorf("assigned %d ranks for a batch of %d", len(ranks), n)
+	}
+	seen := make([]bool, n)
+	for _, r := range ranks {
+		if r < 1 || r > n {
+			return fmt.Errorf("rank %d outside 1..%d", r, n)
+		}
+		if seen[r-1] {
+			return fmt.Errorf("rank %d assigned twice", r)
+		}
+		seen[r-1] = true
+	}
+	return nil
+}
+
+// Stats is a point-in-time summary across all shards.
+type Stats struct {
+	Shards   int
+	ShardCap int
+	// Epochs is the total number of completed epochs, summed over shards.
+	Epochs uint64
+	// Assigned and Free partition the namespace; Pending counts queued
+	// requests not yet granted.
+	Assigned int
+	Free     int
+	Pending  int
+	// Acquires counts requests accepted; Grants counts names handed out
+	// (including re-grants after release); Releases counts names returned;
+	// Absorbed counts grants whose requester vanished mid-epoch and whose
+	// names bounced straight back (Grants includes them).
+	Acquires uint64
+	Grants   uint64
+	Releases uint64
+	Absorbed uint64
+}
+
+// Stats collects the summary, locking each shard in turn.
+func (s *Service) Stats() Stats {
+	st := Stats{Shards: len(s.shards), ShardCap: s.cfg.ShardCap}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.Epochs += sh.led.epoch
+		free := sh.led.freeCount()
+		st.Free += free
+		st.Assigned += s.cfg.ShardCap - free
+		for _, r := range sh.pending {
+			if !r.cancelled {
+				st.Pending++
+			}
+		}
+		st.Acquires += sh.acquires
+		st.Grants += sh.led.assigns
+		st.Releases += sh.led.releases
+		st.Absorbed += sh.absorbed
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// ShardJournal returns a copy of a shard's full assignment journal (only
+// populated with Config.Journal set).
+func (s *Service) ShardJournal(shardIdx int) []Entry {
+	sh := s.shards[shardIdx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return append([]Entry(nil), sh.led.entries...)
+}
+
+// ShardDigest returns a shard's rolling ledger digest.
+func (s *Service) ShardDigest(shardIdx int) uint64 {
+	sh := s.shards[shardIdx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.led.digest
+}
+
+// Digest folds every shard's ledger digest into one value: two instances
+// that processed the same trace agree on it, and any divergence in any
+// shard's assignment history changes it.
+func (s *Service) Digest() uint64 {
+	d := uint64(fnvOffset)
+	for i := range s.shards {
+		v := s.ShardDigest(i)
+		for sft := 0; sft < 64; sft += 8 {
+			d ^= (v >> sft) & 0xff
+			d *= fnvPrime
+		}
+	}
+	return d
+}

@@ -1,0 +1,446 @@
+package namesvc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ballsintoleaves/internal/wire"
+)
+
+// ServerConfig parameterizes a Server.
+type ServerConfig struct {
+	// Service is the allocation core to serve. Required.
+	Service *Service
+	// EpochInterval is the batching window: after a shard's first queued
+	// request, its epoch loop waits this long before closing the epoch, so
+	// more arrivals join the batch. Zero is pure group commit — close
+	// immediately, and let the requests that arrive during one epoch's
+	// renaming run form the next batch.
+	EpochInterval time.Duration
+	// MaxOutstanding caps one connection's in-flight acquires; beyond it
+	// acquires are rejected with RejectBusy. Zero means 4096.
+	MaxOutstanding int
+	// IOTimeout bounds the handshake read and every write. Zero means 30s.
+	IOTimeout time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *ServerConfig) normalize() error {
+	if cfg.Service == nil {
+		return fmt.Errorf("namesvc: ServerConfig.Service is required")
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 4096
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Server puts a Service on a listener: it speaks the blnamed wire protocol,
+// runs one group-commit epoch loop per shard, and renders connection
+// failures onto the service's crash-absorption semantics — a connection
+// that dies with queued acquires cancels them (or lets their grants be
+// absorbed), and every name the connection held is released, so names never
+// leak to dead clients.
+type Server struct {
+	cfg   ServerConfig
+	svc   *Service
+	kicks []chan struct{}
+	stop  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// NewServer builds a Server and starts its per-shard epoch loops.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		svc:   cfg.Service,
+		kicks: make([]chan struct{}, cfg.Service.Shards()),
+		stop:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	for i := range s.kicks {
+		s.kicks[i] = make(chan struct{}, 1)
+		s.wg.Add(1)
+		go s.shardLoop(i)
+	}
+	return s, nil
+}
+
+// Serve accepts connections on ln until the listener is closed, handling
+// each on its own goroutine. It does not close ln; the owner closes the
+// listener to stop accepting and then calls Close to tear the server down.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return nil
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("namesvc: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.conns == nil {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// Close stops the epoch loops, closes every live connection, and waits for
+// all handlers to finish. The listener passed to Serve must be closed by
+// its owner (before or after Close; Serve tolerates both orders).
+func (s *Server) Close() error {
+	s.once.Do(func() {
+		close(s.stop)
+		s.mu.Lock()
+		conns := s.conns
+		s.conns = nil
+		s.mu.Unlock()
+		for conn := range conns {
+			conn.Close()
+		}
+	})
+	s.wg.Wait()
+	return nil
+}
+
+// kick nudges a shard's epoch loop; the channel is a binary semaphore, so
+// concurrent kicks coalesce.
+func (s *Server) kick(shard int) {
+	select {
+	case s.kicks[shard] <- struct{}{}:
+	default:
+	}
+}
+
+// shardLoop closes epochs on one shard whenever work arrives: group commit
+// with an optional batching window. It drains — repeated CloseEpoch calls —
+// because requests that queued during an epoch's renaming run form the next
+// batch without another kick.
+func (s *Server) shardLoop(shard int) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.kicks[shard]:
+		}
+		if s.cfg.EpochInterval > 0 {
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(s.cfg.EpochInterval):
+			}
+		}
+		for {
+			grants, err := s.svc.CloseEpoch(shard)
+			if err != nil {
+				// The batch stays queued; log and wait for the next kick
+				// rather than spinning on a persistent failure.
+				s.cfg.Logf("shard %d: epoch failed: %v", shard, err)
+				break
+			}
+			if len(grants) > 0 {
+				continue
+			}
+			// No accepted grants — but an epoch may still have run with
+			// every grant absorbed (the whole batch's connections died),
+			// leaving later arrivals queued with nobody left to kick.
+			// Keep draining while another epoch could assign; stop when
+			// the queue is empty or the namespace is exhausted (a release
+			// will kick us).
+			if !s.svc.EpochRunnable(shard) {
+				break
+			}
+		}
+	}
+}
+
+// svcConn is one connection's server-side state. Lock order: a shard lock
+// may be taken before c.mu (grant notifies run under the shard lock), so
+// c.mu must never be held across a Service call.
+type svcConn struct {
+	conn net.Conn
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	dead        bool
+	out         [][]byte // encoded response frames awaiting the writer
+	outClosed   bool
+	held        map[int]uint64 // global name -> holding client
+	outstanding map[*connReq]struct{}
+}
+
+// connReq tracks one in-flight acquire from registration to grant.
+type connReq struct {
+	client uint64
+	id     uint64 // service request ID; 0 until Acquire returns
+}
+
+// push enqueues one encoded frame for the writer goroutine; it reports
+// false when the connection is already being torn down.
+func (c *svcConn) push(body []byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead || c.outClosed {
+		return false
+	}
+	c.out = append(c.out, body)
+	c.cond.Signal()
+	return true
+}
+
+// encode renders one frame body with a fresh writer (the slice escapes into
+// the outbox).
+func encode(fill func(*wire.Writer)) []byte {
+	var w wire.Writer
+	fill(&w)
+	return w.Bytes()
+}
+
+// handle runs one connection: handshake, dispatch loop, teardown.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	c := &svcConn{
+		conn:        conn,
+		held:        make(map[int]uint64),
+		outstanding: make(map[*connReq]struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+
+	defer s.teardown(c)
+	s.wg.Add(1)
+	go s.writeLoop(c)
+
+	br := bufio.NewReader(conn)
+	var rbuf []byte
+
+	// Handshake: hello in, welcome out.
+	conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
+	body, err := wire.ReadFrame(br, rbuf, svcMaxFrame)
+	if err != nil {
+		s.cfg.Logf("%v: bad handshake: %v", conn.RemoteAddr(), err)
+		return
+	}
+	rbuf = body
+	if err := decodeSvcHello(body); err != nil {
+		s.cfg.Logf("%v: rejected: %v", conn.RemoteAddr(), err)
+		return
+	}
+	c.push(encode(func(w *wire.Writer) { appendWelcome(w, s.svc.Shards(), s.svc.ShardCap()) }))
+	conn.SetReadDeadline(time.Time{})
+
+	for {
+		body, err := wire.ReadFrame(br, rbuf, svcMaxFrame)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("%v: read: %v (closing connection)", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		rbuf = body
+		op := byte(0)
+		if len(body) > 0 {
+			op = body[0]
+		}
+		switch op {
+		case opAcquire:
+			tag, client, err := decodeAcquire(body)
+			if err != nil {
+				s.cfg.Logf("%v: malformed acquire: %v (closing connection)", conn.RemoteAddr(), err)
+				return
+			}
+			s.doAcquire(c, tag, client)
+		case opRelease:
+			tag, name, err := decodeRelease(body)
+			if err != nil {
+				s.cfg.Logf("%v: malformed release: %v (closing connection)", conn.RemoteAddr(), err)
+				return
+			}
+			s.doRelease(c, tag, name)
+		case opStats:
+			tag, err := decodeStatsReq(body)
+			if err != nil {
+				s.cfg.Logf("%v: malformed stats: %v (closing connection)", conn.RemoteAddr(), err)
+				return
+			}
+			st := s.svc.Stats()
+			c.push(encode(func(w *wire.Writer) { appendStatsRep(w, tag, st) }))
+		default:
+			s.cfg.Logf("%v: unknown op %d (closing connection)", conn.RemoteAddr(), op)
+			return
+		}
+	}
+}
+
+// doAcquire registers and enqueues one acquire. The grant notify runs under
+// the shard lock at epoch close; it refuses the grant once the connection
+// is dead, which is how a mid-epoch disconnect is absorbed as a crash.
+func (s *Server) doAcquire(c *svcConn, tag uint64, client uint64) {
+	req := &connReq{client: client}
+	c.mu.Lock()
+	if len(c.outstanding) >= s.cfg.MaxOutstanding {
+		c.mu.Unlock()
+		c.push(encode(func(w *wire.Writer) { appendReject(w, tag, RejectBusy, "too many outstanding acquires") }))
+		return
+	}
+	c.outstanding[req] = struct{}{}
+	c.mu.Unlock()
+
+	id, err := s.svc.Acquire(client, func(g Grant) bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.dead {
+			return false
+		}
+		delete(c.outstanding, req)
+		c.held[g.Name] = g.Client
+		c.out = append(c.out, encode(func(w *wire.Writer) { appendGrant(w, tag, g) }))
+		c.cond.Signal()
+		return true
+	})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.outstanding, req)
+		c.mu.Unlock()
+		c.push(encode(func(w *wire.Writer) { appendReject(w, tag, RejectInternal, err.Error()) }))
+		return
+	}
+	c.mu.Lock()
+	req.id = id // the grant may already have fired; harmless either way
+	c.mu.Unlock()
+	s.kick(s.svc.Shard(client))
+}
+
+// doRelease validates ownership against the connection's held set and
+// returns the name to its shard.
+func (s *Server) doRelease(c *svcConn, tag uint64, name int) {
+	c.mu.Lock()
+	client, ok := c.held[name]
+	if ok {
+		delete(c.held, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.push(encode(func(w *wire.Writer) {
+			appendReject(w, tag, RejectNotHeld, fmt.Sprintf("name %d is not held by this connection", name))
+		}))
+		return
+	}
+	if err := s.svc.Release(client, name); err != nil {
+		c.push(encode(func(w *wire.Writer) { appendReject(w, tag, RejectInternal, err.Error()) }))
+		return
+	}
+	c.push(encode(func(w *wire.Writer) { appendReleased(w, tag) }))
+	if shard, err := s.svc.ShardOfName(name); err == nil {
+		s.kick(shard) // freed capacity may unblock queued acquires
+	}
+}
+
+// teardown absorbs a connection's death: queued acquires are cancelled
+// (grants already racing through an epoch are refused by the dead notify),
+// and every held name is released. Uniqueness is never at risk — a name is
+// either still free, released here, or absorbed inside CloseEpoch.
+func (s *Server) teardown(c *svcConn) {
+	c.mu.Lock()
+	c.dead = true
+	c.outClosed = true
+	c.cond.Signal()
+	cancels := make([]*connReq, 0, len(c.outstanding))
+	for req := range c.outstanding {
+		cancels = append(cancels, req)
+	}
+	c.outstanding = nil
+	releases := make(map[int]uint64, len(c.held))
+	for name, client := range c.held {
+		releases[name] = client
+	}
+	c.held = nil
+	c.mu.Unlock()
+
+	for _, req := range cancels {
+		if req.id != 0 {
+			s.svc.Cancel(req.client, req.id)
+		}
+	}
+	kicked := make(map[int]bool)
+	for name, client := range releases {
+		if err := s.svc.Release(client, name); err != nil {
+			s.cfg.Logf("%v: teardown release of %d: %v", c.conn.RemoteAddr(), name, err)
+			continue
+		}
+		if shard, err := s.svc.ShardOfName(name); err == nil && !kicked[shard] {
+			kicked[shard] = true
+			s.kick(shard)
+		}
+	}
+	c.conn.Close()
+	s.mu.Lock()
+	if s.conns != nil {
+		delete(s.conns, c.conn)
+	}
+	s.mu.Unlock()
+}
+
+// writeLoop drains the connection's outbox, flushing once per drained
+// batch — group flushing that coalesces a whole epoch's grants into few
+// syscalls.
+func (s *Server) writeLoop(c *svcConn) {
+	defer s.wg.Done()
+	bw := bufio.NewWriter(c.conn)
+	for {
+		c.mu.Lock()
+		for len(c.out) == 0 && !c.outClosed {
+			c.cond.Wait()
+		}
+		batch := c.out
+		c.out = nil
+		closed := c.outClosed
+		c.mu.Unlock()
+		for _, body := range batch {
+			c.conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+			if err := wire.WriteFrame(bw, body); err != nil {
+				c.conn.Close() // unblocks the read loop, which runs teardown
+				return
+			}
+		}
+		if len(batch) > 0 {
+			if err := bw.Flush(); err != nil {
+				c.conn.Close()
+				return
+			}
+		}
+		if closed && len(batch) == 0 {
+			return
+		}
+	}
+}

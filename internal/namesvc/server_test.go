@@ -1,0 +1,331 @@
+package namesvc
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"ballsintoleaves/internal/wire"
+)
+
+// startServer brings up a Service+Server on a loopback socket and returns
+// the service, the address, and a cleanup-registered server.
+func startServer(t *testing.T, cfg Config) (*Service, string) {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Service: svc, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ln.Close()
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return svc, ln.Addr().String()
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServerEndToEndOverSockets is the real-socket acceptance test: epochs
+// of acquire/release traffic over TCP with uniqueness and reuse-only-after-
+// release checked continuously, plus stats and reject behaviour.
+func TestServerEndToEndOverSockets(t *testing.T) {
+	t.Parallel()
+	svc, addr := startServer(t, Config{Shards: 2, ShardCap: 8, Seed: 5})
+	c, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Shards() != 2 || c.ShardCap() != 8 {
+		t.Fatalf("welcome advertised %d x %d", c.Shards(), c.ShardCap())
+	}
+
+	active := map[int]uint64{}
+	everHeld := map[int]bool{}
+	released := map[int]bool{}
+	acquire := func(client uint64) Grant {
+		t.Helper()
+		g, err := c.AcquireSync(client)
+		if err != nil {
+			t.Fatalf("acquire for %d: %v", client, err)
+		}
+		if _, dup := active[g.Name]; dup {
+			t.Fatalf("name %d granted while held", g.Name)
+		}
+		if everHeld[g.Name] && !released[g.Name] {
+			t.Fatalf("name %d reused without release", g.Name)
+		}
+		active[g.Name] = client
+		everHeld[g.Name] = true
+		delete(released, g.Name)
+		return g
+	}
+	release := func(g Grant) {
+		t.Helper()
+		if err := c.ReleaseSync(g.Name); err != nil {
+			t.Fatalf("release of %d: %v", g.Name, err)
+		}
+		delete(active, g.Name)
+		released[g.Name] = true
+	}
+
+	// Three waves of churn; every sync acquire closes at least one epoch.
+	var wave []Grant
+	for client := uint64(1); client <= 10; client++ {
+		wave = append(wave, acquire(client))
+	}
+	for _, g := range wave[:5] {
+		release(g)
+	}
+	for client := uint64(21); client <= 25; client++ {
+		acquire(client)
+	}
+	for _, g := range wave[5:] {
+		release(g)
+	}
+	for client := uint64(31); client <= 33; client++ {
+		acquire(client)
+	}
+
+	st, err := c.StatsSync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epochs < 3 {
+		t.Fatalf("only %d epochs over the socket run", st.Epochs)
+	}
+	if st.Assigned != len(active) {
+		t.Fatalf("server says %d assigned, client holds %d", st.Assigned, len(active))
+	}
+	if st.Grants < 18 || st.Releases < 10 {
+		t.Fatalf("grants %d releases %d, want >= 18 / >= 10", st.Grants, st.Releases)
+	}
+
+	// Releasing a name this connection does not hold is a clean reject.
+	err = c.ReleaseSync(1 + (len(active) << 10)) // certainly unheld, maybe out of range
+	var rej *RejectError
+	if !errors.As(err, &rej) {
+		t.Fatalf("foreign release: %v, want RejectError", err)
+	}
+	_ = svc
+}
+
+// TestServerDisconnectReleasesAndCancels: a connection that dies while
+// holding names and with queued acquires leaves no residue — held names are
+// released, queued requests never consume capacity, and the namespace
+// remains fully grantable with no duplicates.
+func TestServerDisconnectReleasesAndCancels(t *testing.T) {
+	t.Parallel()
+	svc, addr := startServer(t, Config{Shards: 2, ShardCap: 4, Seed: 11})
+	c1, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	// c1 fills the whole namespace: pick client IDs routed to each shard.
+	byShard := map[int][]uint64{}
+	for client := uint64(1); len(byShard[0]) < 4 || len(byShard[1]) < 4; client++ {
+		s := svc.Shard(client)
+		if len(byShard[s]) < 4 {
+			byShard[s] = append(byShard[s], client)
+		}
+	}
+	grants := map[uint64]Grant{}
+	seen := map[int]bool{}
+	for _, clients := range byShard {
+		for _, client := range clients {
+			g, err := c1.AcquireSync(client)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[g.Name] {
+				t.Fatalf("duplicate name %d", g.Name)
+			}
+			seen[g.Name] = true
+			grants[client] = g
+		}
+	}
+
+	// c2 queues an acquire against the full namespace, then dies: the
+	// request must be cancelled (or its eventual grant absorbed), never
+	// holding capacity.
+	c2, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := byShard[0][0]
+	if err := c2.Acquire(victim+1000, func(Grant, error) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "queued acquire", func() bool { return svc.Stats().Pending == 1 })
+	c2.Close()
+	waitFor(t, "cancel on disconnect", func() bool { return svc.Stats().Pending == 0 })
+
+	// c1 frees one name; a client routed to that shard must be able to
+	// re-acquire exactly it.
+	freedClient := byShard[0][0]
+	freed := grants[freedClient]
+	if err := c1.ReleaseSync(freed.Name); err != nil {
+		t.Fatal(err)
+	}
+	g, err := c1.AcquireSync(freedClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != freed.Name {
+		t.Fatalf("backfill granted %d, want the freed %d", g.Name, freed.Name)
+	}
+
+	// c3 holds two names and dies; the server must release them.
+	c3, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := svc.Stats().Assigned
+	if before != svc.Capacity() {
+		t.Fatalf("namespace not full before c3: %d of %d", before, svc.Capacity())
+	}
+	// Free two names for c3 to take, via fresh client IDs routed to the
+	// same shard.
+	for _, client := range byShard[1][:2] {
+		if err := c1.ReleaseSync(grants[client].Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := make([]uint64, 0, 2)
+	for client := uint64(5000); len(fresh) < 2; client++ {
+		if svc.Shard(client) == 1 {
+			fresh = append(fresh, client)
+		}
+	}
+	for _, client := range fresh {
+		if _, err := c3.AcquireSync(client); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := svc.Stats().Assigned; got != svc.Capacity() {
+		t.Fatalf("assigned = %d after c3's acquires, want full %d", got, svc.Capacity())
+	}
+	c3.Close()
+	waitFor(t, "disconnect releasing held names", func() bool {
+		return svc.Stats().Assigned == svc.Capacity()-2
+	})
+}
+
+// TestServerMalformedFrameClosesOnlyThatConnection pins the per-connection
+// error discipline on the service protocol.
+func TestServerMalformedFrameClosesOnlyThatConnection(t *testing.T) {
+	t.Parallel()
+	svc, addr := startServer(t, Config{ShardCap: 4, Seed: 2})
+	good, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if _, err := good.AcquireSync(7); err != nil {
+		t.Fatal(err)
+	}
+
+	// A raw connection sends a valid hello, then a truncated acquire body.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	var w wire.Writer
+	appendSvcHello(&w)
+	if err := wire.WriteFrame(raw, w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadFrame(raw, nil, svcMaxFrame); err != nil {
+		t.Fatalf("welcome: %v", err)
+	}
+	if err := wire.WriteFrame(raw, []byte{opAcquire, 0x80}); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.ReadFrame(raw, nil, svcMaxFrame); err == nil {
+		t.Fatal("server kept the connection after a malformed frame")
+	}
+
+	// The well-behaved connection is unaffected.
+	if _, err := good.AcquireSync(8); err != nil {
+		t.Fatalf("good connection broken by peer's malformed frame: %v", err)
+	}
+	if st := svc.Stats(); st.Assigned != 2 {
+		t.Fatalf("assigned = %d, want 2", st.Assigned)
+	}
+}
+
+// TestServerUnknownOpAndBadHello cover the remaining rejection paths.
+func TestServerUnknownOpAndBadHello(t *testing.T) {
+	t.Parallel()
+	_, addr := startServer(t, Config{ShardCap: 4, Seed: 2})
+
+	// Wrong hello version: connection closed without a welcome.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w wire.Writer
+	w.Byte(opHello)
+	w.Uvarint(99)
+	if err := wire.WriteFrame(raw, w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.ReadFrame(raw, nil, svcMaxFrame); err == nil {
+		t.Fatal("server welcomed a wrong-version hello")
+	}
+	raw.Close()
+
+	// Unknown op after a good handshake: connection closed.
+	raw2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw2.Close()
+	w.Reset()
+	appendSvcHello(&w)
+	if err := wire.WriteFrame(raw2, w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadFrame(raw2, nil, svcMaxFrame); err != nil {
+		t.Fatalf("welcome: %v", err)
+	}
+	if err := wire.WriteFrame(raw2, []byte{0x7f}); err != nil {
+		t.Fatal(err)
+	}
+	raw2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.ReadFrame(raw2, nil, svcMaxFrame); err == nil {
+		t.Fatal("server kept the connection after an unknown op")
+	}
+}

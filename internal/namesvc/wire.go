@@ -1,0 +1,263 @@
+package namesvc
+
+import (
+	"fmt"
+
+	"ballsintoleaves/internal/wire"
+)
+
+// The blnamed wire protocol: length-prefixed frames (wire.ReadFrame /
+// wire.WriteFrame) whose bodies use the repository's varint format behind a
+// one-byte op tag. Requests carry a client-chosen correlation tag that the
+// matching response echoes, so a connection can pipeline arbitrarily many
+// operations. Following the transport layer's error discipline, every
+// malformed input — truncated body, trailing bytes, unknown op, oversized
+// frame — is a clean per-connection error: the server closes that
+// connection (releasing everything it held) and every other connection is
+// unaffected. Semantically invalid but well-formed requests (releasing a
+// name the connection does not hold) are answered with a reject frame and
+// the connection lives on.
+const (
+	opHello    byte = 1  // client → server: protocol version
+	opAcquire  byte = 2  // client → server: tag, client ID
+	opRelease  byte = 3  // client → server: tag, global name
+	opStats    byte = 4  // client → server: tag
+	opWelcome  byte = 16 // server → client: version, shards, shard capacity
+	opGrant    byte = 17 // server → client: tag, name, shard, epoch
+	opReleased byte = 18 // server → client: tag
+	opStatsRep byte = 19 // server → client: tag, counters
+	opReject   byte = 20 // server → client: tag, code, message
+)
+
+// svcProtocolVersion is the hello/welcome handshake version.
+const svcProtocolVersion = 1
+
+// svcMaxFrame bounds any frame of the service protocol; every op is a few
+// varints, so 4 KiB is generous while keeping hostile length prefixes cheap.
+const svcMaxFrame = 1 << 12
+
+// RejectCode classifies a reject frame.
+type RejectCode uint64
+
+const (
+	// RejectBusy: the connection exceeded its outstanding-acquire budget.
+	RejectBusy RejectCode = 1
+	// RejectNotHeld: the released name is not held by this connection.
+	RejectNotHeld RejectCode = 2
+	// RejectInternal: the server failed to process the request.
+	RejectInternal RejectCode = 3
+)
+
+// String implements fmt.Stringer.
+func (c RejectCode) String() string {
+	switch c {
+	case RejectBusy:
+		return "busy"
+	case RejectNotHeld:
+		return "not-held"
+	case RejectInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("reject(%d)", uint64(c))
+	}
+}
+
+func appendSvcHello(w *wire.Writer) {
+	w.Byte(opHello)
+	w.Uvarint(svcProtocolVersion)
+}
+
+func decodeSvcHello(body []byte) error {
+	r := wire.NewReader(body)
+	if k := r.Byte(); r.Err() == nil && k != opHello {
+		return fmt.Errorf("namesvc: expected hello, got op %d", k)
+	}
+	version := r.Uvarint()
+	if err := r.Close(); err != nil {
+		return err
+	}
+	if version != svcProtocolVersion {
+		return fmt.Errorf("namesvc: protocol version %d, want %d", version, svcProtocolVersion)
+	}
+	return nil
+}
+
+func appendWelcome(w *wire.Writer, shards, shardCap int) {
+	w.Byte(opWelcome)
+	w.Uvarint(svcProtocolVersion)
+	w.Uvarint(uint64(shards))
+	w.Uvarint(uint64(shardCap))
+}
+
+func decodeWelcome(body []byte) (shards, shardCap int, err error) {
+	r := wire.NewReader(body)
+	if k := r.Byte(); r.Err() == nil && k != opWelcome {
+		return 0, 0, fmt.Errorf("namesvc: expected welcome, got op %d", k)
+	}
+	version := r.Uvarint()
+	shards = int(r.Uvarint())
+	shardCap = int(r.Uvarint())
+	if err := r.Close(); err != nil {
+		return 0, 0, err
+	}
+	if version != svcProtocolVersion {
+		return 0, 0, fmt.Errorf("namesvc: protocol version %d, want %d", version, svcProtocolVersion)
+	}
+	if shards < 1 || shardCap < 1 {
+		return 0, 0, fmt.Errorf("namesvc: welcome with %d shards x %d names", shards, shardCap)
+	}
+	return shards, shardCap, nil
+}
+
+func appendAcquire(w *wire.Writer, tag, client uint64) {
+	w.Byte(opAcquire)
+	w.Uvarint(tag)
+	w.Uvarint(client)
+}
+
+func decodeAcquire(body []byte) (tag, client uint64, err error) {
+	r := wire.NewReader(body)
+	r.Byte() // op, already dispatched
+	tag = r.Uvarint()
+	client = r.Uvarint()
+	if err := r.Close(); err != nil {
+		return 0, 0, err
+	}
+	if client == 0 {
+		return 0, 0, fmt.Errorf("namesvc: acquire with zero client ID")
+	}
+	return tag, client, nil
+}
+
+func appendRelease(w *wire.Writer, tag uint64, name int) {
+	w.Byte(opRelease)
+	w.Uvarint(tag)
+	w.Uvarint(uint64(name))
+}
+
+func decodeRelease(body []byte) (tag uint64, name int, err error) {
+	r := wire.NewReader(body)
+	r.Byte()
+	tag = r.Uvarint()
+	name = int(r.Uvarint())
+	if err := r.Close(); err != nil {
+		return 0, 0, err
+	}
+	if name < 1 {
+		return 0, 0, fmt.Errorf("namesvc: release of name %d", name)
+	}
+	return tag, name, nil
+}
+
+func appendStatsReq(w *wire.Writer, tag uint64) {
+	w.Byte(opStats)
+	w.Uvarint(tag)
+}
+
+func decodeStatsReq(body []byte) (tag uint64, err error) {
+	r := wire.NewReader(body)
+	r.Byte()
+	tag = r.Uvarint()
+	if err := r.Close(); err != nil {
+		return 0, err
+	}
+	return tag, nil
+}
+
+func appendGrant(w *wire.Writer, tag uint64, g Grant) {
+	w.Byte(opGrant)
+	w.Uvarint(tag)
+	w.Uvarint(uint64(g.Name))
+	w.Uvarint(uint64(g.Shard))
+	w.Uvarint(g.Epoch)
+}
+
+func decodeGrant(body []byte) (tag uint64, g Grant, err error) {
+	r := wire.NewReader(body)
+	r.Byte()
+	tag = r.Uvarint()
+	g.Name = int(r.Uvarint())
+	g.Shard = int(r.Uvarint())
+	g.Epoch = r.Uvarint()
+	if err := r.Close(); err != nil {
+		return 0, Grant{}, err
+	}
+	if g.Name < 1 {
+		return 0, Grant{}, fmt.Errorf("namesvc: grant of name %d", g.Name)
+	}
+	return tag, g, nil
+}
+
+func appendReleased(w *wire.Writer, tag uint64) {
+	w.Byte(opReleased)
+	w.Uvarint(tag)
+}
+
+func decodeReleased(body []byte) (tag uint64, err error) {
+	r := wire.NewReader(body)
+	r.Byte()
+	tag = r.Uvarint()
+	if err := r.Close(); err != nil {
+		return 0, err
+	}
+	return tag, nil
+}
+
+func appendStatsRep(w *wire.Writer, tag uint64, st Stats) {
+	w.Byte(opStatsRep)
+	w.Uvarint(tag)
+	w.Uvarint(uint64(st.Shards))
+	w.Uvarint(uint64(st.ShardCap))
+	w.Uvarint(st.Epochs)
+	w.Uvarint(uint64(st.Assigned))
+	w.Uvarint(uint64(st.Free))
+	w.Uvarint(uint64(st.Pending))
+	w.Uvarint(st.Acquires)
+	w.Uvarint(st.Grants)
+	w.Uvarint(st.Releases)
+	w.Uvarint(st.Absorbed)
+}
+
+func decodeStatsRep(body []byte) (tag uint64, st Stats, err error) {
+	r := wire.NewReader(body)
+	r.Byte()
+	tag = r.Uvarint()
+	st.Shards = int(r.Uvarint())
+	st.ShardCap = int(r.Uvarint())
+	st.Epochs = r.Uvarint()
+	st.Assigned = int(r.Uvarint())
+	st.Free = int(r.Uvarint())
+	st.Pending = int(r.Uvarint())
+	st.Acquires = r.Uvarint()
+	st.Grants = r.Uvarint()
+	st.Releases = r.Uvarint()
+	st.Absorbed = r.Uvarint()
+	if err := r.Close(); err != nil {
+		return 0, Stats{}, err
+	}
+	return tag, st, nil
+}
+
+func appendReject(w *wire.Writer, tag uint64, code RejectCode, msg string) {
+	w.Byte(opReject)
+	w.Uvarint(tag)
+	w.Uvarint(uint64(code))
+	w.Uvarint(uint64(len(msg)))
+	w.Raw([]byte(msg))
+}
+
+func decodeReject(body []byte) (tag uint64, code RejectCode, msg string, err error) {
+	r := wire.NewReader(body)
+	r.Byte()
+	tag = r.Uvarint()
+	code = RejectCode(r.Uvarint())
+	msgLen := r.Uvarint()
+	if r.Err() == nil && msgLen > uint64(r.Remaining()) {
+		return 0, 0, "", fmt.Errorf("%w: reject message of %d bytes in %d remaining", wire.ErrTruncated, msgLen, r.Remaining())
+	}
+	msg = string(r.Bytes(int(msgLen)))
+	if err := r.Close(); err != nil {
+		return 0, 0, "", err
+	}
+	return tag, code, msg, nil
+}

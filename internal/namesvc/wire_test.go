@@ -1,0 +1,161 @@
+package namesvc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ballsintoleaves/internal/wire"
+)
+
+func TestWireRoundTrips(t *testing.T) {
+	t.Parallel()
+	var w wire.Writer
+
+	w.Reset()
+	appendSvcHello(&w)
+	if err := decodeSvcHello(w.Bytes()); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+
+	w.Reset()
+	appendWelcome(&w, 4, 1024)
+	if shards, shardCap, err := decodeWelcome(w.Bytes()); err != nil || shards != 4 || shardCap != 1024 {
+		t.Fatalf("welcome = (%d, %d, %v)", shards, shardCap, err)
+	}
+
+	w.Reset()
+	appendAcquire(&w, 7, 99)
+	if tag, client, err := decodeAcquire(w.Bytes()); err != nil || tag != 7 || client != 99 {
+		t.Fatalf("acquire = (%d, %d, %v)", tag, client, err)
+	}
+
+	w.Reset()
+	appendRelease(&w, 8, 312)
+	if tag, name, err := decodeRelease(w.Bytes()); err != nil || tag != 8 || name != 312 {
+		t.Fatalf("release = (%d, %d, %v)", tag, name, err)
+	}
+
+	w.Reset()
+	appendStatsReq(&w, 9)
+	if tag, err := decodeStatsReq(w.Bytes()); err != nil || tag != 9 {
+		t.Fatalf("stats req = (%d, %v)", tag, err)
+	}
+
+	g := Grant{ReqID: 1, Client: 99, Shard: 2, Epoch: 5, Name: 2061}
+	w.Reset()
+	appendGrant(&w, 7, g)
+	if tag, got, err := decodeGrant(w.Bytes()); err != nil || tag != 7 ||
+		got.Name != g.Name || got.Shard != g.Shard || got.Epoch != g.Epoch {
+		t.Fatalf("grant = (%d, %+v, %v)", tag, got, err)
+	}
+
+	w.Reset()
+	appendReleased(&w, 8)
+	if tag, err := decodeReleased(w.Bytes()); err != nil || tag != 8 {
+		t.Fatalf("released = (%d, %v)", tag, err)
+	}
+
+	st := Stats{Shards: 4, ShardCap: 1024, Epochs: 17, Assigned: 12, Free: 4084,
+		Pending: 3, Acquires: 100, Grants: 90, Releases: 78, Absorbed: 2}
+	w.Reset()
+	appendStatsRep(&w, 9, st)
+	if tag, got, err := decodeStatsRep(w.Bytes()); err != nil || tag != 9 || got != st {
+		t.Fatalf("stats rep = (%d, %+v, %v)", tag, got, err)
+	}
+
+	w.Reset()
+	appendReject(&w, 10, RejectNotHeld, "name 3 is not held")
+	if tag, code, msg, err := decodeReject(w.Bytes()); err != nil || tag != 10 ||
+		code != RejectNotHeld || msg != "name 3 is not held" {
+		t.Fatalf("reject = (%d, %v, %q, %v)", tag, code, msg, err)
+	}
+}
+
+// TestWireCutPointsAreTruncated asserts the frame-layer error discipline:
+// every proper prefix of every encoded op decodes to a clean error, never a
+// panic and never a bogus success.
+func TestWireCutPointsAreTruncated(t *testing.T) {
+	t.Parallel()
+	g := Grant{ReqID: 1, Client: 300, Shard: 3, Epoch: 300, Name: 300}
+	st := Stats{Shards: 300, ShardCap: 300, Epochs: 300, Acquires: 300}
+	encoders := map[string]func(*wire.Writer){
+		"hello":    func(w *wire.Writer) { appendSvcHello(w) },
+		"welcome":  func(w *wire.Writer) { appendWelcome(w, 300, 300) },
+		"acquire":  func(w *wire.Writer) { appendAcquire(w, 300, 300) },
+		"release":  func(w *wire.Writer) { appendRelease(w, 300, 300) },
+		"statsreq": func(w *wire.Writer) { appendStatsReq(w, 300) },
+		"grant":    func(w *wire.Writer) { appendGrant(w, 300, g) },
+		"released": func(w *wire.Writer) { appendReleased(w, 300) },
+		"statsrep": func(w *wire.Writer) { appendStatsRep(w, 300, st) },
+		"reject":   func(w *wire.Writer) { appendReject(w, 300, RejectBusy, "busy busy") },
+	}
+	decoders := map[string]func([]byte) error{
+		"hello":   decodeSvcHello,
+		"welcome": func(b []byte) error { _, _, err := decodeWelcome(b); return err },
+		"acquire": func(b []byte) error { _, _, err := decodeAcquire(b); return err },
+		"release": func(b []byte) error { _, _, err := decodeRelease(b); return err },
+		"statsreq": func(b []byte) error {
+			_, err := decodeStatsReq(b)
+			return err
+		},
+		"grant":    func(b []byte) error { _, _, err := decodeGrant(b); return err },
+		"released": func(b []byte) error { _, err := decodeReleased(b); return err },
+		"statsrep": func(b []byte) error { _, _, err := decodeStatsRep(b); return err },
+		"reject":   func(b []byte) error { _, _, _, err := decodeReject(b); return err },
+	}
+	for name, enc := range encoders {
+		var w wire.Writer
+		enc(&w)
+		full := w.Bytes()
+		dec := decoders[name]
+		if err := dec(full); err != nil {
+			t.Fatalf("%s: full frame failed: %v", name, err)
+		}
+		for cut := 1; cut < len(full); cut++ {
+			err := dec(full[:cut])
+			if err == nil {
+				t.Fatalf("%s cut at %d decoded successfully", name, cut)
+			}
+			if !errors.Is(err, wire.ErrTruncated) {
+				t.Fatalf("%s cut at %d: %v, want ErrTruncated", name, cut, err)
+			}
+		}
+		// Trailing garbage is rejected too.
+		if err := dec(append(append([]byte(nil), full...), 0xff)); err == nil {
+			t.Fatalf("%s with trailing byte decoded successfully", name)
+		}
+	}
+}
+
+func TestWireSemanticRejections(t *testing.T) {
+	t.Parallel()
+	var w wire.Writer
+	// Wrong protocol version.
+	w.Byte(opHello)
+	w.Uvarint(99)
+	if err := decodeSvcHello(w.Bytes()); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("hello version 99: %v", err)
+	}
+	// Zero client ID.
+	w.Reset()
+	appendAcquire(&w, 1, 0)
+	if _, _, err := decodeAcquire(w.Bytes()); err == nil {
+		t.Fatal("acquire with zero client decoded")
+	}
+	// Zero name.
+	w.Reset()
+	appendRelease(&w, 1, 0)
+	if _, _, err := decodeRelease(w.Bytes()); err == nil {
+		t.Fatal("release of name 0 decoded")
+	}
+	// Reject message length larger than the body.
+	w.Reset()
+	w.Byte(opReject)
+	w.Uvarint(1)
+	w.Uvarint(uint64(RejectBusy))
+	w.Uvarint(1 << 30)
+	if _, _, _, err := decodeReject(w.Bytes()); !errors.Is(err, wire.ErrTruncated) {
+		t.Fatalf("oversized reject message: %v, want ErrTruncated", err)
+	}
+}

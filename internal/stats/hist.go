@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram is a log-linear histogram for non-negative integer samples
+// (latencies in nanoseconds, batch sizes, ...): values 0..63 are recorded
+// exactly, and each further octave is split into 64 linear sub-buckets, so
+// any quantile is reproduced with at most 1/64 (~1.6%) relative error while
+// Record stays O(1), allocation-free, and the whole histogram is a few KiB.
+// Histograms recorded independently (one per worker) Merge losslessly,
+// which is how the load generator aggregates per-connection latencies.
+//
+// The zero value is ready to use. Histogram is not safe for concurrent use;
+// record into per-goroutine instances and Merge.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+// histSubBits is the per-octave resolution: 2^histSubBits linear
+// sub-buckets per power of two.
+const histSubBits = 6
+
+const (
+	histSubBuckets = 1 << histSubBits
+	// histBuckets covers every non-negative int64: the exact range 0..63
+	// plus 64 sub-buckets for each of the 57 remaining octaves.
+	histBuckets = (64 - histSubBits) << histSubBits
+)
+
+// histIndex maps a value to its bucket.
+func histIndex(v int64) int {
+	u := uint64(v)
+	if u < histSubBuckets {
+		return int(u)
+	}
+	msb := bits.Len64(u) - 1
+	group := msb - histSubBits + 1
+	return (group << histSubBits) + int((u>>(msb-histSubBits))&(histSubBuckets-1))
+}
+
+// histValue returns a bucket's representative value (midpoint; exact for
+// the first 64 buckets).
+func histValue(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	group := idx >> histSubBits
+	sub := idx & (histSubBuckets - 1)
+	shift := uint(group - 1)
+	base := int64(histSubBuckets+sub) << shift
+	return base + int64(1)<<shift/2
+}
+
+// Record adds one sample. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[histIndex(v)]++
+	h.total++
+	h.sum += float64(v)
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the exact mean of the recorded samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the recorded samples to
+// within the histogram's bucket resolution; the extremes are exact. An
+// empty histogram yields 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := histValue(i)
+			// The recorded extremes bound every bucket midpoint estimate.
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.Max()
+}
+
+// P50, P90, P99 and P999 are the service-latency quantiles the load
+// generator reports.
+func (h *Histogram) P50() int64  { return h.Quantile(0.50) }
+func (h *Histogram) P90() int64  { return h.Quantile(0.90) }
+func (h *Histogram) P99() int64  { return h.Quantile(0.99) }
+func (h *Histogram) P999() int64 { return h.Quantile(0.999) }
+
+// Merge folds another histogram's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.total == 0 {
+		return
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+}

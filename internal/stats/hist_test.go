@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	t.Parallel()
+	var h Histogram
+	for v := int64(0); v < 64; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 64 || h.Min() != 0 || h.Max() != 63 {
+		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	// Values below 64 are recorded exactly, so quantiles are exact.
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0, 0}, {0.5, 31}, {1, 63}} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Mean(); got != 31.5 {
+		t.Errorf("Mean = %v, want 31.5", got)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	t.Parallel()
+	rnd := rand.New(rand.NewSource(7))
+	var h Histogram
+	sample := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform latencies across six orders of magnitude.
+		v := int64(math.Exp(rnd.Float64() * math.Log(5e9)))
+		h.Record(v)
+		sample = append(sample, float64(v))
+	}
+	sort.Float64s(sample)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := Quantile(sample, q)
+		got := float64(h.Quantile(q))
+		if relerr := math.Abs(got-exact) / exact; relerr > 0.03 {
+			t.Errorf("Quantile(%v) = %v, exact %v (relative error %.3f > 0.03)", q, got, exact, relerr)
+		}
+	}
+	if got, want := float64(h.Quantile(1)), sample[len(sample)-1]; got != want {
+		t.Errorf("max quantile %v != recorded max %v", got, want)
+	}
+}
+
+func TestHistogramMergeEqualsCombinedRecording(t *testing.T) {
+	t.Parallel()
+	rnd := rand.New(rand.NewSource(9))
+	var a, b, all Histogram
+	for i := 0; i < 5000; i++ {
+		v := rnd.Int63n(1 << 30)
+		all.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merged count/min/max = %d/%d/%d, want %d/%d/%d",
+			a.Count(), a.Min(), a.Max(), all.Count(), all.Min(), all.Max())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.95, 0.999} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("merged Quantile(%v) = %d, combined %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	if a.Mean() != all.Mean() {
+		t.Errorf("merged Mean %v != combined %v", a.Mean(), all.Mean())
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	t.Parallel()
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.Record(-5) // clamps to 0
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative record: min=%d max=%d", h.Min(), h.Max())
+	}
+	var big Histogram
+	big.Record(math.MaxInt64)
+	big.Record(0)
+	if big.Max() != math.MaxInt64 {
+		t.Fatalf("max = %d", big.Max())
+	}
+	if got := big.Quantile(1); got != math.MaxInt64 {
+		t.Fatalf("Quantile(1) = %d", got)
+	}
+	// A single value is every quantile.
+	var one Histogram
+	one.Record(1 << 40)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 1<<40 {
+			t.Fatalf("single-sample Quantile(%v) = %d", q, got)
+		}
+	}
+}
+
+func TestHistogramBucketIndexBounds(t *testing.T) {
+	t.Parallel()
+	// Every representable value maps into the bucket array, and bucket
+	// representatives stay within the bucket's own octave.
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1 << 20, 1<<62 - 1, 1 << 62, math.MaxInt64} {
+		idx := histIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d outside [0,%d)", v, idx, histBuckets)
+		}
+		rep := histValue(idx)
+		if v >= 64 {
+			if rep < v/2 || (v > 0 && rep > v*2 && v < math.MaxInt64/2) {
+				t.Fatalf("histValue(histIndex(%d)) = %d, off by more than 2x", v, rep)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package transport_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ballsintoleaves/internal/adversary"
+	"ballsintoleaves/internal/core"
+	"ballsintoleaves/internal/ids"
+	"ballsintoleaves/internal/proto"
+	"ballsintoleaves/internal/transport"
+	"ballsintoleaves/internal/tree"
+)
+
+// TestRunAllMatchesEndpointDriving pins RunAll against the manual
+// endpoint-per-goroutine loop it replaces: same decisions, same accounting.
+func TestRunAllMatchesEndpointDriving(t *testing.T) {
+	t.Parallel()
+	const n = 16
+	labels := ids.Random(n, 4)
+	cfg := core.Config{N: n, Seed: 9}
+	mk := func(id proto.ID) (transport.Process, error) {
+		return core.NewBall(cfg, tree.NewTopology(n), id)
+	}
+	got, err := transport.RunAll(labels, transport.NetConfig{}, mk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proto.Validate(got.Decisions, n); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Decisions) != n {
+		t.Fatalf("%d decisions, want %d", len(got.Decisions), n)
+	}
+
+	lb, err := transport.NewLoopback(labels, transport.NetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, id := range labels {
+		ep, err := lb.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ball, err := core.NewBall(cfg, tree.NewTopology(n), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			transport.Run(ep, ball, 0)
+		}()
+	}
+	wg.Wait()
+	want := lb.Summary()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("RunAll summary:\n%+v\nmanual loopback summary:\n%+v", got, want)
+	}
+}
+
+// TestRunAllWithAdversary checks that RunAll threads the network config
+// through: a scripted crash reduces the decision count by one.
+func TestRunAllWithAdversary(t *testing.T) {
+	t.Parallel()
+	const n = 8
+	labels := ids.Sequential(n)
+	cfg := core.Config{N: n, Seed: 3}
+	scripted, err := adversary.NewScripted(3, labels[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := transport.RunAll(labels, transport.NetConfig{Adversary: scripted}, func(id proto.ID) (transport.Process, error) {
+		return core.NewBall(cfg, tree.NewTopology(n), id)
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Decisions) != n-1 || len(sum.Crashed) != 1 || sum.Crashed[0] != labels[2] {
+		t.Fatalf("decisions=%d crashed=%v", len(sum.Decisions), sum.Crashed)
+	}
+}
+
+// TestRunAllRejectsBadMembers covers constructor error propagation.
+func TestRunAllRejectsBadMembers(t *testing.T) {
+	t.Parallel()
+	if _, err := transport.RunAll(nil, transport.NetConfig{}, nil, 0); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+	labels := ids.Sequential(2)
+	_, err := transport.RunAll(labels, transport.NetConfig{}, func(id proto.ID) (transport.Process, error) {
+		return nil, fmt.Errorf("no process for %v", id)
+	}, 0)
+	if err == nil {
+		t.Fatal("mk error not propagated")
+	}
+}

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// fuzzSeedPayload builds one representative payload exercising every
+// encoding primitive, used (whole and cut at every offset — the same
+// cut-point corpus the deterministic tests walk) to seed both fuzz targets.
+func fuzzSeedPayload() []byte {
+	var w Writer
+	w.Byte(3)
+	w.Uvarint(0)
+	w.Uvarint(300)
+	w.Uvarint(1<<56 + 17)
+	w.Raw([]byte("payload"))
+	return w.Bytes()
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame layer. Every
+// outcome must be one of the three documented clean errors or a well-formed
+// frame that round-trips through WriteFrame; panics and misclassified
+// failures are bugs.
+func FuzzReadFrame(f *testing.F) {
+	var stream bytes.Buffer
+	WriteFrame(&stream, fuzzSeedPayload())
+	WriteFrame(&stream, nil)
+	full := stream.Bytes()
+	for cut := 0; cut <= len(full); cut++ {
+		f.Add(full[:cut], 64)
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}, 64) // hostile ~4 GiB prefix
+	f.Add([]byte{0, 0, 0, 0}, 0)              // empty frame at limit 0
+
+	f.Fuzz(func(t *testing.T, data []byte, max int) {
+		if max < 0 {
+			max = -max
+		}
+		max %= 1 << 16
+		r := bytes.NewReader(data)
+		var buf []byte
+		for {
+			frame, err := ReadFrame(r, buf, max)
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrOversized) {
+					t.Fatalf("unclassified error: %v", err)
+				}
+				return
+			}
+			if len(frame) > max {
+				t.Fatalf("frame of %d bytes exceeds limit %d", len(frame), max)
+			}
+			// A frame that read successfully must round-trip bit-exactly.
+			var out bytes.Buffer
+			if err := WriteFrame(&out, frame); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			reread, err := ReadFrame(&out, nil, max)
+			if err != nil || !bytes.Equal(reread, frame) {
+				t.Fatalf("round trip: %v (got %q, want %q)", err, reread, frame)
+			}
+			buf = frame
+		}
+	})
+}
+
+// FuzzPayloadDecode drives the Reader decoding primitives with an
+// input-derived op script over an arbitrary payload: whatever the sequence,
+// decoding must never panic, never read out of bounds, fail exactly once
+// (errors are sticky), and account for every consumed byte.
+func FuzzPayloadDecode(f *testing.F) {
+	full := fuzzSeedPayload()
+	for cut := 0; cut <= len(full); cut++ {
+		f.Add([]byte{0, 1, 1, 2, 3}, full[:cut])
+	}
+	f.Add([]byte{2, 2, 2, 2}, []byte{0x80})          // truncated uvarint
+	f.Add([]byte{3, 0}, []byte("tail"))              // Rest then Byte
+	f.Add([]byte{1}, []byte{0xff, 0xff, 0xff, 0xff}) // 10-byte uvarint cut short
+
+	f.Fuzz(func(t *testing.T, script, payload []byte) {
+		r := NewReader(payload)
+		sawErr := false
+		consumed := 0
+		for _, op := range script {
+			before := r.Remaining()
+			switch op % 4 {
+			case 0:
+				r.Byte()
+			case 1:
+				r.Uvarint()
+			case 2:
+				r.Bytes(int(op) % 9)
+			case 3:
+				r.Rest()
+			}
+			after := r.Remaining()
+			if after > before || after < 0 {
+				t.Fatalf("remaining went from %d to %d", before, after)
+			}
+			// Errors are sticky: once failed, no further bytes move.
+			if sawErr && after != before {
+				t.Fatalf("consumed %d bytes after an error", before-after)
+			}
+			consumed += before - after
+			sawErr = sawErr || r.Err() != nil
+		}
+		if consumed > len(payload) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(payload))
+		}
+		err := r.Close()
+		switch {
+		case sawErr && err == nil:
+			t.Fatal("Close lost the decoding error")
+		case !sawErr && r.Remaining() > 0 && !errors.Is(err, ErrTrailing):
+			t.Fatalf("%d unread bytes but Close = %v, want ErrTrailing", r.Remaining(), err)
+		case !sawErr && r.Remaining() == 0 && err != nil:
+			t.Fatalf("fully consumed payload but Close = %v", err)
+		}
+	})
+}
