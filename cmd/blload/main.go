@@ -24,9 +24,11 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -47,6 +49,7 @@ type config struct {
 	duration    time.Duration
 	rate        int
 	timeout     time.Duration
+	json        bool
 }
 
 // parseFlags parses args into a validated config.
@@ -60,6 +63,8 @@ func parseFlags(args []string) (*config, error) {
 	fs.DurationVar(&cfg.duration, "duration", 5*time.Second, "measurement duration")
 	fs.IntVar(&cfg.rate, "rate", 0, "open-loop offered acquires/s across all connections (0 = closed loop)")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "dial and write timeout")
+	fs.BoolVar(&cfg.json, "json", false,
+		"emit the report as one JSON object on stdout (for BENCH_*.json artifacts), after the text report on stderr")
 	if err := fs.Parse(args); err != nil {
 		// The FlagSet has already reported the problem (or printed the
 		// -h usage) to stderr; mark it so main does not repeat it.
@@ -107,6 +112,58 @@ func (r *report) print(w *os.File) {
 	fmt.Fprintf(w, "server: %d epochs, %d grants, %d releases, %d absorbed, %d assigned, %d free\n",
 		r.svc.Epochs, r.svc.Grants, r.svc.Releases, r.svc.Absorbed, r.svc.Assigned, r.svc.Free)
 	fmt.Fprintf(w, "duplicates: %d, errors: %d\n", r.duplicates, r.errors)
+}
+
+// jsonReport is the machine-readable rendering of one run, the blload
+// counterpart of blbench's BENCH_*.json artifact lines.
+type jsonReport struct {
+	ElapsedMS   int64   `json:"elapsed_ms"`
+	Acquires    uint64  `json:"acquires"`
+	AcquiresPS  float64 `json:"acquires_per_s"`
+	Releases    uint64  `json:"releases"`
+	Shed        uint64  `json:"shed,omitempty"`
+	Duplicates  uint64  `json:"duplicates"`
+	Errors      uint64  `json:"errors"`
+	P50US       float64 `json:"latency_p50_us"`
+	P90US       float64 `json:"latency_p90_us"`
+	P99US       float64 `json:"latency_p99_us"`
+	P999US      float64 `json:"latency_p999_us"`
+	MaxUS       float64 `json:"latency_max_us"`
+	MeanUS      float64 `json:"latency_mean_us"`
+	SvcEpochs   uint64  `json:"server_epochs"`
+	SvcGrants   uint64  `json:"server_grants"`
+	SvcReleases uint64  `json:"server_releases"`
+	SvcAbsorbed uint64  `json:"server_absorbed"`
+	SvcAssigned int     `json:"server_assigned"`
+	SvcFree     int     `json:"server_free"`
+}
+
+// writeJSON emits the report as a single JSON object.
+func (r *report) writeJSON(w io.Writer) error {
+	secs := r.elapsed.Seconds()
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	out := jsonReport{
+		ElapsedMS:   r.elapsed.Milliseconds(),
+		Acquires:    r.acquires,
+		AcquiresPS:  float64(r.acquires) / secs,
+		Releases:    r.releases,
+		Shed:        r.shed,
+		Duplicates:  r.duplicates,
+		Errors:      r.errors,
+		P50US:       us(r.lat.P50()),
+		P90US:       us(r.lat.P90()),
+		P99US:       us(r.lat.P99()),
+		P999US:      us(r.lat.P999()),
+		MaxUS:       us(r.lat.Max()),
+		MeanUS:      r.lat.Mean() / 1e3,
+		SvcEpochs:   r.svc.Epochs,
+		SvcGrants:   r.svc.Grants,
+		SvcReleases: r.svc.Releases,
+		SvcAbsorbed: r.svc.Absorbed,
+		SvcAssigned: r.svc.Assigned,
+		SvcFree:     r.svc.Free,
+	}
+	return json.NewEncoder(w).Encode(out)
 }
 
 // worker is one connection's closed/open-loop driver. Callbacks run on the
@@ -315,7 +372,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "blload: %v\n", err)
 		os.Exit(1)
 	}
-	rep.print(os.Stdout)
+	if cfg.json {
+		rep.print(os.Stderr)
+		if err := rep.writeJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "blload: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		rep.print(os.Stdout)
+	}
 	if rep.duplicates > 0 || rep.errors > 0 {
 		os.Exit(1)
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"net"
@@ -31,11 +33,12 @@ func TestParseFlagsValidation(t *testing.T) {
 		t.Fatalf("-h err = %v", err)
 	}
 	cfg, err := parseFlags([]string{"-connect", "h:1", "-conns", "2", "-outstanding", "8",
-		"-duration", "250ms", "-rate", "1000"})
+		"-duration", "250ms", "-rate", "1000", "-json"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.conns != 2 || cfg.outstanding != 8 || cfg.duration != 250*time.Millisecond || cfg.rate != 1000 {
+	if cfg.conns != 2 || cfg.outstanding != 8 || cfg.duration != 250*time.Millisecond ||
+		cfg.rate != 1000 || !cfg.json {
 		t.Fatalf("cfg = %+v", cfg)
 	}
 }
@@ -91,6 +94,19 @@ func TestClosedLoopRun(t *testing.T) {
 	}
 	if rep.svc.Epochs == 0 || rep.svc.Grants == 0 {
 		t.Fatalf("server stats not collected: %+v", rep.svc)
+	}
+	// The JSON artifact rendering must round-trip as valid JSON with the
+	// headline fields populated.
+	var buf bytes.Buffer
+	if err := rep.writeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if decoded["acquires"].(float64) == 0 || decoded["acquires_per_s"].(float64) <= 0 {
+		t.Fatalf("artifact missing throughput: %s", buf.String())
 	}
 }
 

@@ -17,6 +17,15 @@
 // loopback transport — orders of magnitude slower, useful to validate that
 // both engines produce identical ledgers for identical traffic.
 //
+// -epoch sets a batching window so trickling arrivals coalesce into larger
+// epochs; the window is adaptive and ends early the moment the batch can
+// no longer grow (it reached -max-batch, or it covers every free name), so
+// bursts never pay for it. -journal records per-shard assignment journals
+// for auditing; a long-lived daemon should keep the default -journal-limit
+// rolling window (the divergence-detecting ledger digest always covers the
+// full history, only replay of dropped old entries is lost), since an
+// unbounded journal (-journal-limit 0) grows memory forever.
+//
 // Connection failures map onto the paper's crash model: a connection that
 // dies mid-epoch has its queued acquires cancelled or its fresh grants
 // absorbed (assigned and immediately released, never observable twice), and
@@ -42,15 +51,17 @@ var errFlagsReported = errors.New("flag parsing failed")
 
 // config is the parsed and validated command line.
 type config struct {
-	listen   string
-	shards   int
-	shardCap int
-	seed     uint64
-	maxBatch int
-	epoch    time.Duration
-	runner   namesvc.Runner
-	timeout  time.Duration
-	quiet    bool
+	listen       string
+	shards       int
+	shardCap     int
+	seed         uint64
+	maxBatch     int
+	epoch        time.Duration
+	runner       namesvc.Runner
+	timeout      time.Duration
+	journal      bool
+	journalLimit int
+	quiet        bool
 }
 
 // parseFlags parses args into a validated config.
@@ -64,9 +75,13 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.shardCap, "shard-cap", 1024, "names per shard")
 	fs.Uint64Var(&cfg.seed, "seed", 0, "seed driving every epoch's renaming randomness")
 	fs.IntVar(&cfg.maxBatch, "max-batch", 0, "max acquires assigned per epoch (0 = shard capacity)")
-	fs.DurationVar(&cfg.epoch, "epoch", 0, "batching window before closing an epoch (0 = group commit)")
+	fs.DurationVar(&cfg.epoch, "epoch", 0,
+		"batching window before closing an epoch, ended early once the batch cannot grow (0 = group commit)")
 	fs.StringVar(&runner, "runner", "cohort", "epoch engine: cohort | transport")
 	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-operation network timeout")
+	fs.BoolVar(&cfg.journal, "journal", false, "record per-shard assignment journals (audit)")
+	fs.IntVar(&cfg.journalLimit, "journal-limit", 1<<20,
+		"with -journal, retain only the most recent entries per shard (0 = unbounded growth)")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress per-connection logging")
 	if err := fs.Parse(args); err != nil {
 		// The FlagSet has already reported the problem (or printed the
@@ -88,6 +103,8 @@ func parseFlags(args []string) (*config, error) {
 		return nil, fmt.Errorf("blnamed: -shards must be >= 1, got %d", cfg.shards)
 	case cfg.shardCap < 1:
 		return nil, fmt.Errorf("blnamed: -shard-cap must be >= 1, got %d", cfg.shardCap)
+	case cfg.journalLimit < 0:
+		return nil, fmt.Errorf("blnamed: -journal-limit must be >= 0, got %d", cfg.journalLimit)
 	}
 	return cfg, nil
 }
@@ -95,11 +112,13 @@ func parseFlags(args []string) (*config, error) {
 // build assembles the service and server from a config.
 func build(cfg *config) (*namesvc.Server, error) {
 	svc, err := namesvc.New(namesvc.Config{
-		Shards:   cfg.shards,
-		ShardCap: cfg.shardCap,
-		Seed:     cfg.seed,
-		Runner:   cfg.runner,
-		MaxBatch: cfg.maxBatch,
+		Shards:       cfg.shards,
+		ShardCap:     cfg.shardCap,
+		Seed:         cfg.seed,
+		Runner:       cfg.runner,
+		MaxBatch:     cfg.maxBatch,
+		Journal:      cfg.journal,
+		JournalLimit: cfg.journalLimit,
 	})
 	if err != nil {
 		return nil, err

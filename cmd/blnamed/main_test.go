@@ -20,6 +20,7 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"bad runner", []string{"-listen", ":0", "-runner", "warp"}},
 		{"zero shards", []string{"-listen", ":0", "-shards", "0"}},
 		{"zero shard-cap", []string{"-listen", ":0", "-shard-cap", "0"}},
+		{"negative journal-limit", []string{"-listen", ":0", "-journal-limit", "-1"}},
 	}
 	for _, tc := range cases {
 		if _, err := parseFlags(tc.args); err == nil {
@@ -30,12 +31,14 @@ func TestParseFlagsValidation(t *testing.T) {
 		t.Fatalf("-h err = %v", err)
 	}
 	cfg, err := parseFlags([]string{"-listen", "127.0.0.1:0", "-shards", "4", "-shard-cap", "64",
-		"-seed", "9", "-epoch", "1ms", "-runner", "transport", "-quiet"})
+		"-seed", "9", "-epoch", "1ms", "-runner", "transport", "-quiet",
+		"-journal", "-journal-limit", "512"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.shards != 4 || cfg.shardCap != 64 || cfg.seed != 9 ||
-		cfg.epoch != time.Millisecond || !cfg.quiet {
+		cfg.epoch != time.Millisecond || !cfg.quiet ||
+		!cfg.journal || cfg.journalLimit != 512 {
 		t.Fatalf("cfg = %+v", cfg)
 	}
 	if cfg.runner.Name() != (namesvc.TransportRunner{}).Name() {

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ballsintoleaves/internal/proto"
+)
+
+// TestCohortResetReplaysFresh pins the reuse contract behind the name
+// service's epoch engine: Reset(seed, labels) on a used cohort must produce
+// a run identical — decisions, rounds, traffic — to a freshly constructed
+// cohort over the same (seed, labels), across strategies and label sets.
+func TestCohortResetReplaysFresh(t *testing.T) {
+	t.Parallel()
+	const n = 64
+	for _, strategy := range []PathStrategy{RandomPaths, HybridPaths, DeterministicPaths} {
+		reused, err := NewCohort(Config{N: n, Seed: 1, Strategy: strategy}, seqLabels(n, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reused.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// Three generations of new label sets and seeds, including an
+		// unsorted one: each must match a fresh cohort bit-for-bit.
+		for gen := uint64(2); gen <= 4; gen++ {
+			labels := seqLabels(n, 100*gen)
+			if gen == 3 { // unsorted input: Reset must sort exactly like NewCohort
+				for i := 0; i < n/2; i++ {
+					labels[i], labels[n-1-i] = labels[n-1-i], labels[i]
+				}
+			}
+			if err := reused.Reset(gen, labels); err != nil {
+				t.Fatal(err)
+			}
+			got, err := reused.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := NewCohort(Config{N: n, Seed: gen, Strategy: strategy}, labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("strategy %v gen %d: reused run diverged from fresh:\n%+v\nvs\n%+v",
+					strategy, gen, got, want)
+			}
+		}
+	}
+}
+
+// TestCohortResetValidates covers Reset's error paths: wrong count and
+// duplicate labels.
+func TestCohortResetValidates(t *testing.T) {
+	t.Parallel()
+	c, err := NewCohort(Config{N: 4, Seed: 1}, seqLabels(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reset(2, seqLabels(3, 1)); err == nil {
+		t.Fatal("Reset with wrong label count succeeded")
+	}
+	if err := c.Reset(2, []proto.ID{1, 2, 2, 3}); err == nil {
+		t.Fatal("Reset with duplicate labels succeeded")
+	}
+}
+
+// TestCohortResetRunZeroAllocs guards the epoch fast path end to end at the
+// core layer: once warm, Reset + RunToQuiescence of a failure-free cohort
+// must not allocate.
+func TestCohortResetRunZeroAllocs(t *testing.T) {
+	const n = 256
+	c, err := NewCohort(Config{N: n, Seed: 1, Strategy: HybridPaths}, seqLabels(n, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	labels := seqLabels(n, 500)
+	// Warm: the first reset run may grow lazily allocated scratch.
+	if err := c.Reset(2, labels); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(3)
+	allocs := testing.AllocsPerRun(3, func() {
+		for i := range labels {
+			labels[i] += proto.ID(n)
+		}
+		if err := c.Reset(seed, labels); err != nil {
+			t.Fatal(err)
+		}
+		seed++
+		if err := c.RunToQuiescence(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Reset+RunToQuiescence allocated %v objects at steady state, want 0", allocs)
+	}
+}
+
+// seqLabels returns n distinct ascending labels starting at base.
+func seqLabels(n int, base uint64) []proto.ID {
+	out := make([]proto.ID, n)
+	for i := range out {
+		out[i] = proto.ID(base + uint64(i))
+	}
+	return out
+}

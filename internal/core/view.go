@@ -51,6 +51,22 @@ func NewView(topo *tree.Topology, labels []proto.ID) *View {
 	return v
 }
 
+// ResetAllAtRoot returns the view to the initial configuration of
+// Algorithm 1 — every ball present and parked at the root — without
+// allocating, so a view (and the Cohort owning it) can be reused across
+// runs. The label table is shared and mutable by the owner (Cohort.Reset
+// rewrites it in place); the view itself only indexes it.
+func (v *View) ResetAllAtRoot() {
+	v.occ.Reset()
+	root := v.topo.Root()
+	for i := range v.node {
+		v.node[i] = root
+		v.present[i] = true
+		v.occ.Add(root)
+	}
+	v.count = len(v.labels)
+}
+
 // Clone returns an independent deep copy.
 func (v *View) Clone() *View {
 	cp := &View{

@@ -1,0 +1,92 @@
+package namesvc
+
+import (
+	"testing"
+)
+
+// TestEpochZeroAllocs guards the service's allocation-free steady state, in
+// the spirit of core's TestCohortPhaseZeroAllocs: once the per-shard
+// scratch, the request pool, and the cohort cache are warm, a full churn
+// cycle — queue a batch of acquires, close the epoch (which runs a whole
+// renaming instance), release every grant — must not touch the heap.
+func TestEpochZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	const batch = 128
+	svc, err := New(Config{ShardCap: 1 << 12, Seed: 9, MaxBatch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]uint64, batch)
+	for i := range clients {
+		clients[i] = uint64(i + 1)
+	}
+	cycle := func() {
+		for _, cl := range clients {
+			if _, err := svc.Acquire(cl, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		grants, err := svc.CloseEpoch(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(grants) != batch {
+			t.Fatalf("granted %d of %d", len(grants), batch)
+		}
+		for _, g := range grants {
+			if err := svc.Release(g.Client, g.Name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm the pools: request structs, pending/index capacity, epoch
+	// scratch, and the cohort cached for this batch size.
+	cycle()
+	cycle()
+	if allocs := testing.AllocsPerRun(5, cycle); allocs != 0 {
+		t.Errorf("steady-state churn cycle allocated %v objects, want 0", allocs)
+	}
+}
+
+// TestEpochZeroAllocsVariedBatch exercises the cohort cache across batch
+// sizes: alternating between two warmed sizes must stay allocation-free,
+// since each size keeps its own reusable cohort.
+func TestEpochZeroAllocsVariedBatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	svc, err := New(Config{ShardCap: 1 << 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := func(batch int) {
+		for i := 0; i < batch; i++ {
+			if _, err := svc.Acquire(uint64(i+1), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		grants, err := svc.CloseEpoch(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range grants {
+			if err := svc.Release(g.Client, g.Name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sizes := []int{32, 96}
+	for _, n := range sizes {
+		cycle(n)
+		cycle(n)
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(6, func() {
+		cycle(sizes[i%len(sizes)])
+		i++
+	}); allocs != 0 {
+		t.Errorf("varied-batch churn allocated %v objects, want 0", allocs)
+	}
+}

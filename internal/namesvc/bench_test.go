@@ -1,0 +1,171 @@
+package namesvc
+
+import (
+	"fmt"
+	"net"
+	"testing"
+)
+
+// benchChurn drives the service's steady-state loop — queue a batch of
+// acquires, close the epoch, release every grant — the regime where a
+// long-lived allocator spends its life. One benchmark op is one full
+// acquire→grant→release cycle of a single name.
+func benchChurn(b *testing.B, shards, shardCap, batch int) {
+	svc, err := New(Config{Shards: shards, ShardCap: shardCap, Seed: 1, MaxBatch: batch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Client IDs all routed to shard 0 keep the loop single-shard and the
+	// batch size exact.
+	clients := make([]uint64, batch)
+	next := uint64(1)
+	for i := range clients {
+		for svc.Shard(next) != 0 {
+			next++
+		}
+		clients[i] = next
+		next++
+	}
+	cycle := func() {
+		for _, cl := range clients {
+			if _, err := svc.Acquire(cl, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		grants, err := svc.CloseEpoch(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(grants) != batch {
+			b.Fatalf("granted %d of %d", len(grants), batch)
+		}
+		for _, g := range grants {
+			if err := svc.Release(g.Client, g.Name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	cycle() // warm scratch and caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += batch {
+		cycle()
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "ops/s")
+	}
+}
+
+// BenchmarkServiceChurn is the acquire/release steady state over a 64k-name
+// shard: the free pool stays nearly full, the worst case for any free-list
+// representation whose per-op cost scales with the pool.
+func BenchmarkServiceChurn(b *testing.B) {
+	for _, batch := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("cap=65536/batch=%d", batch), func(b *testing.B) {
+			benchChurn(b, 1, 1<<16, batch)
+		})
+	}
+}
+
+// BenchmarkLedgerChurn isolates the free-list data structure: one op is an
+// assign of the smallest free name plus its release, against an almost-full
+// 64k free pool.
+func BenchmarkLedgerChurn(b *testing.B) {
+	l := newLedger(1<<16, false, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := l.peekFree(1)[0]
+		l.assign(1, uint64(i+1), 7, name)
+		if err := l.release(1, 7, name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLedgerScatteredRelease releases and re-assigns names scattered
+// across the namespace — the memmove-hostile access pattern for a sorted
+// slice, the bitmap's O(1) case.
+func BenchmarkLedgerScatteredRelease(b *testing.B) {
+	const capacity = 1 << 16
+	const stride = 127 // co-prime with capacity: visits every name
+	l := newLedger(capacity, false, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	name := 1
+	for i := 0; i < b.N; i++ {
+		l.assign(1, uint64(i+1), 7, name)
+		if err := l.release(1, 7, name); err != nil {
+			b.Fatal(err)
+		}
+		name = (name-1+stride)%capacity + 1
+	}
+}
+
+// BenchmarkServerPipeline measures the full wire round trip: a pipelining
+// client keeps a window of acquires in flight over loopback TCP; every
+// grant is released immediately. One op is one acquire→grant→release over
+// the socket.
+func BenchmarkServerPipeline(b *testing.B) {
+	svc, err := New(Config{Shards: 1, ShardCap: 1 << 14, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Service: svc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		ln.Close()
+		srv.Close()
+		if err := <-done; err != nil {
+			b.Errorf("serve: %v", err)
+		}
+	}()
+	c, err := Dial(ln.Addr().String(), ClientConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	const window = 256
+	sem := make(chan struct{}, window)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sem <- struct{}{}
+		err := c.Acquire(uint64(i+1), func(g Grant, err error) {
+			if err != nil {
+				b.Errorf("acquire: %v", err)
+				<-sem
+				return
+			}
+			c.Release(g.Name, func(err error) {
+				if err != nil {
+					b.Errorf("release: %v", err)
+				}
+				<-sem
+			})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Drain the window so every op completed inside the timed region.
+	for i := 0; i < window; i++ {
+		sem <- struct{}{}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "ops/s")
+	}
+}

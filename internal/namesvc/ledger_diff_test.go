@@ -1,0 +1,173 @@
+package namesvc
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// sortedLedger is the pre-bitmap ledger retained as a reference model: the
+// ascending free list is a sorted []int with sort.SearchInts + memmove on
+// every assign/release — O(cap) per operation, but obviously correct. The
+// differential test drives it in lockstep with the bitmap ledger to pin
+// that the two representations are observationally identical: same grants
+// in the same order, same digests, same journals.
+type sortedLedger struct {
+	cap    int
+	holder []uint64
+	free   []int
+	digest uint64
+
+	entries []Entry
+}
+
+func newSortedLedger(capacity int) *sortedLedger {
+	l := &sortedLedger{
+		cap:    capacity,
+		holder: make([]uint64, capacity),
+		free:   make([]int, capacity),
+		digest: fnvOffset,
+	}
+	for i := range l.free {
+		l.free[i] = i + 1
+	}
+	return l
+}
+
+func (l *sortedLedger) freeCount() int       { return len(l.free) }
+func (l *sortedLedger) peekFree(k int) []int { return l.free[:k] }
+
+func (l *sortedLedger) assign(epoch, reqID, client uint64, name int) {
+	i := sort.SearchInts(l.free, name)
+	if i >= len(l.free) || l.free[i] != name {
+		panic("sortedLedger: assigning non-free name")
+	}
+	l.free = append(l.free[:i], l.free[i+1:]...)
+	l.holder[name-1] = client
+	l.record(Entry{Epoch: epoch, Op: OpAssign, Client: client, ReqID: reqID, Name: name})
+}
+
+func (l *sortedLedger) release(epoch, client uint64, name int) error {
+	if name < 1 || name > l.cap || l.holder[name-1] != client {
+		panic("sortedLedger: invalid release in differential trace")
+	}
+	l.holder[name-1] = 0
+	i := sort.SearchInts(l.free, name)
+	l.free = append(l.free, 0)
+	copy(l.free[i+1:], l.free[i:])
+	l.free[i] = name
+	l.record(Entry{Epoch: epoch, Op: OpRelease, Client: client, Name: name})
+	return nil
+}
+
+func (l *sortedLedger) record(e Entry) {
+	d := l.digest
+	for _, v := range [...]uint64{e.Epoch, uint64(e.Op), e.Client, e.ReqID, uint64(e.Name)} {
+		for s := 0; s < 64; s += 8 {
+			d ^= (v >> s) & 0xff
+			d *= fnvPrime
+		}
+	}
+	l.digest = d
+	l.entries = append(l.entries, e)
+}
+
+// TestLedgerDifferentialChurn runs random acquire/release traces against
+// the bitmap ledger and the retained sorted-slice reference in lockstep,
+// requiring identical peekFree answers (the grants), identical rolling
+// digests, and identical journals at every step. This is the byte-level
+// compatibility pin for the free-list representation swap.
+func TestLedgerDifferentialChurn(t *testing.T) {
+	t.Parallel()
+	const capacity = 300 // deliberately not a multiple of 64: exercises the tail word
+	for seed := int64(1); seed <= 5; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		l := newLedger(capacity, true, 0)
+		ref := newSortedLedger(capacity)
+		var held []int
+		epoch := uint64(0)
+		reqID := uint64(0)
+		for step := 0; step < 4000; step++ {
+			if free := l.freeCount(); free > 0 && (len(held) == 0 || rnd.Intn(2) == 0) {
+				// One mini-epoch: grant the k smallest free names, exactly
+				// as CloseEpoch draws them.
+				epoch++
+				k := 1 + rnd.Intn(min(free, 8))
+				names := append([]int(nil), l.peekFree(k)...)
+				refNames := append([]int(nil), ref.peekFree(k)...)
+				if !reflect.DeepEqual(names, refNames) {
+					t.Fatalf("seed %d step %d: peekFree(%d) = %v, reference %v", seed, step, k, names, refNames)
+				}
+				for _, n := range names {
+					reqID++
+					client := uint64(1000 + rnd.Intn(50))
+					l.assign(epoch, reqID, client, n)
+					ref.assign(epoch, reqID, client, n)
+					held = append(held, n)
+				}
+			} else {
+				i := rnd.Intn(len(held))
+				n := held[i]
+				held[i] = held[len(held)-1]
+				held = held[:len(held)-1]
+				client := l.holder[n-1]
+				if err := l.release(epoch, client, n); err != nil {
+					t.Fatalf("seed %d step %d: release(%d): %v", seed, step, n, err)
+				}
+				ref.release(epoch, client, n)
+			}
+			if l.digest != ref.digest {
+				t.Fatalf("seed %d step %d: digest %x, reference %x", seed, step, l.digest, ref.digest)
+			}
+			if l.freeCount() != ref.freeCount() {
+				t.Fatalf("seed %d step %d: freeCount %d, reference %d", seed, step, l.freeCount(), ref.freeCount())
+			}
+		}
+		if !reflect.DeepEqual(l.journalWindow(), ref.entries) {
+			t.Fatalf("seed %d: journals diverged (%d vs %d entries)", seed, len(l.journalWindow()), len(ref.entries))
+		}
+		// Full free pool must agree element-for-element at the end.
+		if free := l.freeCount(); free > 0 {
+			got := append([]int(nil), l.peekFree(free)...)
+			want := append([]int(nil), ref.peekFree(free)...)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: final free pools differ", seed)
+			}
+		}
+	}
+}
+
+// TestLedgerJournalLimit pins the rolling-journal contract: the digest
+// covers the full history while the retained window holds exactly the most
+// recent journalCap entries, in order.
+func TestLedgerJournalLimit(t *testing.T) {
+	t.Parallel()
+	const capacity = 16
+	const limit = 10
+	capped := newLedger(capacity, true, limit)
+	full := newLedger(capacity, true, 0)
+	for i := 0; i < 100; i++ {
+		name := i%capacity + 1
+		for _, l := range []*ledger{capped, full} {
+			l.assign(uint64(i), uint64(i+1), 7, name)
+			if err := l.release(uint64(i), 7, name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if capped.digest != full.digest {
+			t.Fatalf("step %d: capped digest diverged", i)
+		}
+		window := capped.journalWindow()
+		if len(window) > limit {
+			t.Fatalf("step %d: window holds %d entries, cap %d", i, len(window), limit)
+		}
+		all := full.journalWindow()
+		if !reflect.DeepEqual(window, all[len(all)-len(window):]) {
+			t.Fatalf("step %d: window is not the most recent suffix", i)
+		}
+	}
+	if len(capped.entries) > 2*limit {
+		t.Fatalf("backing array grew to %d entries, want <= %d", len(capped.entries), 2*limit)
+	}
+}

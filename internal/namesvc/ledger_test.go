@@ -6,7 +6,7 @@ import (
 
 func TestLedgerAssignRelease(t *testing.T) {
 	t.Parallel()
-	l := newLedger(4, true)
+	l := newLedger(4, true, 0)
 	if got := l.freeCount(); got != 4 {
 		t.Fatalf("freeCount = %d, want 4", got)
 	}
@@ -42,7 +42,7 @@ func TestLedgerAssignRelease(t *testing.T) {
 
 func TestLedgerReleaseValidation(t *testing.T) {
 	t.Parallel()
-	l := newLedger(4, false)
+	l := newLedger(4, false, 0)
 	l.assign(1, 10, 7, 1)
 	for name, client := range map[int]uint64{
 		0: 7, // out of range low
@@ -64,7 +64,7 @@ func TestLedgerReleaseValidation(t *testing.T) {
 
 func TestLedgerAssignNonFreePanics(t *testing.T) {
 	t.Parallel()
-	l := newLedger(2, false)
+	l := newLedger(2, false, 0)
 	l.assign(1, 10, 7, 1)
 	defer func() {
 		if recover() == nil {
@@ -76,7 +76,7 @@ func TestLedgerAssignNonFreePanics(t *testing.T) {
 
 func TestLedgerDigestTracksHistory(t *testing.T) {
 	t.Parallel()
-	a, b := newLedger(4, false), newLedger(4, false)
+	a, b := newLedger(4, false, 0), newLedger(4, false, 0)
 	if a.digest != b.digest {
 		t.Fatal("fresh ledgers differ")
 	}
@@ -87,7 +87,7 @@ func TestLedgerDigestTracksHistory(t *testing.T) {
 	}
 	// Same multiset of events in a different order must differ: the
 	// digest is a history hash, not a state hash.
-	c, d := newLedger(4, false), newLedger(4, false)
+	c, d := newLedger(4, false, 0), newLedger(4, false, 0)
 	c.assign(1, 10, 7, 1)
 	c.assign(1, 11, 8, 2)
 	d.assign(1, 11, 8, 2)

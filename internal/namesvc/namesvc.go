@@ -58,10 +58,18 @@ type Config struct {
 	// MaxBatch caps the number of requests assigned per epoch; zero means
 	// ShardCap. Batches are additionally capped by the shard's free names.
 	MaxBatch int
-	// Journal records the full per-shard assignment journal (tests, audit).
-	// The rolling digest is always maintained; the journal grows without
-	// bound and is meant for bounded runs only.
+	// Journal records the per-shard assignment journal (tests, audit).
+	// The rolling digest is always maintained regardless.
 	Journal bool
+	// JournalLimit, when positive, caps the retained journal at the most
+	// recent JournalLimit entries per shard, so long-lived journaling
+	// daemons hold bounded memory. The trade-off: the rolling digest still
+	// covers the complete history (divergence detection stays exact), but
+	// entries older than the window cannot be replayed or audited — a
+	// capped journal answers "what happened recently", not "everything
+	// that ever happened". Zero retains every entry, which grows without
+	// bound and is meant for bounded runs only.
+	JournalLimit int
 }
 
 // normalized returns the config with defaults applied.
@@ -117,12 +125,27 @@ type request struct {
 // shard is one independent namespace with its pending queue. mu serializes
 // everything, including the epoch's renaming run, so an epoch observes (and
 // commits) a consistent free list.
+//
+// Everything below the seed is reusable steady-state scratch: the per-shard
+// runner instance (forked so shards never share mutable runner state), the
+// epoch's label/rank/grant buffers, the permutation-check bitmap, and a
+// free list of request structs recycled from grant to acquire. Together
+// with the ledger's bitmap free pool they make a failure-free CloseEpoch
+// allocation-free (TestEpochZeroAllocs).
 type shard struct {
 	mu      sync.Mutex
 	led     *ledger
 	pending []*request
 	index   map[uint64]*request // reqID -> queued request
+	queued  int                 // uncancelled entries in pending
 	seed    uint64              // per-shard seed root for epoch derivation
+	runner  Runner              // this shard's private epoch engine
+
+	labels   []proto.ID // epoch scratch: batch labels
+	ranks    []int      // epoch scratch: runner output
+	grants   []Grant    // epoch scratch: accepted grants, reused per epoch
+	permSeen []bool     // epoch scratch: checkPermutation bitmap
+	freeReq  []*request // recycled request structs
 
 	acquires uint64
 	absorbed uint64
@@ -146,9 +169,10 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{cfg: cfg, shards: make([]*shard, cfg.Shards)}
 	for i := range s.shards {
 		s.shards[i] = &shard{
-			led:   newLedger(cfg.ShardCap, cfg.Journal),
-			index: make(map[uint64]*request),
-			seed:  rng.DeriveSeed(cfg.Seed, shardSalt+uint64(i)),
+			led:    newLedger(cfg.ShardCap, cfg.Journal, cfg.JournalLimit),
+			index:  make(map[uint64]*request),
+			seed:   rng.DeriveSeed(cfg.Seed, shardSalt+uint64(i)),
+			runner: forkRunner(cfg.Runner),
 		}
 	}
 	return s, nil
@@ -203,10 +227,18 @@ func (s *Service) Acquire(client uint64, notify func(Grant) bool) (uint64, error
 	}
 	id := s.nextReq.Add(1)
 	sh := s.shards[s.Shard(client)]
-	req := &request{id: id, client: client, notify: notify}
 	sh.mu.Lock()
+	var req *request
+	if n := len(sh.freeReq); n > 0 {
+		req = sh.freeReq[n-1]
+		sh.freeReq = sh.freeReq[:n-1]
+		*req = request{id: id, client: client, notify: notify}
+	} else {
+		req = &request{id: id, client: client, notify: notify}
+	}
 	sh.pending = append(sh.pending, req)
 	sh.index[id] = req
+	sh.queued++
 	sh.acquires++
 	sh.mu.Unlock()
 	return id, nil
@@ -225,7 +257,11 @@ func (s *Service) Cancel(client, reqID uint64) bool {
 		return false
 	}
 	req.cancelled = true
+	// Drop the caller's closure now (it can pin a whole connection's state);
+	// the struct itself is recycled by the next CloseEpoch's filter pass.
+	req.notify = nil
 	delete(sh.index, reqID)
+	sh.queued--
 	return true
 }
 
@@ -248,13 +284,7 @@ func (s *Service) Pending(shardIdx int) int {
 	sh := s.shards[shardIdx]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	n := 0
-	for _, r := range sh.pending {
-		if !r.cancelled {
-			n++
-		}
-	}
-	return n
+	return sh.queued
 }
 
 // EpochRunnable reports whether CloseEpoch on the shard could currently
@@ -265,28 +295,43 @@ func (s *Service) EpochRunnable(shardIdx int) bool {
 	sh := s.shards[shardIdx]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if sh.led.freeCount() == 0 {
-		return false
-	}
-	for _, r := range sh.pending {
-		if !r.cancelled {
-			return true
-		}
-	}
-	return false
+	return sh.led.freeCount() > 0 && sh.queued > 0
+}
+
+// BatchFull reports whether waiting longer cannot grow the shard's next
+// epoch batch: the queue already meets the MaxBatch cap, or it covers
+// every remaining free name. Epoch-loop drivers with a batching window
+// (Server.shardLoop) use it to close adaptively — as soon as the batch is
+// as large as an epoch can assign — instead of always waiting the window
+// out.
+func (s *Service) BatchFull(shardIdx int) bool {
+	sh := s.shards[shardIdx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	free := sh.led.freeCount()
+	return sh.queued > 0 && free > 0 && (sh.queued >= s.cfg.MaxBatch || sh.queued >= free)
 }
 
 // CloseEpoch runs one renaming epoch on the given shard: it batches up to
-// MaxBatch queued requests (bounded by the free names), runs the configured
+// MaxBatch queued requests (bounded by the free names), runs the shard's
 // Runner over the batch with a seed derived from (Seed, shard, epoch), and
 // assigns each request the rank-th smallest free name. It returns the grants
 // that were accepted (see Acquire's notify contract); grants whose recipient
 // vanished are absorbed as crashes. With nothing to do — no queued requests,
 // or no free names — it returns nil without advancing the epoch.
 //
+// The returned slice is the shard's reusable grant buffer: it is valid
+// until the next CloseEpoch on the same shard, and callers that retain
+// grants across epochs must copy them (CloseEpochs does). Server-style
+// callers consume grants through notify and only look at the length.
+//
 // The shard lock is held for the whole epoch, including the renaming run:
 // concurrent Acquire/Release on the same shard wait, which is exactly the
 // group-commit batching that lets the next epoch absorb them in one run.
+// A failure-free epoch performs no heap allocations: labels, ranks, the
+// free-name snapshot, the permutation check, and the grants all live in
+// per-shard reusable scratch, and the cohort runner resets a cached
+// instance instead of building one (TestEpochZeroAllocs).
 func (s *Service) CloseEpoch(shardIdx int) ([]Grant, error) {
 	if shardIdx < 0 || shardIdx >= len(s.shards) {
 		return nil, fmt.Errorf("namesvc: shard %d outside 0..%d", shardIdx, len(s.shards)-1)
@@ -295,13 +340,17 @@ func (s *Service) CloseEpoch(shardIdx int) ([]Grant, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
-	// Drop cancelled requests (their index entries are already gone), then
-	// snapshot the batch: FIFO prefix, bounded by the free pool.
+	// Drop cancelled requests (their index entries are already gone,
+	// their structs go back to the pool), then snapshot the batch: FIFO
+	// prefix, bounded by the free pool.
 	kept := sh.pending[:0]
 	for _, r := range sh.pending {
-		if !r.cancelled {
-			kept = append(kept, r)
+		if r.cancelled {
+			r.notify = nil
+			sh.freeReq = append(sh.freeReq, r)
+			continue
 		}
+		kept = append(kept, r)
 	}
 	sh.pending = kept
 	limit := min(s.cfg.MaxBatch, sh.led.freeCount(), len(sh.pending))
@@ -310,26 +359,32 @@ func (s *Service) CloseEpoch(shardIdx int) ([]Grant, error) {
 	}
 	batch := sh.pending[:limit]
 
-	labels := make([]proto.ID, len(batch))
+	if cap(sh.labels) < limit {
+		sh.labels = make([]proto.ID, 0, max(limit, 64))
+		sh.ranks = make([]int, max(limit, 64))
+		sh.permSeen = make([]bool, max(limit, 64))
+	}
+	labels := sh.labels[:limit]
+	ranks := sh.ranks[:limit]
 	for i, r := range batch {
 		labels[i] = proto.ID(r.id)
 	}
 	epoch := sh.led.epoch + 1
 	seed := rng.DeriveSeed(sh.seed, epoch)
-	ranks, err := s.cfg.Runner.Assign(seed, labels)
-	if err != nil {
+	if err := sh.runner.Assign(seed, labels, ranks); err != nil {
 		// The batch stays queued; a later epoch retries it.
 		return nil, fmt.Errorf("namesvc: shard %d epoch %d: %w", shardIdx, epoch, err)
 	}
-	if err := checkPermutation(ranks, len(batch)); err != nil {
-		return nil, fmt.Errorf("namesvc: shard %d epoch %d: runner %s: %w", shardIdx, epoch, s.cfg.Runner.Name(), err)
+	if err := checkPermutation(ranks, limit, sh.permSeen); err != nil {
+		return nil, fmt.Errorf("namesvc: shard %d epoch %d: runner %s: %w", shardIdx, epoch, sh.runner.Name(), err)
 	}
 
-	// Commit: rank r takes the r-th smallest free name. The snapshot is
-	// copied because assign mutates the free list it aliases.
-	freeSnap := append([]int(nil), sh.led.peekFree(limit)...)
+	// Commit: rank r takes the r-th smallest free name. The snapshot is the
+	// ledger's peek scratch — plain values, stable across the assigns below
+	// (the bitmap mutates, the snapshot does not alias it).
+	freeSnap := sh.led.peekFree(limit)
 	sh.led.epoch = epoch
-	grants := make([]Grant, 0, len(batch))
+	grants := sh.grants[:0]
 	for i, req := range batch {
 		local := freeSnap[ranks[i]-1]
 		sh.led.assign(epoch, req.id, req.client, local)
@@ -341,7 +396,10 @@ func (s *Service) CloseEpoch(shardIdx int) ([]Grant, error) {
 			Epoch:  epoch,
 			Name:   s.globalName(shardIdx, local),
 		}
-		if req.notify != nil && !req.notify(g) {
+		accepted := req.notify == nil || req.notify(g)
+		req.notify = nil
+		sh.freeReq = append(sh.freeReq, req)
+		if !accepted {
 			// The requester is gone — a crash between acquire and grant.
 			// The name bounces straight back to the free pool; uniqueness
 			// holds because it was never observable outside this epoch.
@@ -353,6 +411,8 @@ func (s *Service) CloseEpoch(shardIdx int) ([]Grant, error) {
 		}
 		grants = append(grants, g)
 	}
+	sh.grants = grants
+	sh.queued -= limit
 	sh.pending = append(sh.pending[:0], sh.pending[limit:]...)
 	return grants, nil
 }
@@ -372,11 +432,16 @@ func (s *Service) CloseEpochs() ([]Grant, error) {
 }
 
 // checkPermutation verifies a runner returned each rank 1..n exactly once.
-func checkPermutation(ranks []int, n int) error {
+// seen is caller-provided scratch of at least n entries; it is reset before
+// use, so callers need not clear it.
+func checkPermutation(ranks []int, n int, seen []bool) error {
 	if len(ranks) != n {
 		return fmt.Errorf("assigned %d ranks for a batch of %d", len(ranks), n)
 	}
-	seen := make([]bool, n)
+	seen = seen[:n]
+	for i := range seen {
+		seen[i] = false
+	}
 	for _, r := range ranks {
 		if r < 1 || r > n {
 			return fmt.Errorf("rank %d outside 1..%d", r, n)
@@ -419,11 +484,7 @@ func (s *Service) Stats() Stats {
 		free := sh.led.freeCount()
 		st.Free += free
 		st.Assigned += s.cfg.ShardCap - free
-		for _, r := range sh.pending {
-			if !r.cancelled {
-				st.Pending++
-			}
-		}
+		st.Pending += sh.queued
 		st.Acquires += sh.acquires
 		st.Grants += sh.led.assigns
 		st.Releases += sh.led.releases
@@ -433,13 +494,14 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
-// ShardJournal returns a copy of a shard's full assignment journal (only
-// populated with Config.Journal set).
+// ShardJournal returns a copy of a shard's retained assignment journal
+// (only populated with Config.Journal set; with Config.JournalLimit it is
+// the most recent window, oldest first).
 func (s *Service) ShardJournal(shardIdx int) []Entry {
 	sh := s.shards[shardIdx]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return append([]Entry(nil), sh.led.entries...)
+	return append([]Entry(nil), sh.led.journalWindow()...)
 }
 
 // ShardDigest returns a shard's rolling ledger digest.

@@ -10,22 +10,48 @@ import (
 )
 
 // Runner executes one renaming instance for an epoch batch: given the batch
-// members' labels (distinct, non-zero, in queue order) it returns ranks[i]
-// ∈ 1..len(labels), a permutation — member i's tight new name within the
-// batch. The service maps rank r onto the r-th smallest free name of the
-// shard.
+// members' labels (distinct, non-zero, in queue order) it fills ranks[i]
+// ∈ 1..len(labels) — member i's tight new name within the batch — forming a
+// permutation. ranks always has len(labels). The service maps rank r onto
+// the r-th smallest free name of the shard.
 //
 // Implementations must be deterministic in (seed, labels): the replay
-// guarantee of the whole service reduces to this contract.
+// guarantee of the whole service reduces to this contract. Implementations
+// should write only into ranks and allocate as little as possible — the
+// service's steady-state epoch path is allocation-free end to end when the
+// runner is (guarded by TestEpochZeroAllocs for the cohort fast path).
 type Runner interface {
 	Name() string
-	Assign(seed uint64, labels []proto.ID) ([]int, error)
+	Assign(seed uint64, labels []proto.ID, ranks []int) error
+}
+
+// forkableRunner is the optional extension for runners that keep mutable
+// per-instance scratch: the Service calls Fork once per shard, so each
+// shard's epoch loop owns a private instance and shards never contend on
+// (or corrupt) shared runner state.
+type forkableRunner interface {
+	Fork() Runner
+}
+
+// forkRunner returns the per-shard instance of a configured runner:
+// stateful runners are forked, stateless ones shared.
+func forkRunner(r Runner) Runner {
+	if f, ok := r.(forkableRunner); ok {
+		return f.Fork()
+	}
+	return r
 }
 
 // CohortRunner runs epochs on the in-process core.Cohort fast path — the
 // whole-system simulator that executes the identical protocol as n real
 // processes. This is the production configuration for a single-box daemon:
 // hundreds of thousands of assignments per second.
+//
+// The zero value works but builds a fresh cohort per epoch; inside a
+// Service each shard gets a forked instance holding a small cache of
+// reusable cohorts keyed by batch size, so steady-state epochs reset and
+// rerun a cached cohort without touching the heap (the topology itself is
+// shared process-wide via tree.Shared).
 type CohortRunner struct {
 	// Strategy selects path construction; zero means core.HybridPaths,
 	// whose deterministic first phase terminates failure-free batches in a
@@ -43,17 +69,79 @@ func (r CohortRunner) strategy() core.PathStrategy {
 	return r.Strategy
 }
 
-// Assign implements Runner.
-func (r CohortRunner) Assign(seed uint64, labels []proto.ID) ([]int, error) {
-	c, err := core.NewCohort(core.Config{N: len(labels), Seed: seed, Strategy: r.strategy()}, labels)
-	if err != nil {
-		return nil, err
+// Assign implements Runner (the uncached one-shot path).
+func (r CohortRunner) Assign(seed uint64, labels []proto.ID, ranks []int) error {
+	return r.Fork().Assign(seed, labels, ranks)
+}
+
+// Fork implements forkableRunner.
+func (r CohortRunner) Fork() Runner {
+	return &cohortEngine{strategy: r.strategy(), cache: make(map[int]*core.Cohort)}
+}
+
+// cohortEngineCacheCap bounds the per-shard cohort cache. Distinct batch
+// sizes each cost O(n) reusable state; real traffic concentrates on a few
+// steady-state sizes, and anything evicted is simply rebuilt on next use.
+const cohortEngineCacheCap = 16
+
+// cohortEngine is one shard's private CohortRunner state: reusable cohorts
+// keyed by batch size, evicted FIFO beyond cohortEngineCacheCap.
+type cohortEngine struct {
+	strategy core.PathStrategy
+	cache    map[int]*core.Cohort
+	order    []int // cache keys, insertion order
+}
+
+// Name implements Runner.
+func (e *cohortEngine) Name() string {
+	return CohortRunner{Strategy: e.strategy}.Name()
+}
+
+// Assign implements Runner: reset-and-rerun a cached cohort when one of
+// this batch size exists (the allocation-free steady state), or build and
+// cache one.
+func (e *cohortEngine) Assign(seed uint64, labels []proto.ID, ranks []int) error {
+	n := len(labels)
+	c := e.cache[n]
+	if c == nil {
+		var err error
+		c, err = core.NewCohort(core.Config{N: n, Seed: seed, Strategy: e.strategy}, labels)
+		if err != nil {
+			return err
+		}
+		if len(e.cache) >= cohortEngineCacheCap {
+			delete(e.cache, e.order[0])
+			e.order = e.order[1:]
+		}
+		e.cache[n] = c
+		e.order = append(e.order, n)
+	} else if err := c.Reset(seed, labels); err != nil {
+		return err
 	}
-	res, err := c.Run()
-	if err != nil {
-		return nil, err
+	if err := c.RunToQuiescence(); err != nil {
+		// The cohort's state is mid-run; drop it (cache and eviction order)
+		// so the retry rebuilds.
+		delete(e.cache, n)
+		for i, k := range e.order {
+			if k == n {
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				break
+			}
+		}
+		return err
 	}
-	return ranksByLabel(labels, res.Decisions)
+	for i, l := range labels {
+		idx, ok := c.IndexOf(l)
+		if !ok {
+			return fmt.Errorf("namesvc: label %v missing from cohort", l)
+		}
+		name, _, decided := c.DecisionOf(idx)
+		if !decided {
+			return fmt.Errorf("namesvc: label %v did not decide", l)
+		}
+		ranks[i] = name
+	}
+	return nil
 }
 
 // TransportRunner runs epochs as true distributed executions: one goroutine
@@ -78,7 +166,7 @@ func (r TransportRunner) variant() bil.Algorithm {
 }
 
 // Assign implements Runner.
-func (r TransportRunner) Assign(seed uint64, labels []proto.ID) ([]int, error) {
+func (r TransportRunner) Assign(seed uint64, labels []proto.ID, ranks []int) error {
 	n := len(labels)
 	sum, err := transport.RunAll(labels, transport.NetConfig{}, func(id proto.ID) (transport.Process, error) {
 		p, err := bil.NewProtocol(n, seed, uint64(id), r.variant())
@@ -88,9 +176,9 @@ func (r TransportRunner) Assign(seed uint64, labels []proto.ID) ([]int, error) {
 		return protocolProcess{p}, nil
 	}, 0)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return ranksByLabel(labels, sum.Decisions)
+	return ranksByLabel(labels, sum.Decisions, ranks)
 }
 
 // protocolProcess adapts the public Protocol to transport.Process.
@@ -108,23 +196,23 @@ func (a protocolProcess) Decided() (int, bool) { return a.p.Decided() }
 func (a protocolProcess) Done() bool           { return a.p.Done() }
 
 // ranksByLabel aligns decisions (ascending by ID) with the batch's label
-// order. Epoch batches are failure-free renaming instances, so every label
-// must have decided; anything else is a runner bug surfaced as an error.
-func ranksByLabel(labels []proto.ID, decisions []proto.Decision) ([]int, error) {
+// order, filling ranks. Epoch batches are failure-free renaming instances,
+// so every label must have decided; anything else is a runner bug surfaced
+// as an error.
+func ranksByLabel(labels []proto.ID, decisions []proto.Decision, ranks []int) error {
 	if len(decisions) != len(labels) {
-		return nil, fmt.Errorf("namesvc: %d decisions for a batch of %d", len(decisions), len(labels))
+		return fmt.Errorf("namesvc: %d decisions for a batch of %d", len(decisions), len(labels))
 	}
 	byID := make(map[proto.ID]int, len(decisions))
 	for _, d := range decisions {
 		byID[d.ID] = d.Name
 	}
-	ranks := make([]int, len(labels))
 	for i, l := range labels {
 		name, ok := byID[l]
 		if !ok {
-			return nil, fmt.Errorf("namesvc: label %v missing from decisions", l)
+			return fmt.Errorf("namesvc: label %v missing from decisions", l)
 		}
 		ranks[i] = name
 	}
-	return ranks, nil
+	return nil
 }

@@ -18,13 +18,24 @@ type ServerConfig struct {
 	Service *Service
 	// EpochInterval is the batching window: after a shard's first queued
 	// request, its epoch loop waits this long before closing the epoch, so
-	// more arrivals join the batch. Zero is pure group commit — close
-	// immediately, and let the requests that arrive during one epoch's
-	// renaming run form the next batch.
+	// more arrivals join the batch. The window is adaptive: it ends early
+	// as soon as the batch can no longer grow (Service.BatchFull — the
+	// queue reached MaxBatch, or it covers every free name), so a burst
+	// never waits out a timer it cannot benefit from. Zero is pure group
+	// commit — close immediately, and let the requests that arrive during
+	// one epoch's renaming run form the next batch.
 	EpochInterval time.Duration
 	// MaxOutstanding caps one connection's in-flight acquires; beyond it
 	// acquires are rejected with RejectBusy. Zero means 4096.
 	MaxOutstanding int
+	// MaxConnQueue caps one connection's pending outbound bytes (encoded
+	// response frames not yet accepted by the kernel). A reader too slow or
+	// stalled to drain its responses would otherwise grow the queue without
+	// bound; at the cap the server disconnects that client, and the
+	// ordinary crash-absorption teardown reclaims everything it held. Zero
+	// means 1 MiB. (Each connection double-buffers, so peak memory is up to
+	// twice this while a flush is in flight.)
+	MaxConnQueue int
 	// IOTimeout bounds the handshake read and every write. Zero means 30s.
 	IOTimeout time.Duration
 	// Logf, when non-nil, receives operational log lines.
@@ -37,6 +48,9 @@ func (cfg *ServerConfig) normalize() error {
 	}
 	if cfg.MaxOutstanding <= 0 {
 		cfg.MaxOutstanding = 4096
+	}
+	if cfg.MaxConnQueue <= 0 {
+		cfg.MaxConnQueue = 1 << 20
 	}
 	if cfg.IOTimeout <= 0 {
 		cfg.IOTimeout = 30 * time.Second
@@ -143,22 +157,44 @@ func (s *Server) kick(shard int) {
 }
 
 // shardLoop closes epochs on one shard whenever work arrives: group commit
-// with an optional batching window. It drains — repeated CloseEpoch calls —
-// because requests that queued during an epoch's renaming run form the next
-// batch without another kick.
+// with an optional adaptive batching window. During the window the loop
+// keeps listening for kicks and closes the epoch as soon as the batch can
+// no longer grow (BatchFull) instead of waiting the timer out — under
+// bursts the window costs nothing, while trickles still coalesce. It
+// drains — repeated CloseEpoch calls — because requests that queued during
+// an epoch's renaming run form the next batch without another kick.
 func (s *Server) shardLoop(shard int) {
 	defer s.wg.Done()
+	var timer *time.Timer
+	if s.cfg.EpochInterval > 0 {
+		timer = time.NewTimer(s.cfg.EpochInterval)
+		if !timer.Stop() {
+			<-timer.C
+		}
+		defer timer.Stop()
+	}
 	for {
 		select {
 		case <-s.stop:
 			return
 		case <-s.kicks[shard]:
 		}
-		if s.cfg.EpochInterval > 0 {
-			select {
-			case <-s.stop:
-				return
-			case <-time.After(s.cfg.EpochInterval):
+		if timer != nil && !s.svc.BatchFull(shard) {
+			timer.Reset(s.cfg.EpochInterval)
+			for waiting := true; waiting; {
+				select {
+				case <-s.stop:
+					return
+				case <-timer.C:
+					waiting = false
+				case <-s.kicks[shard]:
+					if s.svc.BatchFull(shard) {
+						if !timer.Stop() {
+							<-timer.C
+						}
+						waiting = false
+					}
+				}
 			}
 		}
 		for {
@@ -188,13 +224,25 @@ func (s *Server) shardLoop(shard int) {
 // svcConn is one connection's server-side state. Lock order: a shard lock
 // may be taken before c.mu (grant notifies run under the shard lock), so
 // c.mu must never be held across a Service call.
+//
+// The outbox is a pooled double buffer: response frames are encoded
+// straight into pend (header + body, contiguous), and the writer goroutine
+// swaps pend with fly and flushes the whole batch in a single Write — one
+// syscall per drained batch, the writev pattern with the iovecs already
+// adjacent. Both buffers are reused for the connection's lifetime, so the
+// steady-state write path allocates nothing; a whole epoch's grants for
+// this connection land back-to-back in one buffer and one flush.
 type svcConn struct {
-	conn net.Conn
+	conn     net.Conn
+	maxQueue int // outbound byte cap (ServerConfig.MaxConnQueue)
 
 	mu          sync.Mutex
 	cond        *sync.Cond
 	dead        bool
-	out         [][]byte // encoded response frames awaiting the writer
+	overflow    bool        // queue cap exceeded; connection being dropped
+	pend        []byte      // frames accumulating for the writer
+	fly         []byte      // frames being flushed; swapped with pend
+	enc         wire.Writer // frame-body scratch, guarded by mu
 	outClosed   bool
 	held        map[int]uint64 // global name -> holding client
 	outstanding map[*connReq]struct{}
@@ -206,25 +254,35 @@ type connReq struct {
 	id     uint64 // service request ID; 0 until Acquire returns
 }
 
-// push enqueues one encoded frame for the writer goroutine; it reports
-// false when the connection is already being torn down.
-func (c *svcConn) push(body []byte) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.dead || c.outClosed {
+// queueLocked encodes one response frame into the pending buffer; c.mu must
+// be held. It reports false when the connection is already being torn down,
+// or when appending would exceed the outbound cap — in which case the
+// connection is closed here: a reader that cannot keep up with its own
+// responses is indistinguishable from a stalled one, and disconnecting it
+// hands cleanup to the ordinary crash-absorption teardown.
+func (c *svcConn) queueLocked(fill func(*wire.Writer)) bool {
+	if c.dead || c.outClosed || c.overflow {
 		return false
 	}
-	c.out = append(c.out, body)
+	c.enc.Reset()
+	fill(&c.enc)
+	if len(c.pend)+4+c.enc.Len() > c.maxQueue {
+		c.overflow = true
+		c.cond.Signal()
+		c.conn.Close() // fails the read loop, which runs teardown
+		return false
+	}
+	c.pend = wire.AppendFrame(c.pend, c.enc.Bytes())
 	c.cond.Signal()
 	return true
 }
 
-// encode renders one frame body with a fresh writer (the slice escapes into
-// the outbox).
-func encode(fill func(*wire.Writer)) []byte {
-	var w wire.Writer
-	fill(&w)
-	return w.Bytes()
+// push is queueLocked behind the connection lock, for callers not already
+// holding it.
+func (c *svcConn) push(fill func(*wire.Writer)) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queueLocked(fill)
 }
 
 // handle runs one connection: handshake, dispatch loop, teardown.
@@ -232,6 +290,7 @@ func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	c := &svcConn{
 		conn:        conn,
+		maxQueue:    s.cfg.MaxConnQueue,
 		held:        make(map[int]uint64),
 		outstanding: make(map[*connReq]struct{}),
 	}
@@ -256,7 +315,7 @@ func (s *Server) handle(conn net.Conn) {
 		s.cfg.Logf("%v: rejected: %v", conn.RemoteAddr(), err)
 		return
 	}
-	c.push(encode(func(w *wire.Writer) { appendWelcome(w, s.svc.Shards(), s.svc.ShardCap()) }))
+	c.push(func(w *wire.Writer) { appendWelcome(w, s.svc.Shards(), s.svc.ShardCap()) })
 	conn.SetReadDeadline(time.Time{})
 
 	for {
@@ -294,7 +353,7 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			st := s.svc.Stats()
-			c.push(encode(func(w *wire.Writer) { appendStatsRep(w, tag, st) }))
+			c.push(func(w *wire.Writer) { appendStatsRep(w, tag, st) })
 		default:
 			s.cfg.Logf("%v: unknown op %d (closing connection)", conn.RemoteAddr(), op)
 			return
@@ -310,7 +369,7 @@ func (s *Server) doAcquire(c *svcConn, tag uint64, client uint64) {
 	c.mu.Lock()
 	if len(c.outstanding) >= s.cfg.MaxOutstanding {
 		c.mu.Unlock()
-		c.push(encode(func(w *wire.Writer) { appendReject(w, tag, RejectBusy, "too many outstanding acquires") }))
+		c.push(func(w *wire.Writer) { appendReject(w, tag, RejectBusy, "too many outstanding acquires") })
 		return
 	}
 	c.outstanding[req] = struct{}{}
@@ -319,20 +378,21 @@ func (s *Server) doAcquire(c *svcConn, tag uint64, client uint64) {
 	id, err := s.svc.Acquire(client, func(g Grant) bool {
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		if c.dead {
+		// Refusing the grant (dead, or outbox overflow on the grant frame
+		// itself) absorbs it as a crash: the name bounces back to the free
+		// pool, never having been observable on this connection.
+		if !c.queueLocked(func(w *wire.Writer) { appendGrant(w, tag, g) }) {
 			return false
 		}
 		delete(c.outstanding, req)
 		c.held[g.Name] = g.Client
-		c.out = append(c.out, encode(func(w *wire.Writer) { appendGrant(w, tag, g) }))
-		c.cond.Signal()
 		return true
 	})
 	if err != nil {
 		c.mu.Lock()
 		delete(c.outstanding, req)
 		c.mu.Unlock()
-		c.push(encode(func(w *wire.Writer) { appendReject(w, tag, RejectInternal, err.Error()) }))
+		c.push(func(w *wire.Writer) { appendReject(w, tag, RejectInternal, err.Error()) })
 		return
 	}
 	c.mu.Lock()
@@ -351,16 +411,16 @@ func (s *Server) doRelease(c *svcConn, tag uint64, name int) {
 	}
 	c.mu.Unlock()
 	if !ok {
-		c.push(encode(func(w *wire.Writer) {
+		c.push(func(w *wire.Writer) {
 			appendReject(w, tag, RejectNotHeld, fmt.Sprintf("name %d is not held by this connection", name))
-		}))
+		})
 		return
 	}
 	if err := s.svc.Release(client, name); err != nil {
-		c.push(encode(func(w *wire.Writer) { appendReject(w, tag, RejectInternal, err.Error()) }))
+		c.push(func(w *wire.Writer) { appendReject(w, tag, RejectInternal, err.Error()) })
 		return
 	}
-	c.push(encode(func(w *wire.Writer) { appendReleased(w, tag) }))
+	c.push(func(w *wire.Writer) { appendReleased(w, tag) })
 	if shard, err := s.svc.ShardOfName(name); err == nil {
 		s.kick(shard) // freed capacity may unblock queued acquires
 	}
@@ -411,31 +471,32 @@ func (s *Server) teardown(c *svcConn) {
 	s.mu.Unlock()
 }
 
-// writeLoop drains the connection's outbox, flushing once per drained
-// batch — group flushing that coalesces a whole epoch's grants into few
-// syscalls.
+// writeLoop drains the connection's outbox: it swaps the pending buffer
+// with the flight buffer under the lock — no copying, no allocation — and
+// pushes the whole contiguous batch of frames to the kernel in a single
+// Write. A full epoch of grants therefore costs one syscall on this
+// connection, while pushers keep filling the other buffer.
 func (s *Server) writeLoop(c *svcConn) {
 	defer s.wg.Done()
-	bw := bufio.NewWriter(c.conn)
 	for {
 		c.mu.Lock()
-		for len(c.out) == 0 && !c.outClosed {
+		for len(c.pend) == 0 && !c.outClosed && !c.overflow {
 			c.cond.Wait()
 		}
-		batch := c.out
-		c.out = nil
-		closed := c.outClosed
-		c.mu.Unlock()
-		for _, body := range batch {
-			c.conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
-			if err := wire.WriteFrame(bw, body); err != nil {
-				c.conn.Close() // unblocks the read loop, which runs teardown
-				return
-			}
+		if c.overflow {
+			c.mu.Unlock()
+			c.conn.Close() // already closed by queueLocked; idempotent
+			return
 		}
+		closed := c.outClosed
+		batch := c.pend
+		c.pend = c.fly[:0]
+		c.fly = batch
+		c.mu.Unlock()
 		if len(batch) > 0 {
-			if err := bw.Flush(); err != nil {
-				c.conn.Close()
+			c.conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+			if _, err := c.conn.Write(batch); err != nil {
+				c.conn.Close() // unblocks the read loop, which runs teardown
 				return
 			}
 		}

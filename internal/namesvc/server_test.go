@@ -12,12 +12,20 @@ import (
 // startServer brings up a Service+Server on a loopback socket and returns
 // the service, the address, and a cleanup-registered server.
 func startServer(t *testing.T, cfg Config) (*Service, string) {
+	return startServerWith(t, cfg, ServerConfig{})
+}
+
+// startServerWith is startServer with explicit server options (Service and
+// Logf are filled in).
+func startServerWith(t *testing.T, cfg Config, scfg ServerConfig) (*Service, string) {
 	t.Helper()
 	svc, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(ServerConfig{Service: svc, Logf: t.Logf})
+	scfg.Service = svc
+	scfg.Logf = t.Logf
+	srv, err := NewServer(scfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,5 +335,109 @@ func TestServerUnknownOpAndBadHello(t *testing.T) {
 	raw2.SetReadDeadline(time.Now().Add(5 * time.Second))
 	if _, err := wire.ReadFrame(raw2, nil, svcMaxFrame); err == nil {
 		t.Fatal("server kept the connection after an unknown op")
+	}
+}
+
+// TestServerOverflowDisconnectsSlowReader pins the outbound-queue cap: a
+// connection that floods requests while never reading its responses must be
+// disconnected once its pending response bytes exceed MaxConnQueue — and
+// the disconnect runs the ordinary crash-absorption teardown, releasing
+// every name the connection held, while other connections are unaffected.
+func TestServerOverflowDisconnectsSlowReader(t *testing.T) {
+	t.Parallel()
+	svc, addr := startServerWith(t, Config{ShardCap: 16, Seed: 3},
+		ServerConfig{MaxConnQueue: 16 << 10, IOTimeout: 5 * time.Second})
+
+	good, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if _, err := good.AcquireSync(7); err != nil {
+		t.Fatal(err)
+	}
+
+	// The hog: a raw connection that acquires one name, then floods stats
+	// requests without ever reading a response.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	var w wire.Writer
+	appendSvcHello(&w)
+	if err := wire.WriteFrame(raw, w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadFrame(raw, nil, svcMaxFrame); err != nil {
+		t.Fatalf("welcome: %v", err)
+	}
+	w.Reset()
+	appendAcquire(&w, 1, 99)
+	if err := wire.WriteFrame(raw, w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadFrame(raw, nil, svcMaxFrame); err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+	waitFor(t, "hog's name assigned", func() bool { return svc.Stats().Assigned == 2 })
+
+	// Flood. Responses pile up server-side (the kernel's socket buffers
+	// absorb some first); the cap must trip and the server must close the
+	// connection, which surfaces here as a write error.
+	w.Reset()
+	appendStatsReq(&w, 2)
+	frame := w.Bytes()
+	deadline := time.Now().Add(10 * time.Second)
+	var writeErr error
+	for time.Now().Before(deadline) {
+		raw.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+		if err := wire.WriteFrame(raw, frame); err != nil {
+			writeErr = err
+			break
+		}
+	}
+	if writeErr == nil {
+		t.Fatal("server never disconnected the non-reading flooder")
+	}
+
+	// Teardown released the hog's name; the polite connection still works.
+	waitFor(t, "hog's name released", func() bool { return svc.Stats().Assigned == 1 })
+	if _, err := good.AcquireSync(8); err != nil {
+		t.Fatalf("good connection broken by the flooder: %v", err)
+	}
+}
+
+// TestServerAdaptiveEpochClosesEarly pins the adaptive batching window: with
+// an absurdly long EpochInterval, a batch that reaches MaxBatch must be
+// granted immediately (BatchFull ends the window) instead of waiting the
+// timer out.
+func TestServerAdaptiveEpochClosesEarly(t *testing.T) {
+	t.Parallel()
+	_, addr := startServerWith(t, Config{ShardCap: 8, Seed: 1, MaxBatch: 4},
+		ServerConfig{EpochInterval: 30 * time.Second})
+	c, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	granted := make(chan error, 4)
+	for client := uint64(1); client <= 4; client++ {
+		if err := c.Acquire(client, func(g Grant, err error) { granted <- err }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-granted:
+			if err != nil {
+				t.Fatalf("grant %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("full batch not granted before the batching window expired")
+		}
 	}
 }

@@ -45,6 +45,18 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
+// AppendFrame appends payload as one length-prefixed frame to dst and
+// returns the extended slice — the allocation-free counterpart of
+// WriteFrame for callers that batch many frames into one contiguous buffer
+// and flush it with a single Write (the writev pattern collapsed to one
+// iovec, since the frames are already adjacent in memory).
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
 // ReadFrame reads one length-prefixed frame from r, reusing buf's capacity
 // when it suffices. It returns io.EOF only when the stream ends cleanly
 // before the first header byte; a partial header or body yields
