@@ -6,9 +6,12 @@
 //
 // Closed loop (default): each of -conns connections keeps -outstanding
 // acquires in flight; every grant is released immediately and replaced, so
-// offered load tracks service capacity:
+// offered load tracks service capacity. Completions are handed off to
+// -workers goroutines per connection, so releases and follow-up acquires
+// are issued off the client's read goroutine and a single connection can
+// saturate the batched server front end:
 //
-//	blload -connect 127.0.0.1:4720 -conns 4 -outstanding 64 -duration 5s
+//	blload -connect 127.0.0.1:4720 -conns 4 -outstanding 64 -workers 2 -duration 5s
 //
 // Open loop: -rate offers a fixed number of acquires per second across the
 // connections regardless of completions (bounded by -outstanding per
@@ -16,6 +19,11 @@
 // omission is visible rather than hidden):
 //
 //	blload -connect 127.0.0.1:4720 -conns 4 -rate 50000 -duration 10s
+//
+// -warmup runs the same traffic for the given duration before measurement
+// begins: operations issued during warmup are excluded from the histogram,
+// the throughput window, and the duplicate/error accounting, so cold
+// caches, pool growth, and epoch-size ramp-up do not pollute the report.
 //
 // Every grant is checked against a process-wide active-name table: a name
 // granted while still active is a uniqueness violation. The final report's
@@ -30,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,7 +55,9 @@ type config struct {
 	connect     string
 	conns       int
 	outstanding int
+	workers     int
 	duration    time.Duration
+	warmup      time.Duration
 	rate        int
 	timeout     time.Duration
 	json        bool
@@ -60,7 +71,11 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&cfg.connect, "connect", "", "blnamed address to connect to (required)")
 	fs.IntVar(&cfg.conns, "conns", 4, "concurrent connections")
 	fs.IntVar(&cfg.outstanding, "outstanding", 64, "in-flight acquires per connection")
+	fs.IntVar(&cfg.workers, "workers", 1,
+		"completion-worker goroutines per connection issuing releases and chained acquires")
 	fs.DurationVar(&cfg.duration, "duration", 5*time.Second, "measurement duration")
+	fs.DurationVar(&cfg.warmup, "warmup", 0,
+		"run this long before measuring; warmup ops are excluded from the histogram and duplicate accounting")
 	fs.IntVar(&cfg.rate, "rate", 0, "open-loop offered acquires/s across all connections (0 = closed loop)")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "dial and write timeout")
 	fs.BoolVar(&cfg.json, "json", false,
@@ -77,8 +92,12 @@ func parseFlags(args []string) (*config, error) {
 		return nil, fmt.Errorf("blload: -conns must be >= 1, got %d", cfg.conns)
 	case cfg.outstanding < 1:
 		return nil, fmt.Errorf("blload: -outstanding must be >= 1, got %d", cfg.outstanding)
+	case cfg.workers < 1:
+		return nil, fmt.Errorf("blload: -workers must be >= 1, got %d", cfg.workers)
 	case cfg.duration <= 0:
 		return nil, fmt.Errorf("blload: -duration must be positive, got %v", cfg.duration)
+	case cfg.warmup < 0:
+		return nil, fmt.Errorf("blload: -warmup must be >= 0, got %v", cfg.warmup)
 	case cfg.rate < 0:
 		return nil, fmt.Errorf("blload: -rate must be >= 0, got %d", cfg.rate)
 	}
@@ -87,6 +106,7 @@ func parseFlags(args []string) (*config, error) {
 
 // report is the outcome of one load run.
 type report struct {
+	cfg        *config
 	elapsed    time.Duration
 	acquires   uint64
 	releases   uint64
@@ -100,8 +120,12 @@ type report struct {
 // print renders the human-readable report.
 func (r *report) print(w *os.File) {
 	secs := r.elapsed.Seconds()
-	fmt.Fprintf(w, "ran %.2fs: %d acquires (%.1f acquires/s), %d releases",
-		secs, r.acquires, float64(r.acquires)/secs, r.releases)
+	fmt.Fprintf(w, "ran %.2fs", secs)
+	if r.cfg.warmup > 0 {
+		fmt.Fprintf(w, " (after %v warmup)", r.cfg.warmup)
+	}
+	fmt.Fprintf(w, ": %d acquires (%.1f acquires/s), %d releases",
+		r.acquires, float64(r.acquires)/secs, r.releases)
 	if r.shed > 0 {
 		fmt.Fprintf(w, ", %d shed at the in-flight cap", r.shed)
 	}
@@ -118,6 +142,10 @@ func (r *report) print(w *os.File) {
 // counterpart of blbench's BENCH_*.json artifact lines.
 type jsonReport struct {
 	ElapsedMS   int64   `json:"elapsed_ms"`
+	WarmupMS    int64   `json:"warmup_ms"`
+	Conns       int     `json:"conns"`
+	Outstanding int     `json:"outstanding"`
+	Workers     int     `json:"workers"`
 	Acquires    uint64  `json:"acquires"`
 	AcquiresPS  float64 `json:"acquires_per_s"`
 	Releases    uint64  `json:"releases"`
@@ -144,6 +172,10 @@ func (r *report) writeJSON(w io.Writer) error {
 	us := func(ns int64) float64 { return float64(ns) / 1e3 }
 	out := jsonReport{
 		ElapsedMS:   r.elapsed.Milliseconds(),
+		WarmupMS:    r.cfg.warmup.Milliseconds(),
+		Conns:       r.cfg.conns,
+		Outstanding: r.cfg.outstanding,
+		Workers:     r.cfg.workers,
 		Acquires:    r.acquires,
 		AcquiresPS:  float64(r.acquires) / secs,
 		Releases:    r.releases,
@@ -166,23 +198,38 @@ func (r *report) writeJSON(w io.Writer) error {
 	return json.NewEncoder(w).Encode(out)
 }
 
-// worker is one connection's closed/open-loop driver. Callbacks run on the
-// client's read goroutine, so the histogram and counters are goroutine-local.
+// worker is one connection's driver. Grant callbacks run on the client's
+// read goroutine, which owns the histogram and the acquire counter; in
+// closed-loop mode each completion is handed to the connection's worker
+// pool, which issues the release and the chained acquire — keeping the read
+// goroutine free to drain response bursts while the workers fill the next
+// request batch.
 type worker struct {
 	c        *namesvc.Client
 	shared   *shared
 	lat      stats.Histogram
+	acquires uint64 // owned by the read goroutine
+	releases atomic.Uint64
 	inflight atomic.Int64
-	acquires uint64
-	releases uint64
+	comp     chan completion
+	relCB    func(error) // created once, shared by every release
 	done     chan struct{} // closed when stopped and drained
 	doneOnce sync.Once
 }
 
-// shared is the cross-worker state: stop flag, duplicate detection, global
-// counters.
+// completion is one grant handed from the read goroutine to the worker
+// pool, carrying whether its acquire was issued inside the measurement
+// window so both halves of the operation are accounted under the same rule.
+type completion struct {
+	g        namesvc.Grant
+	measured bool
+}
+
+// shared is the cross-worker state: stop/warm flags, duplicate detection,
+// global counters.
 type shared struct {
 	stop     atomic.Bool
+	warm     atomic.Bool // measurement window open; false during warmup
 	clientID atomic.Uint64
 	active   []atomic.Uint32 // 1+name -> held?
 	dups     atomic.Uint64
@@ -190,53 +237,102 @@ type shared struct {
 	shed     atomic.Uint64
 }
 
-// issue starts one acquire (claiming an in-flight slot); the grant callback
-// releases the name and, in closed-loop mode, chains the next acquire. The
-// chained issue is started before this slot retires, so the in-flight count
-// never spuriously touches zero mid-run.
-func (wk *worker) issue(chain bool) {
+// start claims one in-flight slot and fires its first acquire.
+func (wk *worker) start(chain bool) {
+	wk.inflight.Add(1)
+	wk.fire(chain)
+}
+
+// fire issues one acquire on an already-claimed slot. The grant callback
+// validates uniqueness and either retires the slot (open loop, or stopping)
+// or hands the completion to the worker pool to release and re-fire.
+// Warmup ops — issued before the measurement window opened — keep the
+// pipeline hot but stay out of every statistic.
+func (wk *worker) fire(chain bool) {
 	sh := wk.shared
 	client := sh.clientID.Add(1)
-	wk.inflight.Add(1)
+	measured := sh.warm.Load()
 	t0 := time.Now()
 	err := wk.c.Acquire(client, func(g namesvc.Grant, err error) {
-		defer wk.finish()
 		if err != nil {
 			// Connection teardown after the run window is the expected way
 			// in-flight tails end; only mid-run failures are errors.
-			if !sh.stop.Load() {
+			if measured && !sh.stop.Load() {
 				sh.errs.Add(1)
 			}
+			wk.finish()
 			return
 		}
-		wk.lat.Record(time.Since(t0).Nanoseconds())
-		wk.acquires++
-		if !sh.active[g.Name].CompareAndSwap(0, 1) {
+		if measured {
+			wk.lat.Record(time.Since(t0).Nanoseconds())
+			wk.acquires++
+		}
+		// The active table is maintained across warmup and measurement (a
+		// held name is held regardless of when it was acquired); only the
+		// violation count is gated.
+		if !sh.active[g.Name].CompareAndSwap(0, 1) && measured {
 			sh.dups.Add(1)
 		}
 		// Mark free before the release frame is sent: once the server
 		// processes it the name may be re-granted to any connection, and
 		// the table must already allow it.
 		sh.active[g.Name].Store(0)
-		relErr := wk.c.Release(g.Name, func(err error) {
-			if err != nil && !sh.stop.Load() {
-				sh.errs.Add(1)
-			}
-		})
-		if relErr == nil {
-			wk.releases++
-		} else if !sh.stop.Load() {
-			sh.errs.Add(1)
-		}
 		if chain && !sh.stop.Load() {
-			wk.issue(true)
+			wk.comp <- completion{g, measured} // never blocks: cap covers every in-flight slot
+			return
 		}
+		wk.release(g, measured)
+		wk.finish()
 	})
 	if err != nil {
-		if !sh.stop.Load() {
+		if measured && !sh.stop.Load() {
 			sh.errs.Add(1)
 		}
 		wk.finish()
+	}
+}
+
+// release returns one granted name.
+func (wk *worker) release(g namesvc.Grant, measured bool) {
+	if err := wk.c.Release(g.Name, wk.relCB); err != nil {
+		if measured && !wk.shared.stop.Load() {
+			wk.shared.errs.Add(1)
+		}
+		return
+	}
+	if measured {
+		wk.releases.Add(1)
+	}
+}
+
+// runWorker drains completions: one release plus one chained acquire per
+// grant, issued off the read goroutine. Completions are drained in batches:
+// once the channel runs dry the worker flushes the requests it just
+// buffered (the read goroutine's own idle flush ran before these ops
+// existed) and yields, so a saturating worker neither strands a batch in
+// the write buffer nor starves the read goroutine on small-core machines.
+func (wk *worker) runWorker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for cp := range wk.comp {
+		for done := false; !done; {
+			wk.release(cp.g, cp.measured)
+			if wk.shared.stop.Load() {
+				wk.finish()
+			} else {
+				wk.fire(true)
+			}
+			select {
+			case next, ok := <-wk.comp:
+				if !ok {
+					return
+				}
+				cp = next
+			default:
+				done = true
+			}
+		}
+		wk.c.Flush()
+		runtime.Gosched()
 	}
 }
 
@@ -250,6 +346,7 @@ func (wk *worker) finish() {
 // runLoad executes one measurement run.
 func runLoad(cfg *config) (*report, error) {
 	sh := &shared{}
+	sh.warm.Store(cfg.warmup == 0)
 	workers := make([]*worker, cfg.conns)
 	for i := range workers {
 		c, err := namesvc.Dial(cfg.connect, namesvc.ClientConfig{Timeout: cfg.timeout})
@@ -262,37 +359,65 @@ func runLoad(cfg *config) (*report, error) {
 		if sh.active == nil {
 			sh.active = make([]atomic.Uint32, c.Capacity()+1)
 		}
-		workers[i] = &worker{c: c, shared: sh, done: make(chan struct{})}
+		wk := &worker{c: c, shared: sh,
+			comp: make(chan completion, cfg.outstanding),
+			done: make(chan struct{})}
+		wk.relCB = func(err error) {
+			if err != nil && !sh.stop.Load() {
+				sh.errs.Add(1)
+			}
+		}
+		workers[i] = wk
 	}
 	defer func() {
 		for _, wk := range workers {
 			wk.c.Close()
 		}
 	}()
+	var workerWG sync.WaitGroup
+	for _, wk := range workers {
+		for w := 0; w < cfg.workers; w++ {
+			workerWG.Add(1)
+			go wk.runWorker(&workerWG)
+		}
+	}
 
 	start := time.Now()
+	var measureStart time.Time
 	if cfg.rate == 0 {
 		for _, wk := range workers {
 			for i := 0; i < cfg.outstanding; i++ {
-				wk.issue(true)
+				wk.start(true)
 			}
 			wk.c.Flush()
 		}
+		if cfg.warmup > 0 {
+			time.Sleep(cfg.warmup)
+			sh.warm.Store(true)
+		}
+		measureStart = time.Now()
 		time.Sleep(cfg.duration)
 	} else {
 		interval := time.Second / time.Duration(cfg.rate)
 		if interval <= 0 {
 			interval = time.Nanosecond
 		}
-		deadline := start.Add(cfg.duration)
+		deadline := start.Add(cfg.warmup + cfg.duration)
+		warmAt := start.Add(cfg.warmup)
+		measureStart = warmAt
 		next := 0
 		for t := time.Now(); t.Before(deadline); t = time.Now() {
+			if !sh.warm.Load() && !t.Before(warmAt) {
+				sh.warm.Store(true)
+			}
 			wk := workers[next%len(workers)]
 			next++
 			if int(wk.inflight.Load()) >= cfg.outstanding {
-				sh.shed.Add(1)
+				if sh.warm.Load() {
+					sh.shed.Add(1)
+				}
 			} else {
-				wk.issue(false)
+				wk.start(false)
 			}
 			// Pace the offered load; Sleep granularity coarsens very high
 			// rates, where bursts of catch-up issues approximate the rate.
@@ -301,9 +426,10 @@ func runLoad(cfg *config) (*report, error) {
 				time.Sleep(d)
 			}
 		}
+		sh.warm.Store(true) // degenerate runs: never leave warmup unclosed
 	}
 	sh.stop.Store(true)
-	elapsed := time.Since(start)
+	elapsed := time.Since(measureStart)
 
 	// Drain the in-flight tails so every grant has been released.
 	drain := time.After(cfg.timeout)
@@ -318,7 +444,7 @@ func runLoad(cfg *config) (*report, error) {
 		}
 	}
 
-	rep := &report{elapsed: elapsed}
+	rep := &report{cfg: cfg, elapsed: elapsed}
 	// Let the tail releases buffered on other connections reach the server
 	// before sampling its counters: poll until Assigned is stable.
 	if st, err := workers[0].c.StatsSync(); err == nil {
@@ -338,7 +464,9 @@ func runLoad(cfg *config) (*report, error) {
 	}
 	// The per-worker histograms and counters are owned by the clients' read
 	// goroutines; stop those goroutines (even if the drain timed out with
-	// acquires still in flight) before aggregating.
+	// acquires still in flight) before aggregating. The completion workers
+	// go last: their channels can only be closed once no read goroutine is
+	// left to send on them.
 	for _, wk := range workers {
 		wk.c.Close()
 	}
@@ -346,8 +474,12 @@ func runLoad(cfg *config) (*report, error) {
 		wk.c.Wait()
 	}
 	for _, wk := range workers {
+		close(wk.comp)
+	}
+	workerWG.Wait()
+	for _, wk := range workers {
 		rep.acquires += wk.acquires
-		rep.releases += wk.releases
+		rep.releases += wk.releases.Load()
 		rep.lat.Merge(&wk.lat)
 	}
 	rep.shed = sh.shed.Load()

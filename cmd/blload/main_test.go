@@ -21,7 +21,9 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"missing connect", nil},
 		{"zero conns", []string{"-connect", "x:1", "-conns", "0"}},
 		{"zero outstanding", []string{"-connect", "x:1", "-outstanding", "0"}},
+		{"zero workers", []string{"-connect", "x:1", "-workers", "0"}},
 		{"zero duration", []string{"-connect", "x:1", "-duration", "0s"}},
+		{"negative warmup", []string{"-connect", "x:1", "-warmup", "-1s"}},
 		{"negative rate", []string{"-connect", "x:1", "-rate", "-5"}},
 	}
 	for _, tc := range cases {
@@ -33,12 +35,12 @@ func TestParseFlagsValidation(t *testing.T) {
 		t.Fatalf("-h err = %v", err)
 	}
 	cfg, err := parseFlags([]string{"-connect", "h:1", "-conns", "2", "-outstanding", "8",
-		"-duration", "250ms", "-rate", "1000", "-json"})
+		"-duration", "250ms", "-rate", "1000", "-warmup", "100ms", "-workers", "3", "-json"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.conns != 2 || cfg.outstanding != 8 || cfg.duration != 250*time.Millisecond ||
-		cfg.rate != 1000 || !cfg.json {
+		cfg.rate != 1000 || cfg.warmup != 100*time.Millisecond || cfg.workers != 3 || !cfg.json {
 		t.Fatalf("cfg = %+v", cfg)
 	}
 }
@@ -107,6 +109,47 @@ func TestClosedLoopRun(t *testing.T) {
 	}
 	if decoded["acquires"].(float64) == 0 || decoded["acquires_per_s"].(float64) <= 0 {
 		t.Fatalf("artifact missing throughput: %s", buf.String())
+	}
+}
+
+// TestClosedLoopWarmupAndWorkers drives the completion-worker path with a
+// warmup window: warmup traffic flows (the server sees more grants than the
+// report counts) but is excluded from the histogram and counters, and the
+// JSON artifact records the warmup and worker configuration.
+func TestClosedLoopWarmupAndWorkers(t *testing.T) {
+	t.Parallel()
+	addr := startDaemon(t)
+	cfg, err := parseFlags([]string{"-connect", addr, "-conns", "2", "-outstanding", "16",
+		"-workers", "2", "-warmup", "150ms", "-duration", "300ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.acquires == 0 || rep.duplicates != 0 || rep.errors != 0 {
+		t.Fatalf("acquires=%d duplicates=%d errors=%d", rep.acquires, rep.duplicates, rep.errors)
+	}
+	if rep.lat.Count() != rep.acquires {
+		t.Fatalf("recorded %d latencies for %d measured acquires", rep.lat.Count(), rep.acquires)
+	}
+	// The warmup traffic reached the server but stayed out of the report.
+	if rep.svc.Grants <= rep.acquires {
+		t.Fatalf("server granted %d, report measured %d — warmup traffic unaccounted",
+			rep.svc.Grants, rep.acquires)
+	}
+	var buf bytes.Buffer
+	if err := rep.writeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if decoded["warmup_ms"].(float64) != 150 || decoded["workers"].(float64) != 2 ||
+		decoded["conns"].(float64) != 2 || decoded["outstanding"].(float64) != 16 {
+		t.Fatalf("artifact missing run configuration: %s", buf.String())
 	}
 }
 

@@ -51,17 +51,19 @@ var errFlagsReported = errors.New("flag parsing failed")
 
 // config is the parsed and validated command line.
 type config struct {
-	listen       string
-	shards       int
-	shardCap     int
-	seed         uint64
-	maxBatch     int
-	epoch        time.Duration
-	runner       namesvc.Runner
-	timeout      time.Duration
-	journal      bool
-	journalLimit int
-	quiet        bool
+	listen         string
+	shards         int
+	shardCap       int
+	seed           uint64
+	maxBatch       int
+	epoch          time.Duration
+	runner         namesvc.Runner
+	timeout        time.Duration
+	maxOutstanding int
+	maxConnQueue   int
+	journal        bool
+	journalLimit   int
+	quiet          bool
 }
 
 // parseFlags parses args into a validated config.
@@ -79,6 +81,10 @@ func parseFlags(args []string) (*config, error) {
 		"batching window before closing an epoch, ended early once the batch cannot grow (0 = group commit)")
 	fs.StringVar(&runner, "runner", "cohort", "epoch engine: cohort | transport")
 	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-operation network timeout")
+	fs.IntVar(&cfg.maxOutstanding, "max-outstanding", 0,
+		"per-connection in-flight acquire cap; beyond it acquires are rejected busy (0 = server default)")
+	fs.IntVar(&cfg.maxConnQueue, "max-conn-queue", 0,
+		"per-connection pending outbound byte cap; a reader too slow to drain it is disconnected (0 = server default)")
 	fs.BoolVar(&cfg.journal, "journal", false, "record per-shard assignment journals (audit)")
 	fs.IntVar(&cfg.journalLimit, "journal-limit", 1<<20,
 		"with -journal, retain only the most recent entries per shard (0 = unbounded growth)")
@@ -105,6 +111,10 @@ func parseFlags(args []string) (*config, error) {
 		return nil, fmt.Errorf("blnamed: -shard-cap must be >= 1, got %d", cfg.shardCap)
 	case cfg.journalLimit < 0:
 		return nil, fmt.Errorf("blnamed: -journal-limit must be >= 0, got %d", cfg.journalLimit)
+	case cfg.maxOutstanding < 0:
+		return nil, fmt.Errorf("blnamed: -max-outstanding must be >= 0, got %d", cfg.maxOutstanding)
+	case cfg.maxConnQueue < 0:
+		return nil, fmt.Errorf("blnamed: -max-conn-queue must be >= 0, got %d", cfg.maxConnQueue)
 	}
 	return cfg, nil
 }
@@ -124,9 +134,11 @@ func build(cfg *config) (*namesvc.Server, error) {
 		return nil, err
 	}
 	scfg := namesvc.ServerConfig{
-		Service:       svc,
-		EpochInterval: cfg.epoch,
-		IOTimeout:     cfg.timeout,
+		Service:        svc,
+		EpochInterval:  cfg.epoch,
+		IOTimeout:      cfg.timeout,
+		MaxOutstanding: cfg.maxOutstanding,
+		MaxConnQueue:   cfg.maxConnQueue,
 	}
 	if !cfg.quiet {
 		scfg.Logf = func(format string, args ...any) {

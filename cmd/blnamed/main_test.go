@@ -21,6 +21,8 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"zero shards", []string{"-listen", ":0", "-shards", "0"}},
 		{"zero shard-cap", []string{"-listen", ":0", "-shard-cap", "0"}},
 		{"negative journal-limit", []string{"-listen", ":0", "-journal-limit", "-1"}},
+		{"negative max-outstanding", []string{"-listen", ":0", "-max-outstanding", "-1"}},
+		{"negative max-conn-queue", []string{"-listen", ":0", "-max-conn-queue", "-1"}},
 	}
 	for _, tc := range cases {
 		if _, err := parseFlags(tc.args); err == nil {
@@ -32,13 +34,15 @@ func TestParseFlagsValidation(t *testing.T) {
 	}
 	cfg, err := parseFlags([]string{"-listen", "127.0.0.1:0", "-shards", "4", "-shard-cap", "64",
 		"-seed", "9", "-epoch", "1ms", "-runner", "transport", "-quiet",
-		"-journal", "-journal-limit", "512"})
+		"-journal", "-journal-limit", "512",
+		"-max-outstanding", "128", "-max-conn-queue", "65536"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.shards != 4 || cfg.shardCap != 64 || cfg.seed != 9 ||
 		cfg.epoch != time.Millisecond || !cfg.quiet ||
-		!cfg.journal || cfg.journalLimit != 512 {
+		!cfg.journal || cfg.journalLimit != 512 ||
+		cfg.maxOutstanding != 128 || cfg.maxConnQueue != 65536 {
 		t.Fatalf("cfg = %+v", cfg)
 	}
 	if cfg.runner.Name() != (namesvc.TransportRunner{}).Name() {

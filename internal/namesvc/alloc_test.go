@@ -1,7 +1,10 @@
 package namesvc
 
 import (
+	"net"
 	"testing"
+
+	"ballsintoleaves/internal/wire"
 )
 
 // TestEpochZeroAllocs guards the service's allocation-free steady state, in
@@ -47,6 +50,118 @@ func TestEpochZeroAllocs(t *testing.T) {
 	cycle()
 	if allocs := testing.AllocsPerRun(5, cycle); allocs != 0 {
 		t.Errorf("steady-state churn cycle allocated %v objects, want 0", allocs)
+	}
+}
+
+// TestClientSteadyStateZeroAllocs guards the client's allocation-free fast
+// path: once the pending map, the frame scratch, and the read buffer are
+// warm, a full acquire→grant→release→ack round trip through Acquire /
+// Release / Flush and the read loop performs zero heap allocations on the
+// client. The peer is a minimal in-process responder that answers from
+// reused buffers, so the measurement (which is process-wide) isolates the
+// client.
+func TestClientSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var w wire.Writer
+		var out, rbuf []byte
+		reply := func() bool {
+			out = wire.AppendFrame(out[:0], w.Bytes())
+			_, err := conn.Write(out)
+			return err == nil
+		}
+		body, err := wire.ReadFrame(conn, rbuf, svcMaxFrame)
+		if err != nil || decodeSvcHello(body) != nil {
+			return
+		}
+		rbuf = body
+		w.Reset()
+		appendWelcome(&w, 1, 16)
+		if !reply() {
+			return
+		}
+		for {
+			body, err := wire.ReadFrame(conn, rbuf, svcMaxFrame)
+			if err != nil {
+				return
+			}
+			rbuf = body
+			switch body[0] {
+			case opAcquire:
+				tag, _, err := decodeAcquire(body)
+				if err != nil {
+					return
+				}
+				w.Reset()
+				appendGrant(&w, tag, Grant{Name: 3, Epoch: 1})
+			case opRelease:
+				tag, _, err := decodeRelease(body)
+				if err != nil {
+					return
+				}
+				w.Reset()
+				appendReleased(&w, tag)
+			default:
+				return
+			}
+			if !reply() {
+				return
+			}
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	granted := make(chan int, 1)
+	released := make(chan error, 1)
+	onGrant := func(g Grant, err error) {
+		if err != nil {
+			granted <- -1
+			return
+		}
+		granted <- g.Name
+	}
+	onRelease := func(err error) { released <- err }
+	roundTrip := func() {
+		if err := c.Acquire(7, onGrant); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if name := <-granted; name != 3 {
+			t.Fatalf("granted %d, want 3", name)
+		}
+		if err := c.Release(3, onRelease); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-released; err != nil {
+			t.Fatal(err)
+		}
+	}
+	roundTrip()
+	roundTrip()
+	if allocs := testing.AllocsPerRun(50, roundTrip); allocs != 0 {
+		t.Errorf("client round trip allocated %v objects, want 0", allocs)
 	}
 }
 

@@ -49,7 +49,10 @@ func (c *ClientConfig) normalize() {
 	}
 }
 
-// pendingOp is one in-flight request awaiting its response frame.
+// pendingOp is one in-flight request awaiting its response frame. It is
+// stored by value in the pending map, whose buckets are recycled across
+// deletes — so registering and completing operations leaves no per-op
+// garbage on the steady state (TestClientSteadyStateZeroAllocs).
 type pendingOp struct {
 	onGrant   func(Grant, error)
 	onRelease func(error)
@@ -82,7 +85,8 @@ type Client struct {
 
 	wmu   sync.Mutex
 	bw    *bufio.Writer
-	w     wire.Writer
+	w     wire.Writer // frame-body scratch, guarded by wmu
+	fbuf  []byte      // framed-bytes scratch, guarded by wmu
 	dirty bool
 	werr  error
 
@@ -107,7 +111,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	c := &Client{
 		conn:     conn,
 		cfg:      cfg,
-		bw:       bufio.NewWriter(conn),
+		bw:       bufio.NewWriterSize(conn, 32<<10),
 		pending:  make(map[uint64]pendingOp),
 		closed:   make(chan struct{}),
 		readDone: make(chan struct{}),
@@ -123,7 +127,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("namesvc: hello: %w", err)
 	}
-	br := bufio.NewReader(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
 	conn.SetReadDeadline(time.Now().Add(cfg.Timeout))
 	body, err := wire.ReadFrame(br, nil, svcMaxFrame)
 	if err != nil {
@@ -162,25 +166,51 @@ func (c *Client) Close() error {
 func (c *Client) Wait() { <-c.readDone }
 
 // Acquire requests a name for the given client ID; cb receives the grant
-// (or the reject/connection error) on the read goroutine.
+// (or the reject/connection error) on the read goroutine. The fast path is
+// allocation-free: the frame is encoded straight into the connection's
+// write buffer, with no per-op closure or callback box.
 func (c *Client) Acquire(client uint64, cb func(Grant, error)) error {
 	if client == 0 {
 		return fmt.Errorf("namesvc: client ID must be non-zero")
 	}
-	tag := c.nextTag.Add(1)
-	return c.send(tag, pendingOp{onGrant: cb}, func(w *wire.Writer) { appendAcquire(w, tag, client) })
+	return c.send(pendingOp{onGrant: cb}, opAcquire, client)
 }
 
 // Release returns a held name; cb receives nil on success.
 func (c *Client) Release(name int, cb func(error)) error {
-	tag := c.nextTag.Add(1)
-	return c.send(tag, pendingOp{onRelease: cb}, func(w *wire.Writer) { appendRelease(w, tag, name) })
+	return c.send(pendingOp{onRelease: cb}, opRelease, uint64(name))
 }
 
 // Stats requests the server's counters.
 func (c *Client) Stats(cb func(Stats, error)) error {
+	return c.send(pendingOp{onStats: cb}, opStats, 0)
+}
+
+// send registers the pending op, then encodes and buffers its request
+// frame. The op is selected by wire tag rather than a fill closure so the
+// per-op path allocates nothing; registration comes first so a response
+// racing the flusher always finds its callback.
+func (c *Client) send(p pendingOp, op byte, arg uint64) error {
 	tag := c.nextTag.Add(1)
-	return c.send(tag, pendingOp{onStats: cb}, func(w *wire.Writer) { appendStatsReq(w, tag) })
+	if err := c.register(tag, p); err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.werr != nil {
+		c.dropPending(tag)
+		return c.werr
+	}
+	c.w.Reset()
+	switch op {
+	case opAcquire:
+		appendAcquire(&c.w, tag, arg)
+	case opRelease:
+		appendRelease(&c.w, tag, int(arg))
+	case opStats:
+		appendStatsReq(&c.w, tag)
+	}
+	return c.writeLocked(tag)
 }
 
 // AcquireSync acquires and waits for the grant.
@@ -229,9 +259,9 @@ func (c *Client) StatsSync() (Stats, error) {
 	return r.st, r.err
 }
 
-// send registers the pending op, then buffers the frame. Registration comes
-// first so a response racing the flusher always finds its callback.
-func (c *Client) send(tag uint64, op pendingOp, fill func(*wire.Writer)) error {
+// register records the pending op before its frame is buffered, so a
+// response racing the flusher always finds its callback.
+func (c *Client) register(tag uint64, op pendingOp) error {
 	c.mu.Lock()
 	if c.rerr != nil {
 		err := c.rerr
@@ -240,17 +270,23 @@ func (c *Client) send(tag uint64, op pendingOp, fill func(*wire.Writer)) error {
 	}
 	c.pending[tag] = op
 	c.mu.Unlock()
+	return nil
+}
 
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if c.werr != nil {
-		c.dropPending(tag)
-		return c.werr
+// writeLocked frames c.w's bytes into the write buffer; c.wmu must be held
+// and c.werr already checked. On a write error the registration is dropped.
+// The frame is staged in the client's reusable buffer rather than through
+// wire.WriteFrame, whose stack header would escape into a per-op heap
+// allocation; the steady-state send path touches no memory it does not own.
+func (c *Client) writeLocked(tag uint64) error {
+	c.fbuf = wire.AppendFrame(c.fbuf[:0], c.w.Bytes())
+	if c.bw.Available() < len(c.fbuf) {
+		// This write will spill to the socket; deadlines are absolute and
+		// the one armed by the last flush may long since have expired on
+		// an idle connection, so re-arm before the implicit flush.
+		c.conn.SetWriteDeadline(time.Now().Add(c.cfg.Timeout))
 	}
-	c.w.Reset()
-	fill(&c.w)
-	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.Timeout))
-	if err := wire.WriteFrame(c.bw, c.w.Bytes()); err != nil {
+	if _, err := c.bw.Write(c.fbuf); err != nil {
 		c.werr = err
 		c.dropPending(tag)
 		return err
@@ -301,9 +337,21 @@ func (c *Client) flushLoop() {
 
 // readLoop dispatches response frames to their callbacks; on any error it
 // fails every pending operation.
+//
+// It is also the client's write clock: before blocking for the next
+// response it flushes the write buffer. Callbacks issue follow-up
+// operations (the closed-loop chaining pattern), so the moment the response
+// stream runs dry — every callback of the burst has run — is exactly when
+// the next generation of requests is complete and should hit the wire as
+// one batch. Pipelined request/response traffic therefore self-clocks,
+// with the FlushInterval ticker only backstopping sends issued outside any
+// callback.
 func (c *Client) readLoop(br *bufio.Reader, rbuf []byte) {
 	defer close(c.readDone)
 	for {
+		if br.Buffered() == 0 {
+			c.Flush() // a write error surfaces through the read loop too
+		}
 		body, err := wire.ReadFrame(br, rbuf, svcMaxFrame)
 		if err != nil {
 			c.failAll(fmt.Errorf("%w: %v", ErrClientClosed, err))

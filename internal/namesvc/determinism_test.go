@@ -17,9 +17,10 @@ type traceOp struct {
 	shard  int
 }
 
-// apply replays a trace. Acquire request IDs are assigned by the service's
-// global counter, so two instances fed the same trace issue the same IDs.
-// reqs maps the trace's acquire order to the returned IDs for cancels.
+// apply replays a trace. Acquire request IDs are per-shard sequences
+// assigned in arrival order, so two instances fed the same trace issue the
+// same IDs. reqs maps the trace's acquire order to the returned IDs for
+// cancels.
 func applyTrace(t *testing.T, svc *Service, trace []traceOp) {
 	t.Helper()
 	reqByClient := map[uint64]uint64{}

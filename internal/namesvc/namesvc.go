@@ -19,6 +19,11 @@
 // The namespace is partitioned into Shards independent ledgers of ShardCap
 // names each, with a deterministic client → shard router, so epochs on
 // different shards run concurrently and throughput scales with shards.
+// Ingestion is batched to match: AcquireBatch and ReleaseBatch submit a
+// whole bucket of decoded operations to one shard under a single lock
+// acquisition, and per-shard request-ID sequences make batched submission
+// byte-identical — grants, digests, journals — to one-at-a-time submission
+// of the same per-shard order (TestBatchedSubmissionMatchesPerOp).
 //
 // Every grant and release is folded into a per-shard rolling digest (and an
 // optional full journal), making executions auditable and replayable: a
@@ -32,8 +37,8 @@ package namesvc
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"ballsintoleaves/internal/proto"
 	"ballsintoleaves/internal/rng"
@@ -114,11 +119,40 @@ type Grant struct {
 	Name   int
 }
 
+// GrantNotifier receives grants for its acquire requests. GrantNotify is
+// invoked with the grant during CloseEpoch — under the shard lock, so it
+// must be fast, must not block, and must not call back into the Service.
+// Its return value reports whether the recipient still exists: returning
+// false makes the service absorb the grant as a crash, releasing the name
+// immediately (journaled as an assign + release in the same epoch).
+//
+// An interface rather than a func so batch submitters (Server connections)
+// can pass pooled per-request state without allocating a closure per op.
+type GrantNotifier interface {
+	GrantNotify(Grant) bool
+}
+
+// notifyFunc adapts a plain notify func to GrantNotifier. Func values are
+// pointer-shaped, so the interface conversion does not allocate.
+type notifyFunc func(Grant) bool
+
+// GrantNotify implements GrantNotifier.
+func (f notifyFunc) GrantNotify(g Grant) bool { return f(g) }
+
+// enqueueAware is the optional GrantNotifier extension for batch submitters
+// that need each request's ID: Enqueued is invoked under the shard lock as
+// the request joins the queue, before any epoch can grant it — so the owner
+// can record the ID without racing the grant (or the recycling of its own
+// per-request state after it).
+type enqueueAware interface {
+	Enqueued(id uint64)
+}
+
 // request is one queued acquire.
 type request struct {
 	id        uint64
 	client    uint64
-	notify    func(Grant) bool
+	sink      GrantNotifier
 	cancelled bool
 }
 
@@ -138,6 +172,7 @@ type shard struct {
 	pending []*request
 	index   map[uint64]*request // reqID -> queued request
 	queued  int                 // uncancelled entries in pending
+	nextID  uint64              // per-shard request ID counter
 	seed    uint64              // per-shard seed root for epoch derivation
 	runner  Runner              // this shard's private epoch engine
 
@@ -155,9 +190,8 @@ type shard struct {
 // pending queues, and the epoch loop. It is safe for concurrent use; each
 // shard is an independent lock domain.
 type Service struct {
-	cfg     Config
-	shards  []*shard
-	nextReq atomic.Uint64
+	cfg    Config
+	shards []*shard
 }
 
 // New builds a Service.
@@ -210,56 +244,115 @@ func (s *Service) globalName(shardIdx, local int) int {
 	return shardIdx*s.cfg.ShardCap + local
 }
 
-// Acquire enqueues one acquire request for the client's shard and returns
-// its request ID (the renaming label it will carry into its epoch). The
-// request completes when a later CloseEpoch on that shard assigns it a name.
-//
-// notify, when non-nil, is invoked with the grant during CloseEpoch — under
-// the shard lock, so it must be fast, must not block, and must not call back
-// into the Service. Its return value reports whether the recipient still
-// exists: returning false makes the service absorb the grant as a crash,
-// releasing the name immediately (journaled as an assign + release in the
-// same epoch). A nil notify accepts every grant; callers then collect grants
-// from CloseEpoch's return value.
-func (s *Service) Acquire(client uint64, notify func(Grant) bool) (uint64, error) {
-	if client == 0 {
-		return 0, fmt.Errorf("namesvc: client ID must be non-zero")
-	}
-	id := s.nextReq.Add(1)
-	sh := s.shards[s.Shard(client)]
-	sh.mu.Lock()
+// enqueueLocked queues one acquire on the shard, assigning the next
+// per-shard request ID; sh.mu must be held. Request IDs are per-shard (not
+// global), so a shard's ID sequence — and therefore its ledger digest — is
+// a pure function of the shard's own arrival order, no matter how arrivals
+// to other shards interleave or whether they were submitted one at a time
+// or in batches (TestBatchedSubmissionMatchesPerOp pins this).
+func (sh *shard) enqueueLocked(client uint64, sink GrantNotifier) uint64 {
+	sh.nextID++
+	id := sh.nextID
 	var req *request
 	if n := len(sh.freeReq); n > 0 {
 		req = sh.freeReq[n-1]
 		sh.freeReq = sh.freeReq[:n-1]
-		*req = request{id: id, client: client, notify: notify}
+		*req = request{id: id, client: client, sink: sink}
 	} else {
-		req = &request{id: id, client: client, notify: notify}
+		req = &request{id: id, client: client, sink: sink}
 	}
 	sh.pending = append(sh.pending, req)
 	sh.index[id] = req
 	sh.queued++
 	sh.acquires++
+	if ea, ok := sink.(enqueueAware); ok {
+		ea.Enqueued(id)
+	}
+	return id
+}
+
+// Acquire enqueues one acquire request for the client's shard and returns
+// its request ID (the renaming label it will carry into its epoch). The
+// request completes when a later CloseEpoch on that shard assigns it a name.
+//
+// notify, when non-nil, follows the GrantNotifier contract: invoked with
+// the grant during CloseEpoch under the shard lock; returning false makes
+// the service absorb the grant as a crash. A nil notify accepts every
+// grant; callers then collect grants from CloseEpoch's return value.
+func (s *Service) Acquire(client uint64, notify func(Grant) bool) (uint64, error) {
+	if client == 0 {
+		return 0, fmt.Errorf("namesvc: client ID must be non-zero")
+	}
+	var sink GrantNotifier
+	if notify != nil {
+		sink = notifyFunc(notify)
+	}
+	sh := s.shards[s.Shard(client)]
+	sh.mu.Lock()
+	id := sh.enqueueLocked(client, sink)
 	sh.mu.Unlock()
 	return id, nil
 }
 
+// AcquireOp is one element of an AcquireBatch submission.
+type AcquireOp struct {
+	// Client is the acquiring client; must be non-zero and must route to
+	// the batch's shard (Service.Shard).
+	Client uint64
+	// Notify receives the grant (see Acquire); nil accepts every grant.
+	Notify GrantNotifier
+}
+
+// AcquireBatch enqueues a bucket of acquire requests on one shard under a
+// single lock acquisition — the amortized counterpart of calling Acquire
+// once per op. Callers that ingest pipelined traffic (Server connections)
+// bucket decoded acquires by Service.Shard and submit each bucket whole.
+//
+// The request IDs are appended to ids (which may be nil) and returned, in
+// op order; the per-shard ID sequence, the queue order, and therefore every
+// grant and digest are identical to submitting the same ops one at a time
+// in the same per-shard order. It errors — enqueueing nothing — if any op
+// has a zero client or routes to a different shard.
+func (s *Service) AcquireBatch(shardIdx int, ops []AcquireOp, ids []uint64) ([]uint64, error) {
+	if shardIdx < 0 || shardIdx >= len(s.shards) {
+		return ids, fmt.Errorf("namesvc: shard %d outside 0..%d", shardIdx, len(s.shards)-1)
+	}
+	for i, op := range ops {
+		if op.Client == 0 {
+			return ids, fmt.Errorf("namesvc: batch op %d: client ID must be non-zero", i)
+		}
+		if s.Shard(op.Client) != shardIdx {
+			return ids, fmt.Errorf("namesvc: batch op %d: client %d routes to shard %d, not %d",
+				i, op.Client, s.Shard(op.Client), shardIdx)
+		}
+	}
+	sh := s.shards[shardIdx]
+	sh.mu.Lock()
+	for _, op := range ops {
+		ids = append(ids, sh.enqueueLocked(op.Client, op.Notify))
+	}
+	sh.mu.Unlock()
+	return ids, nil
+}
+
 // Cancel revokes a still-queued acquire request. It reports whether the
 // request was revoked before being granted; false means the request is
-// unknown — never issued, already granted (release the name instead), or
-// already cancelled. A cancelled request never reaches a renaming batch.
+// unknown — never issued, already granted (release the name instead),
+// already cancelled, or not this client's (request IDs are per-shard
+// sequences, so the ID alone does not identify the requester). A cancelled
+// request never reaches a renaming batch.
 func (s *Service) Cancel(client, reqID uint64) bool {
 	sh := s.shards[s.Shard(client)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	req, ok := sh.index[reqID]
-	if !ok {
+	if !ok || req.client != client {
 		return false
 	}
 	req.cancelled = true
-	// Drop the caller's closure now (it can pin a whole connection's state);
+	// Drop the caller's sink now (it can pin a whole connection's state);
 	// the struct itself is recycled by the next CloseEpoch's filter pass.
-	req.notify = nil
+	req.sink = nil
 	delete(sh.index, reqID)
 	sh.queued--
 	return true
@@ -277,6 +370,42 @@ func (s *Service) Release(client uint64, name int) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return sh.led.release(sh.led.epoch, client, local)
+}
+
+// ReleaseOp is one element of a ReleaseBatch submission.
+type ReleaseOp struct {
+	// Client is the holder releasing the name.
+	Client uint64
+	// Name is the held global name; must belong to the batch's shard
+	// (Service.ShardOfName).
+	Name int
+}
+
+// ReleaseBatch returns a bucket of held names to one shard's free pool
+// under a single lock acquisition — the amortized counterpart of calling
+// Release once per op. Each op's outcome is appended to errs (which may be
+// nil) and returned, nil for success, in op order; an op that fails (name
+// outside the shard, not held, held by someone else) does not affect the
+// others. The ledger events are identical to releasing the same names one
+// at a time in the same per-shard order. The batch-level error reports only
+// an out-of-range shard index.
+func (s *Service) ReleaseBatch(shardIdx int, ops []ReleaseOp, errs []error) ([]error, error) {
+	if shardIdx < 0 || shardIdx >= len(s.shards) {
+		return errs, fmt.Errorf("namesvc: shard %d outside 0..%d", shardIdx, len(s.shards)-1)
+	}
+	sh := s.shards[shardIdx]
+	lo, hi := shardIdx*s.cfg.ShardCap, (shardIdx+1)*s.cfg.ShardCap
+	sh.mu.Lock()
+	for _, op := range ops {
+		if op.Name <= lo || op.Name > hi {
+			errs = append(errs, fmt.Errorf("namesvc: name %d outside shard %d's %d..%d",
+				op.Name, shardIdx, lo+1, hi))
+			continue
+		}
+		errs = append(errs, sh.led.release(sh.led.epoch, op.Client, op.Name-lo))
+	}
+	sh.mu.Unlock()
+	return errs, nil
 }
 
 // Pending returns the number of queued (uncancelled) requests on a shard.
@@ -346,7 +475,7 @@ func (s *Service) CloseEpoch(shardIdx int) ([]Grant, error) {
 	kept := sh.pending[:0]
 	for _, r := range sh.pending {
 		if r.cancelled {
-			r.notify = nil
+			r.sink = nil
 			sh.freeReq = append(sh.freeReq, r)
 			continue
 		}
@@ -396,8 +525,8 @@ func (s *Service) CloseEpoch(shardIdx int) ([]Grant, error) {
 			Epoch:  epoch,
 			Name:   s.globalName(shardIdx, local),
 		}
-		accepted := req.notify == nil || req.notify(g)
-		req.notify = nil
+		accepted := req.sink == nil || req.sink.GrantNotify(g)
+		req.sink = nil
 		sh.freeReq = append(sh.freeReq, req)
 		if !accepted {
 			// The requester is gone — a crash between acquire and grant.
@@ -417,18 +546,63 @@ func (s *Service) CloseEpoch(shardIdx int) ([]Grant, error) {
 	return grants, nil
 }
 
-// CloseEpochs runs CloseEpoch on every shard in order and concatenates the
-// grants — the single-threaded convenience for tests and examples.
+// CloseEpochs runs CloseEpoch on every shard and concatenates the grants in
+// shard order — the convenience driver for tests, examples, and embedders
+// without their own per-shard epoch loops. Shards are fanned out across a
+// worker pool bounded by GOMAXPROCS, so concurrent shard epochs overlap on
+// multi-core; every shard runs even if another errors, and the result — the
+// shard-ordered grant concatenation and the lowest-shard error, if any — is
+// identical to closing each shard sequentially. The returned grants are
+// copies, valid indefinitely.
 func (s *Service) CloseEpochs() ([]Grant, error) {
-	var all []Grant
-	for i := range s.shards {
-		grants, err := s.CloseEpoch(i)
-		if err != nil {
-			return all, err
+	workers := min(len(s.shards), runtime.GOMAXPROCS(0))
+	if workers <= 1 {
+		var all []Grant
+		var firstErr error
+		for i := range s.shards {
+			grants, err := s.CloseEpoch(i)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			all = append(all, grants...)
 		}
-		all = append(all, grants...)
+		return all, firstErr
 	}
-	return all, nil
+	perShard := make([][]Grant, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var next sync.Mutex
+	cursor := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				next.Lock()
+				i := cursor
+				cursor++
+				next.Unlock()
+				if i >= len(s.shards) {
+					return
+				}
+				grants, err := s.CloseEpoch(i)
+				errs[i] = err
+				// CloseEpoch returns the shard's reusable scratch; copy
+				// before any later epoch on the shard can overwrite it.
+				perShard[i] = append([]Grant(nil), grants...)
+			}
+		}()
+	}
+	wg.Wait()
+	var all []Grant
+	var firstErr error
+	for i := range s.shards {
+		all = append(all, perShard[i]...)
+		if errs[i] != nil && firstErr == nil {
+			firstErr = errs[i]
+		}
+	}
+	return all, firstErr
 }
 
 // checkPermutation verifies a runner returned each rank 1..n exactly once.

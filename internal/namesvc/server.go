@@ -6,11 +6,28 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ballsintoleaves/internal/wire"
 )
+
+// connReadBufSize is each connection's read buffer: large enough that one
+// kernel read delivers a deep pipelined burst for the ingestion loop to
+// drain in a single pass.
+const connReadBufSize = 64 << 10
+
+// maxIngestBurst caps the frames decoded per ingestion pass, bounding the
+// per-connection bucket scratch and the latency of the first op in a burst.
+const maxIngestBurst = 512
+
+// maxStagedGrants forces a delivery pass mid-drain once this many grants
+// are staged, bounding both the delivery scratch and the latency of a
+// drain's first epoch when a deep backlog lets the drain close many epochs
+// back to back.
+const maxStagedGrants = 4096
 
 // ServerConfig parameterizes a Server.
 type ServerConfig struct {
@@ -67,34 +84,66 @@ func (cfg *ServerConfig) normalize() error {
 // that dies with queued acquires cancels them (or lets their grants be
 // absorbed), and every name the connection held is released, so names never
 // leak to dead clients.
+//
+// The front end is batched end to end. Ingestion: each connection's handler
+// drains every complete pipelined frame its read buffer already holds,
+// buckets the burst's acquires and releases by shard, and submits each
+// bucket through Service.AcquireBatch / Service.ReleaseBatch — one shard
+// lock acquisition and one epoch-loop kick per shard per burst instead of
+// one per request. Delivery: grants produced by a shard's CloseEpoch are
+// staged per destination connection and committed after the epoch — all of
+// one connection's grant frames encoded contiguously and appended to its
+// outbox under a single lock with a single writer wakeup per connection per
+// epoch.
 type Server struct {
-	cfg   ServerConfig
-	svc   *Service
-	kicks []chan struct{}
-	stop  chan struct{}
-	once  sync.Once
-	wg    sync.WaitGroup
+	cfg     ServerConfig
+	svc     *Service
+	workers int             // epoch loops; shard s is driven by worker s%workers
+	kicks   []chan struct{} // one binary semaphore per epoch worker
+	deliver []shardDelivery
+	stop    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 }
 
-// NewServer builds a Server and starts its per-shard epoch loops.
+// NewServer builds a Server and starts its epoch loops: one per shard when
+// cores allow (or when a batching window is configured, which is per-shard
+// state), otherwise a bounded pool of GOMAXPROCS epoch workers each owning
+// a stripe of shards — on machines with fewer cores than shards, one wakeup
+// then drains several shards, instead of paying a goroutine handoff per
+// shard per burst for parallelism the hardware cannot deliver.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	s := &Server{
-		cfg:   cfg,
-		svc:   cfg.Service,
-		kicks: make([]chan struct{}, cfg.Service.Shards()),
-		stop:  make(chan struct{}),
-		conns: make(map[net.Conn]struct{}),
+	shards := cfg.Service.Shards()
+	workers := runtime.GOMAXPROCS(0)
+	if cfg.EpochInterval > 0 || workers > shards {
+		workers = shards
 	}
-	for i := range s.kicks {
-		s.kicks[i] = make(chan struct{}, 1)
+	s := &Server{
+		cfg:     cfg,
+		svc:     cfg.Service,
+		workers: workers,
+		kicks:   make([]chan struct{}, workers),
+		deliver: make([]shardDelivery, shards),
+		stop:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for i := range s.deliver {
+		s.deliver[i].byConn = make(map[*svcConn]int32)
+	}
+	for w := range s.kicks {
+		s.kicks[w] = make(chan struct{}, 1)
 		s.wg.Add(1)
-		go s.shardLoop(i)
+		if workers == shards {
+			go s.shardLoop(w)
+		} else {
+			go s.epochWorker(w)
+		}
 	}
 	return s, nil
 }
@@ -147,11 +196,11 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// kick nudges a shard's epoch loop; the channel is a binary semaphore, so
-// concurrent kicks coalesce.
+// kick nudges the epoch loop driving a shard; the channel is a binary
+// semaphore, so concurrent kicks coalesce.
 func (s *Server) kick(shard int) {
 	select {
-	case s.kicks[shard] <- struct{}{}:
+	case s.kicks[shard%s.workers] <- struct{}{}:
 	default:
 	}
 }
@@ -162,7 +211,9 @@ func (s *Server) kick(shard int) {
 // no longer grow (BatchFull) instead of waiting the timer out — under
 // bursts the window costs nothing, while trickles still coalesce. It
 // drains — repeated CloseEpoch calls — because requests that queued during
-// an epoch's renaming run form the next batch without another kick.
+// an epoch's renaming run form the next batch without another kick. After
+// every CloseEpoch it delivers the staged grants connection by connection
+// (deliverEpoch), outside the shard lock.
 func (s *Server) shardLoop(shard int) {
 	defer s.wg.Done()
 	var timer *time.Timer
@@ -197,27 +248,159 @@ func (s *Server) shardLoop(shard int) {
 				}
 			}
 		}
-		for {
-			grants, err := s.svc.CloseEpoch(shard)
-			if err != nil {
-				// The batch stays queued; log and wait for the next kick
-				// rather than spinning on a persistent failure.
-				s.cfg.Logf("shard %d: epoch failed: %v", shard, err)
-				break
-			}
-			if len(grants) > 0 {
+		s.drainShard(shard)
+	}
+}
+
+// epochWorker drives the stripe of shards worker w owns (w, w+workers, …)
+// when shards outnumber cores: one wakeup drains every owned shard in turn,
+// so a burst touching several shards costs one goroutine handoff, not one
+// per shard. Checking a quiet shard is one short lock acquisition, so the
+// scan costs nothing compared to the epochs it batches.
+func (s *Server) epochWorker(w int) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.kicks[w]:
+		}
+		for shard := w; shard < s.svc.Shards(); shard += s.workers {
+			s.drainShard(shard)
+		}
+	}
+}
+
+// drainShard closes epochs on one shard until nothing more can be
+// assigned, then delivers every staged grant in one pass. Coalescing the
+// delivery across the whole drain — not just one epoch — is safe because
+// the drain is self-limiting: it ends once the shard's queue is empty, and
+// the queue cannot refill off this shard's own grants until they are
+// delivered; it buys one outbox lock and one writer wakeup per connection
+// per drain, no matter how many epochs the drain closed. A deep backlog
+// (many epochs' worth queued up front) is delivered in maxStagedGrants
+// slices instead, so the first epoch's grants never wait on the whole
+// backlog.
+func (s *Server) drainShard(shard int) {
+	defer s.deliverEpochs(shard)
+	for {
+		if len(s.deliver[shard].staged) >= maxStagedGrants {
+			s.deliverEpochs(shard)
+		}
+		// Yield once before closing: a kick often races the rest of the
+		// kicker's burst (and other connections' bursts) through
+		// ingestion, and on a loaded machine one scheduler pass lets
+		// those arrivals join this epoch instead of fragmenting into
+		// the next — micro-batching without a timer. Idle systems pay
+		// nanoseconds.
+		runtime.Gosched()
+		grants, err := s.svc.CloseEpoch(shard)
+		if err != nil {
+			// The batch stays queued; log and wait for the next kick
+			// rather than spinning on a persistent failure.
+			s.cfg.Logf("shard %d: epoch failed: %v", shard, err)
+			return
+		}
+		if len(grants) > 0 {
+			continue
+		}
+		// No accepted grants — but an epoch may still have run with
+		// every grant absorbed (the whole batch's connections died),
+		// leaving later arrivals queued with nobody left to kick.
+		// Keep draining while another epoch could assign; stop when
+		// the queue is empty or the namespace is exhausted (a release
+		// will kick us).
+		if !s.svc.EpochRunnable(shard) {
+			return
+		}
+	}
+}
+
+// stagedGrant is one accepted grant awaiting delivery, linked to the next
+// staged grant of the same connection.
+type stagedGrant struct {
+	req  *connReq
+	g    Grant
+	next int32
+}
+
+// grantRun is one connection's chain of staged grants within an epoch.
+type grantRun struct {
+	conn       *svcConn
+	head, tail int32
+}
+
+// shardDelivery is one shard's grant-coalescing scratch, owned by that
+// shard's epoch loop. During CloseEpoch the grant notifies stage accepted
+// grants here (under the shard lock, without touching any connection lock);
+// deliverEpoch then walks the per-connection runs and commits each one —
+// the whole epoch's frames for a connection encoded contiguously, appended
+// to its outbox under one lock, with one writer wakeup. Everything is
+// reused epoch to epoch.
+type shardDelivery struct {
+	staged []stagedGrant
+	runs   []grantRun
+	byConn map[*svcConn]int32 // conn -> index into runs
+	w      wire.Writer        // frame-body encode scratch
+	buf    []byte             // contiguous frames for the run being built
+	rel    []Grant            // grants to release (recipient gone mid-flight)
+}
+
+// stage links one accepted grant onto its connection's run.
+func (d *shardDelivery) stage(r *connReq, g Grant) {
+	idx := int32(len(d.staged))
+	d.staged = append(d.staged, stagedGrant{req: r, g: g, next: -1})
+	if ri, ok := d.byConn[r.c]; ok {
+		d.staged[d.runs[ri].tail].next = idx
+		d.runs[ri].tail = idx
+	} else {
+		d.byConn[r.c] = int32(len(d.runs))
+		d.runs = append(d.runs, grantRun{conn: r.c, head: idx, tail: idx})
+	}
+}
+
+// deliverEpochs commits the staged grants of a drain cycle's epochs, one
+// connection at a time: frames are encoded outside any lock, then
+// commitGrants appends them to the connection's outbox and updates its
+// held/outstanding bookkeeping under a single lock with a single
+// cond-signal. Grants whose connection vanished between the in-epoch
+// accept and this commit are released here — the name returns to the pool
+// having never been observable on the wire.
+func (s *Server) deliverEpochs(shard int) {
+	d := &s.deliver[shard]
+	if len(d.staged) == 0 {
+		return
+	}
+	released := false
+	for i := range d.runs {
+		run := &d.runs[i]
+		d.buf = d.buf[:0]
+		for j := run.head; j >= 0; j = d.staged[j].next {
+			sg := &d.staged[j]
+			d.w.Reset()
+			appendGrant(&d.w, sg.req.tag, sg.g)
+			d.buf = wire.AppendFrame(d.buf, d.w.Bytes())
+		}
+		d.rel = run.conn.commitGrants(d, run.head, d.buf, d.rel[:0])
+		for _, g := range d.rel {
+			if err := s.svc.Release(g.Client, g.Name); err != nil {
+				s.cfg.Logf("%v: releasing undeliverable grant of %d: %v",
+					run.conn.conn.RemoteAddr(), g.Name, err)
 				continue
 			}
-			// No accepted grants — but an epoch may still have run with
-			// every grant absorbed (the whole batch's connections died),
-			// leaving later arrivals queued with nobody left to kick.
-			// Keep draining while another epoch could assign; stop when
-			// the queue is empty or the namespace is exhausted (a release
-			// will kick us).
-			if !s.svc.EpochRunnable(shard) {
-				break
-			}
+			released = true
 		}
+	}
+	d.staged = d.staged[:0]
+	d.runs = d.runs[:0]
+	clear(d.byConn)
+	if released {
+		// The freed capacity may be the only thing standing between queued
+		// acquires and an exhausted shard, and the drain that delivered us
+		// here has already sampled EpochRunnable — re-kick so the epoch
+		// loop observes the returns (teardown does the same for held
+		// names).
+		s.kick(shard)
 	}
 }
 
@@ -226,69 +409,194 @@ func (s *Server) shardLoop(shard int) {
 // c.mu must never be held across a Service call.
 //
 // The outbox is a pooled double buffer: response frames are encoded
-// straight into pend (header + body, contiguous), and the writer goroutine
-// swaps pend with fly and flushes the whole batch in a single Write — one
-// syscall per drained batch, the writev pattern with the iovecs already
-// adjacent. Both buffers are reused for the connection's lifetime, so the
-// steady-state write path allocates nothing; a whole epoch's grants for
-// this connection land back-to-back in one buffer and one flush.
+// contiguously (header + body) and appended to pend in whole-burst chunks;
+// the writer goroutine swaps pend with fly and flushes the batch in a
+// single Write — one syscall per drained batch, the writev pattern with the
+// iovecs already adjacent. Both buffers are reused for the connection's
+// lifetime, so the steady-state write path allocates nothing; a whole
+// epoch's grants for this connection land back-to-back in one buffer, one
+// lock acquisition, one writer wakeup, and one flush.
 type svcConn struct {
+	srv      *Server
 	conn     net.Conn
-	maxQueue int // outbound byte cap (ServerConfig.MaxConnQueue)
+	maxQueue int         // outbound byte cap (ServerConfig.MaxConnQueue)
+	gone     atomic.Bool // mirrors dead||overflow for lock-free notify checks
 
 	mu          sync.Mutex
 	cond        *sync.Cond
 	dead        bool
-	overflow    bool        // queue cap exceeded; connection being dropped
-	pend        []byte      // frames accumulating for the writer
-	fly         []byte      // frames being flushed; swapped with pend
-	enc         wire.Writer // frame-body scratch, guarded by mu
+	overflow    bool   // queue cap exceeded; connection being dropped
+	pend        []byte // frames accumulating for the writer
+	fly         []byte // frames being flushed; swapped with pend
 	outClosed   bool
 	held        map[int]uint64 // global name -> holding client
 	outstanding map[*connReq]struct{}
+	freeReqs    []*connReq // recycled per-request state
 }
 
-// connReq tracks one in-flight acquire from registration to grant.
+// connReq tracks one in-flight acquire from registration to grant. It is
+// the request's GrantNotifier: GrantNotify runs under the shard lock at
+// epoch close and stages the grant for coalesced delivery; refusing (once
+// the connection is gone) absorbs the grant as a crash. Enqueued records
+// the service request ID under the shard lock — before any epoch can grant
+// and recycle the struct — so teardown can cancel still-queued requests.
 type connReq struct {
+	c      *svcConn
+	tag    uint64
 	client uint64
-	id     uint64 // service request ID; 0 until Acquire returns
+	id     uint64 // service request ID; 0 until enqueued
 }
 
-// queueLocked encodes one response frame into the pending buffer; c.mu must
-// be held. It reports false when the connection is already being torn down,
-// or when appending would exceed the outbound cap — in which case the
-// connection is closed here: a reader that cannot keep up with its own
-// responses is indistinguishable from a stalled one, and disconnecting it
-// hands cleanup to the ordinary crash-absorption teardown.
-func (c *svcConn) queueLocked(fill func(*wire.Writer)) bool {
-	if c.dead || c.outClosed || c.overflow {
+// GrantNotify implements GrantNotifier; it runs under the shard lock.
+func (r *connReq) GrantNotify(g Grant) bool {
+	if r.c.gone.Load() {
 		return false
 	}
-	c.enc.Reset()
-	fill(&c.enc)
-	if len(c.pend)+4+c.enc.Len() > c.maxQueue {
-		c.overflow = true
-		c.cond.Signal()
-		c.conn.Close() // fails the read loop, which runs teardown
-		return false
-	}
-	c.pend = wire.AppendFrame(c.pend, c.enc.Bytes())
-	c.cond.Signal()
+	r.c.srv.deliver[g.Shard].stage(r, g)
 	return true
 }
 
-// push is queueLocked behind the connection lock, for callers not already
-// holding it.
-func (c *svcConn) push(fill func(*wire.Writer)) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.queueLocked(fill)
+// Enqueued implements the service's enqueueAware extension.
+func (r *connReq) Enqueued(id uint64) { r.id = id }
+
+// admitLocked reports whether n more outbound bytes may join the outbox;
+// c.mu must be held. False with tripped set means this call exceeded the
+// cap and started the overflow teardown (flag, writer wakeup) — the caller
+// must close the connection after unlocking, handing cleanup to the
+// ordinary crash-absorption teardown: a reader that cannot keep up with
+// its own responses is indistinguishable from a stalled one. False with
+// tripped clear means the connection was already being torn down.
+func (c *svcConn) admitLocked(n int) (ok, tripped bool) {
+	if c.dead || c.outClosed || c.overflow {
+		return false, false
+	}
+	if len(c.pend)+n > c.maxQueue {
+		c.overflow = true
+		c.gone.Store(true)
+		c.cond.Signal()
+		return false, true
+	}
+	return true, false
 }
 
-// handle runs one connection: handshake, dispatch loop, teardown.
+// enqueue appends pre-encoded response frames (one or more, already length-
+// prefixed) to the outbox under one lock and one writer wakeup. It reports
+// false when the connection is being torn down, including the teardown
+// admitLocked starts when these frames would exceed the outbound cap.
+func (c *svcConn) enqueue(frames []byte) bool {
+	if len(frames) == 0 {
+		return true
+	}
+	c.mu.Lock()
+	ok, tripped := c.admitLocked(len(frames))
+	if !ok {
+		c.mu.Unlock()
+		if tripped {
+			c.conn.Close() // fails the read loop, which runs teardown
+		}
+		return false
+	}
+	c.pend = append(c.pend, frames...)
+	c.cond.Signal()
+	c.mu.Unlock()
+	return true
+}
+
+// commitGrants appends one epoch's worth of pre-encoded grant frames for
+// this connection and records the grants in held/outstanding, all under a
+// single lock acquisition with a single cond-signal. It returns (appended
+// to rel) the grants that can no longer be delivered — the connection died
+// or overflowed after the in-epoch accept — which the caller must release
+// back to the service.
+func (c *svcConn) commitGrants(d *shardDelivery, head int32, frames []byte, rel []Grant) []Grant {
+	c.mu.Lock()
+	ok, tripped := c.admitLocked(len(frames))
+	if !ok {
+		c.mu.Unlock()
+		if tripped {
+			c.conn.Close() // fails the read loop, which runs teardown
+		}
+		for j := head; j >= 0; j = d.staged[j].next {
+			rel = append(rel, d.staged[j].g)
+		}
+		return rel
+	}
+	for j := head; j >= 0; j = d.staged[j].next {
+		sg := &d.staged[j]
+		req := sg.req
+		delete(c.outstanding, req)
+		c.held[sg.g.Name] = sg.g.Client
+		*req = connReq{c: c}
+		c.freeReqs = append(c.freeReqs, req)
+	}
+	c.pend = append(c.pend, frames...)
+	c.cond.Signal()
+	c.mu.Unlock()
+	return rel
+}
+
+// ingest is one connection's reusable burst-decoding scratch, owned by its
+// read loop: the decoded ops of the current burst in frame order, the
+// per-shard submission buckets, and the batched response frames.
+type ingest struct {
+	frames int
+	w      wire.Writer // response-body encode scratch
+	resp   []byte      // batched response frames for this burst
+
+	acqTag []uint64 // decoded acquires, frame order
+	acqCli []uint64
+	acqReq []*connReq // registered request state; nil = rejected busy
+
+	relTag  []uint64 // decoded releases, frame order
+	relName []int
+	relCli  []uint64 // owning client per release; 0 = not held (reject)
+
+	acq    [][]AcquireOp // per-shard submission buckets
+	rel    [][]ReleaseOp
+	relIdx [][]int // burst index per bucketed release (for replies)
+	ids    []uint64
+	errs   []error
+}
+
+func newIngest(shards int) *ingest {
+	return &ingest{
+		acq:    make([][]AcquireOp, shards),
+		rel:    make([][]ReleaseOp, shards),
+		relIdx: make([][]int, shards),
+	}
+}
+
+// reset clears the per-burst state, keeping every buffer's capacity.
+func (in *ingest) reset() {
+	in.frames = 0
+	in.resp = in.resp[:0]
+	in.acqTag = in.acqTag[:0]
+	in.acqCli = in.acqCli[:0]
+	in.acqReq = in.acqReq[:0]
+	in.relTag = in.relTag[:0]
+	in.relName = in.relName[:0]
+	in.relCli = in.relCli[:0]
+	for i := range in.acq {
+		in.acq[i] = in.acq[i][:0]
+		in.rel[i] = in.rel[i][:0]
+		in.relIdx[i] = in.relIdx[i][:0]
+	}
+}
+
+// pushResp appends the frame just encoded in in.w to the burst's response
+// buffer.
+func (in *ingest) pushResp() {
+	in.resp = wire.AppendFrame(in.resp, in.w.Bytes())
+}
+
+// handle runs one connection: handshake, then the batched ingestion loop —
+// block for one frame, drain every complete pipelined frame behind it,
+// submit the burst's shard buckets, repeat. Teardown absorbs whatever the
+// connection still held.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	c := &svcConn{
+		srv:         s,
 		conn:        conn,
 		maxQueue:    s.cfg.MaxConnQueue,
 		held:        make(map[int]uint64),
@@ -300,8 +608,9 @@ func (s *Server) handle(conn net.Conn) {
 	s.wg.Add(1)
 	go s.writeLoop(c)
 
-	br := bufio.NewReader(conn)
+	br := bufio.NewReaderSize(conn, connReadBufSize)
 	var rbuf []byte
+	in := newIngest(s.svc.Shards())
 
 	// Handshake: hello in, welcome out.
 	conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
@@ -315,7 +624,13 @@ func (s *Server) handle(conn net.Conn) {
 		s.cfg.Logf("%v: rejected: %v", conn.RemoteAddr(), err)
 		return
 	}
-	c.push(func(w *wire.Writer) { appendWelcome(w, s.svc.Shards(), s.svc.ShardCap()) })
+	in.w.Reset()
+	appendWelcome(&in.w, s.svc.Shards(), s.svc.ShardCap())
+	in.pushResp()
+	if !c.enqueue(in.resp) {
+		return
+	}
+	in.reset()
 	conn.SetReadDeadline(time.Time{})
 
 	for {
@@ -327,111 +642,221 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		rbuf = body
-		op := byte(0)
-		if len(body) > 0 {
-			op = body[0]
+		fatal := s.ingestFrame(c, in, body)
+		for !fatal && in.frames < maxIngestBurst {
+			more, ok, err := wire.ReadFrameBuffered(br, rbuf, svcMaxFrame)
+			if err != nil {
+				s.cfg.Logf("%v: read: %v (closing connection)", conn.RemoteAddr(), err)
+				fatal = true
+				break
+			}
+			if !ok {
+				break
+			}
+			rbuf = more
+			fatal = s.ingestFrame(c, in, more)
 		}
-		switch op {
-		case opAcquire:
-			tag, client, err := decodeAcquire(body)
-			if err != nil {
-				s.cfg.Logf("%v: malformed acquire: %v (closing connection)", conn.RemoteAddr(), err)
-				return
-			}
-			s.doAcquire(c, tag, client)
-		case opRelease:
-			tag, name, err := decodeRelease(body)
-			if err != nil {
-				s.cfg.Logf("%v: malformed release: %v (closing connection)", conn.RemoteAddr(), err)
-				return
-			}
-			s.doRelease(c, tag, name)
-		case opStats:
-			tag, err := decodeStatsReq(body)
-			if err != nil {
-				s.cfg.Logf("%v: malformed stats: %v (closing connection)", conn.RemoteAddr(), err)
-				return
-			}
-			st := s.svc.Stats()
-			c.push(func(w *wire.Writer) { appendStatsRep(w, tag, st) })
-		default:
-			s.cfg.Logf("%v: unknown op %d (closing connection)", conn.RemoteAddr(), op)
+		// Submit what the burst collected even when it ends on a malformed
+		// frame: the preceding frames were valid, and the per-connection
+		// error discipline only condemns the connection, not its traffic.
+		s.submitBurst(c, in)
+		if fatal {
 			return
 		}
 	}
 }
 
-// doAcquire registers and enqueues one acquire. The grant notify runs under
-// the shard lock at epoch close; it refuses the grant once the connection
-// is dead, which is how a mid-epoch disconnect is absorbed as a crash.
-func (s *Server) doAcquire(c *svcConn, tag uint64, client uint64) {
-	req := &connReq{client: client}
-	c.mu.Lock()
-	if len(c.outstanding) >= s.cfg.MaxOutstanding {
-		c.mu.Unlock()
-		c.push(func(w *wire.Writer) { appendReject(w, tag, RejectBusy, "too many outstanding acquires") })
-		return
+// ingestFrame decodes one frame into the burst scratch; true means the
+// connection must be closed (malformed frame or unknown op). Stats requests
+// force the pending burst out first, so the reply observes every preceding
+// operation, matching one-at-a-time semantics.
+func (s *Server) ingestFrame(c *svcConn, in *ingest, body []byte) (fatal bool) {
+	in.frames++
+	op := byte(0)
+	if len(body) > 0 {
+		op = body[0]
 	}
-	c.outstanding[req] = struct{}{}
-	c.mu.Unlock()
-
-	id, err := s.svc.Acquire(client, func(g Grant) bool {
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		// Refusing the grant (dead, or outbox overflow on the grant frame
-		// itself) absorbs it as a crash: the name bounces back to the free
-		// pool, never having been observable on this connection.
-		if !c.queueLocked(func(w *wire.Writer) { appendGrant(w, tag, g) }) {
-			return false
+	switch op {
+	case opAcquire:
+		tag, client, err := decodeAcquire(body)
+		if err != nil {
+			s.cfg.Logf("%v: malformed acquire: %v (closing connection)", c.conn.RemoteAddr(), err)
+			return true
 		}
-		delete(c.outstanding, req)
-		c.held[g.Name] = g.Client
+		in.acqTag = append(in.acqTag, tag)
+		in.acqCli = append(in.acqCli, client)
+	case opRelease:
+		tag, name, err := decodeRelease(body)
+		if err != nil {
+			s.cfg.Logf("%v: malformed release: %v (closing connection)", c.conn.RemoteAddr(), err)
+			return true
+		}
+		in.relTag = append(in.relTag, tag)
+		in.relName = append(in.relName, name)
+	case opStats:
+		tag, err := decodeStatsReq(body)
+		if err != nil {
+			s.cfg.Logf("%v: malformed stats: %v (closing connection)", c.conn.RemoteAddr(), err)
+			return true
+		}
+		s.submitBurst(c, in)
+		st := s.svc.Stats()
+		in.w.Reset()
+		appendStatsRep(&in.w, tag, st)
+		in.pushResp()
+	default:
+		s.cfg.Logf("%v: unknown op %d (closing connection)", c.conn.RemoteAddr(), op)
 		return true
-	})
-	if err != nil {
-		c.mu.Lock()
-		delete(c.outstanding, req)
-		c.mu.Unlock()
-		c.push(func(w *wire.Writer) { appendReject(w, tag, RejectInternal, err.Error()) })
-		return
 	}
-	c.mu.Lock()
-	req.id = id // the grant may already have fired; harmless either way
-	c.mu.Unlock()
-	s.kick(s.svc.Shard(client))
+	return false
 }
 
-// doRelease validates ownership against the connection's held set and
-// returns the name to its shard.
-func (s *Server) doRelease(c *svcConn, tag uint64, name int) {
-	c.mu.Lock()
-	client, ok := c.held[name]
-	if ok {
-		delete(c.held, name)
-	}
-	c.mu.Unlock()
-	if !ok {
-		c.push(func(w *wire.Writer) {
-			appendReject(w, tag, RejectNotHeld, fmt.Sprintf("name %d is not held by this connection", name))
-		})
+// submitBurst pushes one decoded burst into the service: releases first
+// (validated against the connection's held set under one lock, bucketed by
+// shard, one ReleaseBatch per shard), then acquires (registered against the
+// outstanding cap under one lock, one AcquireBatch per shard), then the
+// burst's response frames in one outbox append, with one epoch-loop kick
+// per touched shard. Freed capacity is visible to the service before the
+// new acquires queue, exactly as in one-at-a-time submission.
+func (s *Server) submitBurst(c *svcConn, in *ingest) {
+	if in.frames == 0 && len(in.resp) == 0 {
 		return
 	}
-	if err := s.svc.Release(client, name); err != nil {
-		c.push(func(w *wire.Writer) { appendReject(w, tag, RejectInternal, err.Error()) })
-		return
+	if len(in.relTag) > 0 {
+		c.mu.Lock()
+		for _, name := range in.relName {
+			client, ok := c.held[name]
+			if ok {
+				delete(c.held, name)
+			}
+			in.relCli = append(in.relCli, client)
+		}
+		c.mu.Unlock()
+		for i, name := range in.relName {
+			client := in.relCli[i]
+			if client == 0 {
+				in.w.Reset()
+				appendReject(&in.w, in.relTag[i], RejectNotHeld,
+					fmt.Sprintf("name %d is not held by this connection", name))
+				in.pushResp()
+				continue
+			}
+			shard, err := s.svc.ShardOfName(name)
+			if err != nil {
+				// Unreachable: held names were validated when granted.
+				in.w.Reset()
+				appendReject(&in.w, in.relTag[i], RejectInternal, err.Error())
+				in.pushResp()
+				continue
+			}
+			in.rel[shard] = append(in.rel[shard], ReleaseOp{Client: client, Name: name})
+			in.relIdx[shard] = append(in.relIdx[shard], i)
+		}
+		for shard := range in.rel {
+			if len(in.rel[shard]) == 0 {
+				continue
+			}
+			errs, err := s.svc.ReleaseBatch(shard, in.rel[shard], in.errs[:0])
+			in.errs = errs[:0]
+			if err != nil {
+				// Unreachable (the shard index is ours), but fail closed:
+				// the service processed nothing, so the connection still
+				// holds every name in the bucket — restore them and reject
+				// each request, mirroring the acquire path below.
+				s.cfg.Logf("%v: release batch on shard %d: %v", c.conn.RemoteAddr(), shard, err)
+				c.mu.Lock()
+				for j, op := range in.rel[shard] {
+					if c.held != nil {
+						c.held[op.Name] = op.Client
+					}
+					in.w.Reset()
+					appendReject(&in.w, in.relTag[in.relIdx[shard][j]], RejectInternal, err.Error())
+					in.pushResp()
+				}
+				c.mu.Unlock()
+				continue
+			}
+			for j, e := range errs {
+				in.w.Reset()
+				if e != nil {
+					appendReject(&in.w, in.relTag[in.relIdx[shard][j]], RejectInternal, e.Error())
+				} else {
+					appendReleased(&in.w, in.relTag[in.relIdx[shard][j]])
+				}
+				in.pushResp()
+			}
+			s.kick(shard) // freed capacity may unblock queued acquires
+		}
 	}
-	c.push(func(w *wire.Writer) { appendReleased(w, tag) })
-	if shard, err := s.svc.ShardOfName(name); err == nil {
-		s.kick(shard) // freed capacity may unblock queued acquires
+	if len(in.acqTag) > 0 {
+		c.mu.Lock()
+		for i := range in.acqTag {
+			if len(c.outstanding) >= s.cfg.MaxOutstanding {
+				in.acqReq = append(in.acqReq, nil)
+				continue
+			}
+			var req *connReq
+			if n := len(c.freeReqs); n > 0 {
+				req = c.freeReqs[n-1]
+				c.freeReqs = c.freeReqs[:n-1]
+			} else {
+				req = &connReq{c: c}
+			}
+			req.tag = in.acqTag[i]
+			req.client = in.acqCli[i]
+			req.id = 0
+			c.outstanding[req] = struct{}{}
+			in.acqReq = append(in.acqReq, req)
+		}
+		c.mu.Unlock()
+		for i, req := range in.acqReq {
+			if req == nil {
+				in.w.Reset()
+				appendReject(&in.w, in.acqTag[i], RejectBusy, "too many outstanding acquires")
+				in.pushResp()
+				continue
+			}
+			shard := s.svc.Shard(req.client)
+			in.acq[shard] = append(in.acq[shard], AcquireOp{Client: req.client, Notify: req})
+		}
+		for shard := range in.acq {
+			if len(in.acq[shard]) == 0 {
+				continue
+			}
+			ids, err := s.svc.AcquireBatch(shard, in.acq[shard], in.ids[:0])
+			in.ids = ids[:0]
+			if err != nil {
+				// Unreachable (clients validated at decode, shards routed
+				// here), but fail closed: unregister and reject the bucket.
+				s.cfg.Logf("%v: acquire batch on shard %d: %v", c.conn.RemoteAddr(), shard, err)
+				c.mu.Lock()
+				for _, op := range in.acq[shard] {
+					req := op.Notify.(*connReq)
+					if c.outstanding != nil {
+						delete(c.outstanding, req)
+					}
+					in.w.Reset()
+					appendReject(&in.w, req.tag, RejectInternal, err.Error())
+					in.pushResp()
+				}
+				c.mu.Unlock()
+				continue
+			}
+			s.kick(shard)
+		}
 	}
+	c.enqueue(in.resp)
+	in.reset()
 }
 
 // teardown absorbs a connection's death: queued acquires are cancelled
-// (grants already racing through an epoch are refused by the dead notify),
-// and every held name is released. Uniqueness is never at risk — a name is
-// either still free, released here, or absorbed inside CloseEpoch.
+// (grants already racing through an epoch are refused by the gone flag, or
+// released at delivery commit), and every held name is released. Uniqueness
+// is never at risk — a name is either still free, released here, or
+// absorbed inside or right after its epoch, before ever reaching the wire.
 func (s *Server) teardown(c *svcConn) {
 	c.mu.Lock()
+	c.gone.Store(true)
 	c.dead = true
 	c.outClosed = true
 	c.cond.Signal()
@@ -485,7 +910,7 @@ func (s *Server) writeLoop(c *svcConn) {
 		}
 		if c.overflow {
 			c.mu.Unlock()
-			c.conn.Close() // already closed by queueLocked; idempotent
+			c.conn.Close() // already closed at the overflow site; idempotent
 			return
 		}
 		closed := c.outClosed

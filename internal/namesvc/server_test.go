@@ -408,6 +408,74 @@ func TestServerOverflowDisconnectsSlowReader(t *testing.T) {
 	}
 }
 
+// TestServerBackpressureOnCoalescedGrants pins the outbound cap against the
+// coalesced write path: a connection that floods acquires while never
+// reading its grants has whole epochs' worth of grant frames committed to
+// its outbox in per-epoch batches, must be disconnected once the pending
+// bytes exceed MaxConnQueue, and must leave nothing behind — every name it
+// was granted (delivered or not) returns to the pool — while other
+// connections' epochs keep flowing throughout.
+func TestServerBackpressureOnCoalescedGrants(t *testing.T) {
+	t.Parallel()
+	svc, addr := startServerWith(t, Config{ShardCap: 1 << 15, Seed: 9},
+		ServerConfig{MaxConnQueue: 16 << 10, MaxOutstanding: 1 << 16, IOTimeout: 5 * time.Second})
+
+	good, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	g0, err := good.AcquireSync(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The hog: floods acquires without ever reading a response. Each epoch
+	// commits its grants to the hog's outbox in one coalesced append; the
+	// kernel's socket buffers drain some, then the cap must trip.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	var w wire.Writer
+	appendSvcHello(&w)
+	if err := wire.WriteFrame(raw, w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadFrame(raw, nil, svcMaxFrame); err != nil {
+		t.Fatalf("welcome: %v", err)
+	}
+	var writeErr error
+	deadline := time.Now().Add(10 * time.Second)
+	for client := uint64(100); time.Now().Before(deadline); client++ {
+		w.Reset()
+		appendAcquire(&w, client, client)
+		raw.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+		if err := wire.WriteFrame(raw, w.Bytes()); err != nil {
+			writeErr = err
+			break
+		}
+	}
+	if writeErr == nil {
+		t.Fatal("server never disconnected the non-reading grant flood")
+	}
+
+	// The hog's teardown releases everything it was granted — including
+	// grants staged but never deliverable — leaving only good's name.
+	waitFor(t, "hog's names all released", func() bool {
+		st := svc.Stats()
+		return st.Assigned == 1 && st.Pending == 0
+	})
+	// Other connections were never stalled: the polite client still churns.
+	if err := good.ReleaseSync(g0.Name); err != nil {
+		t.Fatalf("good connection broken by the flooder: %v", err)
+	}
+	if _, err := good.AcquireSync(8); err != nil {
+		t.Fatalf("good connection broken by the flooder: %v", err)
+	}
+}
+
 // TestServerAdaptiveEpochClosesEarly pins the adaptive batching window: with
 // an absurdly long EpochInterval, a batch that reaches MaxBatch must be
 // granted immediately (BatchFull ends the window) instead of waiting the

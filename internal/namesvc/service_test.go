@@ -268,6 +268,12 @@ func TestServiceCancelBeforeEpoch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Request IDs are per-shard sequences, so a matching ID from the wrong
+	// client must not revoke someone else's request (client 999 routes to
+	// the same single shard here).
+	if svc.Cancel(999, id) {
+		t.Fatal("foreign client cancelled another client's request")
+	}
 	if !svc.Cancel(1, id) {
 		t.Fatal("cancel of a queued request failed")
 	}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -57,13 +58,62 @@ func AppendFrame(dst, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// ReadFrameBuffered reads one length-prefixed frame from br only if the
+// frame is already complete in br's buffer, reusing buf's capacity; ok
+// reports whether a frame was consumed. It never blocks and never issues a
+// read on the underlying stream: a partially buffered frame is left intact
+// for a later blocking ReadFrame to finish. An oversized length prefix is
+// reported as soon as the 4-byte header is buffered (ErrOversized), without
+// consuming it, so the caller's error handling matches ReadFrame's.
+//
+// This is the ingestion primitive for batched request handling: after one
+// blocking ReadFrame, a handler drains every complete pipelined frame the
+// kernel already delivered and processes the burst as a unit.
+func ReadFrameBuffered(br *bufio.Reader, buf []byte, max int) (_ []byte, ok bool, err error) {
+	if br.Buffered() < frameHeaderLen {
+		return buf, false, nil
+	}
+	hdr, err := br.Peek(frameHeaderLen)
+	if err != nil {
+		return buf, false, err
+	}
+	length32 := binary.BigEndian.Uint32(hdr)
+	if max < 0 || uint64(length32) > uint64(max) {
+		return buf, false, fmt.Errorf("%w: %d > %d", ErrOversized, length32, max)
+	}
+	length := int(length32)
+	if br.Buffered() < frameHeaderLen+length {
+		return buf, false, nil
+	}
+	if _, err := br.Discard(frameHeaderLen); err != nil {
+		return buf, false, err
+	}
+	if cap(buf) < length {
+		buf = make([]byte, length)
+	}
+	buf = buf[:length]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		// Unreachable with a correct bufio.Reader: the bytes were buffered.
+		return buf, false, err
+	}
+	return buf, true, nil
+}
+
 // ReadFrame reads one length-prefixed frame from r, reusing buf's capacity
 // when it suffices. It returns io.EOF only when the stream ends cleanly
 // before the first header byte; a partial header or body yields
 // ErrTruncated, and a length prefix above max yields ErrOversized.
+//
+// The header is staged in buf too (a stack array would escape through the
+// io.Reader interface and cost a heap allocation per frame), so a caller
+// that threads each returned slice into the next call reads frames without
+// touching the heap once the buffer has grown to the stream's frame size.
 func ReadFrame(r io.Reader, buf []byte, max int) ([]byte, error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if cap(buf) < frameHeaderLen {
+		buf = make([]byte, frameHeaderLen, 512)
+	}
+	hdr := buf[:frameHeaderLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
@@ -74,13 +124,17 @@ func ReadFrame(r io.Reader, buf []byte, max int) ([]byte, error) {
 	}
 	// Compare before narrowing to int: on 32-bit platforms a hostile
 	// prefix >= 2^31 would otherwise wrap negative and bypass the guard.
-	length32 := binary.BigEndian.Uint32(hdr[:])
+	length32 := binary.BigEndian.Uint32(hdr)
 	if max < 0 || uint64(length32) > uint64(max) {
 		return nil, fmt.Errorf("%w: %d > %d", ErrOversized, length32, max)
 	}
 	length := int(length32)
 	if cap(buf) < length {
-		buf = make([]byte, length)
+		bodyCap := length
+		if bodyCap < 512 {
+			bodyCap = 512 // keep header staging allocation-free afterwards
+		}
+		buf = make([]byte, length, bodyCap)
 	}
 	buf = buf[:length]
 	if n, err := io.ReadFull(r, buf); err != nil {

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"io"
@@ -37,6 +38,84 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadFrame(&stream, buf, testMaxFrame); err != io.EOF {
 		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// halfFeeder doles out its stream in two reads, so a bufio.Reader layered
+// on it holds a partial frame between fills.
+type halfFeeder struct {
+	data []byte
+	cut  int // first read returns data[:cut]
+	pos  int
+}
+
+func (f *halfFeeder) Read(p []byte) (int, error) {
+	if f.pos >= len(f.data) {
+		return 0, io.EOF
+	}
+	limit := len(f.data)
+	if f.pos < f.cut {
+		limit = f.cut
+	}
+	n := copy(p, f.data[f.pos:limit])
+	f.pos += n
+	return n, nil
+}
+
+// TestReadFrameBuffered covers the non-blocking drain primitive: complete
+// buffered frames are consumed one by one, a partially buffered frame is
+// left intact for a blocking ReadFrame to finish, and an oversized length
+// prefix errors as soon as its header is visible.
+func TestReadFrameBuffered(t *testing.T) {
+	t.Parallel()
+	var stream bytes.Buffer
+	payloads := [][]byte{[]byte("alpha"), []byte("bee"), bytes.Repeat([]byte{7}, 100)}
+	for _, p := range payloads {
+		if err := WriteFrame(&stream, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := stream.Bytes()
+
+	// Cut the stream mid-way through the last frame: the first two frames
+	// drain without blocking, the third is untouched until the source
+	// yields the rest.
+	cut := len(full) - 40
+	br := bufio.NewReaderSize(&halfFeeder{data: full, cut: cut}, 1<<10)
+	first, err := ReadFrame(br, nil, testMaxFrame) // blocking read primes the buffer
+	if err != nil || !bytes.Equal(first, payloads[0]) {
+		t.Fatalf("priming read = %q, %v", first, err)
+	}
+	buf := first
+	got, ok, err := ReadFrameBuffered(br, buf, testMaxFrame)
+	if err != nil || !ok || !bytes.Equal(got, payloads[1]) {
+		t.Fatalf("second frame = %q, ok=%v, %v", got, ok, err)
+	}
+	buf = got
+	if _, ok, err := ReadFrameBuffered(br, buf, testMaxFrame); ok || err != nil {
+		t.Fatalf("partial third frame consumed (ok=%v, err=%v)", ok, err)
+	}
+	// A blocking ReadFrame completes the cut frame.
+	got, err = ReadFrame(br, buf, testMaxFrame)
+	if err != nil || !bytes.Equal(got, payloads[2]) {
+		t.Fatalf("third frame = %q, %v", got, err)
+	}
+	if _, ok, err := ReadFrameBuffered(br, got, testMaxFrame); ok || err != nil {
+		t.Fatalf("drained stream yielded a frame (ok=%v, err=%v)", ok, err)
+	}
+
+	// Oversized header: reported without consuming it, exactly like
+	// ReadFrame would.
+	var over bytes.Buffer
+	if err := WriteFrame(&over, bytes.Repeat([]byte{1}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	br = bufio.NewReaderSize(&over, 1<<10)
+	if _, err := br.Peek(4); err != nil { // prime the buffer without consuming
+		t.Fatal(err)
+	}
+	if _, ok, err := ReadFrameBuffered(br, nil, 16); ok || !errors.Is(err, ErrOversized) {
+		t.Fatalf("oversized frame: ok=%v, err=%v, want ErrOversized", ok, err)
 	}
 }
 
