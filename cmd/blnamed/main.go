@@ -31,6 +31,17 @@
 // absorbed (assigned and immediately released, never observable twice), and
 // every name it held is returned to the free pool. Malformed frames are
 // clean per-connection errors; the rest of the daemon is unaffected.
+//
+// -data-dir makes the daemon durable: every shard writes a write-ahead log
+// plus periodic snapshots (-snapshot-every records) under the directory,
+// and a restarted daemon recovers the ledgers — holders, digests,
+// request-ID counters — before serving. -fsync picks the flush policy:
+// "epoch" fsyncs every WAL record before its grants are acknowledged,
+// "off" leaves flushing to the OS, and a duration ("100ms") fsyncs on that
+// interval. Clients that held names before a crash re-attach them with the
+// reclaim op and release them normally. A SIGTERM drain writes a final
+// checkpoint, so a clean restart recovers from a snapshot instead of a
+// log replay.
 package main
 
 import (
@@ -44,6 +55,7 @@ import (
 	"time"
 
 	"ballsintoleaves/internal/namesvc"
+	"ballsintoleaves/internal/namesvc/durable"
 )
 
 // errFlagsReported marks parse failures the FlagSet already printed.
@@ -64,6 +76,10 @@ type config struct {
 	journal        bool
 	journalLimit   int
 	quiet          bool
+	dataDir        string
+	fsyncMode      namesvc.FsyncMode
+	fsyncEvery     time.Duration
+	snapshotEvery  int
 }
 
 // parseFlags parses args into a validated config.
@@ -89,6 +105,13 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.journalLimit, "journal-limit", 1<<20,
 		"with -journal, retain only the most recent entries per shard (0 = unbounded growth)")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress per-connection logging")
+	fs.StringVar(&cfg.dataDir, "data-dir", "",
+		"directory for per-shard write-ahead logs and snapshots; empty = volatile")
+	var fsync string
+	fs.StringVar(&fsync, "fsync", "epoch",
+		"with -data-dir, WAL flush policy: epoch (fsync every record), off, or an interval like 100ms")
+	fs.IntVar(&cfg.snapshotEvery, "snapshot-every", 4096,
+		"with -data-dir, checkpoint a shard after this many WAL records")
 	if err := fs.Parse(args); err != nil {
 		// The FlagSet has already reported the problem (or printed the
 		// -h usage) to stderr; mark it so main does not repeat it.
@@ -115,13 +138,47 @@ func parseFlags(args []string) (*config, error) {
 		return nil, fmt.Errorf("blnamed: -max-outstanding must be >= 0, got %d", cfg.maxOutstanding)
 	case cfg.maxConnQueue < 0:
 		return nil, fmt.Errorf("blnamed: -max-conn-queue must be >= 0, got %d", cfg.maxConnQueue)
+	case cfg.snapshotEvery < 1:
+		return nil, fmt.Errorf("blnamed: -snapshot-every must be >= 1, got %d", cfg.snapshotEvery)
+	}
+	switch fsync {
+	case "epoch":
+		cfg.fsyncMode = namesvc.FsyncPerEpoch
+	case "off":
+		cfg.fsyncMode = namesvc.FsyncOff
+	default:
+		d, err := time.ParseDuration(fsync)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("blnamed: -fsync must be epoch, off, or a positive duration, got %q", fsync)
+		}
+		cfg.fsyncMode = namesvc.FsyncInterval
+		cfg.fsyncEvery = d
 	}
 	return cfg, nil
 }
 
-// build assembles the service and server from a config.
-func build(cfg *config) (*namesvc.Server, error) {
-	svc, err := namesvc.New(namesvc.Config{
+// warnJournal surfaces the unbounded-journal footgun at startup rather
+// than letting a long-lived daemon discover it as memory growth.
+func warnJournal(cfg *config) {
+	if !cfg.journal || cfg.journalLimit != 0 {
+		return
+	}
+	if cfg.dataDir != "" {
+		fmt.Fprintf(os.Stderr,
+			"blnamed: warning: -journal-limit 0 (unbounded) with durability enabled; "+
+				"auto-capping the in-memory journal at %d entries per shard — the WAL under "+
+				"%s already holds the complete history\n", namesvc.AutoJournalLimit, cfg.dataDir)
+		return
+	}
+	fmt.Fprintln(os.Stderr,
+		"blnamed: warning: -journal-limit 0 retains every journal entry forever; "+
+			"memory grows without bound — intended for bounded runs only")
+}
+
+// build assembles the service and server from a config, recovering from
+// -data-dir when durability is enabled.
+func build(cfg *config) (*namesvc.Server, *namesvc.Service, error) {
+	svcCfg := namesvc.Config{
 		Shards:       cfg.shards,
 		ShardCap:     cfg.shardCap,
 		Seed:         cfg.seed,
@@ -129,9 +186,25 @@ func build(cfg *config) (*namesvc.Server, error) {
 		MaxBatch:     cfg.maxBatch,
 		Journal:      cfg.journal,
 		JournalLimit: cfg.journalLimit,
-	})
+	}
+	if cfg.dataDir != "" {
+		sinks, err := durable.ShardSinks(cfg.dataDir, cfg.shards)
+		if err != nil {
+			return nil, nil, err
+		}
+		svcCfg.Durable = &namesvc.Durability{
+			Sinks:         sinks,
+			Fsync:         cfg.fsyncMode,
+			FsyncEvery:    cfg.fsyncEvery,
+			SnapshotEvery: cfg.snapshotEvery,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "blnamed: "+format+"\n", args...)
+			},
+		}
+	}
+	svc, err := namesvc.Open(svcCfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	scfg := namesvc.ServerConfig{
 		Service:        svc,
@@ -145,7 +218,12 @@ func build(cfg *config) (*namesvc.Server, error) {
 			fmt.Fprintf(os.Stderr, "blnamed: "+format+"\n", args...)
 		}
 	}
-	return namesvc.NewServer(scfg)
+	srv, err := namesvc.NewServer(scfg)
+	if err != nil {
+		svc.Close()
+		return nil, nil, err
+	}
+	return srv, svc, nil
 }
 
 func main() {
@@ -159,7 +237,8 @@ func main() {
 		}
 		os.Exit(2)
 	}
-	srv, err := build(cfg)
+	warnJournal(cfg)
+	srv, svc, err := build(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "blnamed: %v\n", err)
 		os.Exit(1)
@@ -169,10 +248,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "blnamed: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("blnamed: serving %d shard(s) x %d names on %s (runner %s, seed %d)\n",
-		cfg.shards, cfg.shardCap, ln.Addr(), cfg.runner.Name(), cfg.seed)
+	durability := "volatile"
+	if cfg.dataDir != "" {
+		durability = fmt.Sprintf("durable at %s, fsync %v", cfg.dataDir, cfg.fsyncMode)
+		for i := 0; i < svc.Shards(); i++ {
+			fmt.Fprintf(os.Stderr, "blnamed: shard %d: recovered at epoch %d, digest %016x\n",
+				i, svc.ShardEpoch(i), svc.ShardDigest(i))
+		}
+	}
+	fmt.Printf("blnamed: serving %d shard(s) x %d names on %s (runner %s, seed %d, %s)\n",
+		cfg.shards, cfg.shardCap, ln.Addr(), cfg.runner.Name(), cfg.seed, durability)
 
-	// SIGINT/SIGTERM drain: stop accepting, tear down connections, exit 0.
+	// SIGINT/SIGTERM drain: stop accepting, tear down connections, write
+	// the final checkpoint, exit 0.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -183,6 +271,17 @@ func main() {
 	err = srv.Serve(ln)
 	ln.Close()
 	srv.Close()
+	if cerr := svc.Close(); cerr != nil {
+		fmt.Fprintf(os.Stderr, "blnamed: final checkpoint: %v\n", cerr)
+		if err == nil {
+			err = cerr
+		}
+	} else if cfg.dataDir != "" {
+		for i := 0; i < svc.Shards(); i++ {
+			fmt.Fprintf(os.Stderr, "blnamed: shard %d: final checkpoint at epoch %d, digest %016x\n",
+				i, svc.ShardEpoch(i), svc.ShardDigest(i))
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "blnamed: %v\n", err)
 		os.Exit(1)

@@ -23,6 +23,9 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"negative journal-limit", []string{"-listen", ":0", "-journal-limit", "-1"}},
 		{"negative max-outstanding", []string{"-listen", ":0", "-max-outstanding", "-1"}},
 		{"negative max-conn-queue", []string{"-listen", ":0", "-max-conn-queue", "-1"}},
+		{"zero snapshot-every", []string{"-listen", ":0", "-snapshot-every", "0"}},
+		{"bad fsync", []string{"-listen", ":0", "-fsync", "sometimes"}},
+		{"negative fsync interval", []string{"-listen", ":0", "-fsync", "-5ms"}},
 	}
 	for _, tc := range cases {
 		if _, err := parseFlags(tc.args); err == nil {
@@ -48,6 +51,25 @@ func TestParseFlagsValidation(t *testing.T) {
 	if cfg.runner.Name() != (namesvc.TransportRunner{}).Name() {
 		t.Fatalf("runner = %s", cfg.runner.Name())
 	}
+	if cfg.fsyncMode != namesvc.FsyncPerEpoch || cfg.dataDir != "" {
+		t.Fatalf("default durability cfg = %+v", cfg)
+	}
+	cfg, err = parseFlags([]string{"-listen", ":0", "-data-dir", "/tmp/x",
+		"-fsync", "250ms", "-snapshot-every", "128"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.dataDir != "/tmp/x" || cfg.fsyncMode != namesvc.FsyncInterval ||
+		cfg.fsyncEvery != 250*time.Millisecond || cfg.snapshotEvery != 128 {
+		t.Fatalf("durable cfg = %+v", cfg)
+	}
+	cfg, err = parseFlags([]string{"-listen", ":0", "-fsync", "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.fsyncMode != namesvc.FsyncOff {
+		t.Fatalf("fsync off cfg = %+v", cfg)
+	}
 }
 
 // TestDaemonEndToEnd drives a built-from-flags daemon over a real socket:
@@ -63,10 +85,11 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := build(cfg)
+	srv, svc, err := build(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer svc.Close()
 	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
 		t.Fatal(err)

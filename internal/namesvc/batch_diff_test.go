@@ -205,7 +205,7 @@ func TestBatchedSubmissionMatchesPerOp(t *testing.T) {
 				t.Fatalf("seed %d shard %d: journal empty — trace never touched it", seed, shard)
 			}
 		}
-		if sa, sb := perOp.Stats(), batched.Stats(); sa != sb {
+		if sa, sb := perOp.Stats(), batched.Stats(); !reflect.DeepEqual(sa, sb) {
 			t.Fatalf("seed %d: stats diverge:\nper-op  %+v\nbatched %+v", seed, sa, sb)
 		}
 	}

@@ -57,6 +57,7 @@ type pendingOp struct {
 	onGrant   func(Grant, error)
 	onRelease func(error)
 	onStats   func(Stats, error)
+	onReclaim func(error)
 }
 
 // fail invokes whichever callback is set with the error.
@@ -68,6 +69,8 @@ func (p pendingOp) fail(err error) {
 		p.onRelease(err)
 	case p.onStats != nil:
 		p.onStats(Stats{}, err)
+	case p.onReclaim != nil:
+		p.onReclaim(err)
 	}
 }
 
@@ -173,24 +176,36 @@ func (c *Client) Acquire(client uint64, cb func(Grant, error)) error {
 	if client == 0 {
 		return fmt.Errorf("namesvc: client ID must be non-zero")
 	}
-	return c.send(pendingOp{onGrant: cb}, opAcquire, client)
+	return c.send(pendingOp{onGrant: cb}, opAcquire, client, 0)
 }
 
 // Release returns a held name; cb receives nil on success.
 func (c *Client) Release(name int, cb func(error)) error {
-	return c.send(pendingOp{onRelease: cb}, opRelease, uint64(name))
+	return c.send(pendingOp{onRelease: cb}, opRelease, 0, uint64(name))
 }
 
 // Stats requests the server's counters.
 func (c *Client) Stats(cb func(Stats, error)) error {
-	return c.send(pendingOp{onStats: cb}, opStats, 0)
+	return c.send(pendingOp{onStats: cb}, opStats, 0, 0)
+}
+
+// Reclaim re-binds a name the service's ledger already records as held by
+// the given client — the restart handshake against a durable server: after
+// a crash, recovered grants belong to no connection until their clients
+// reclaim them. cb receives nil on success, after which the name can be
+// released on this connection.
+func (c *Client) Reclaim(client uint64, name int, cb func(error)) error {
+	if client == 0 {
+		return fmt.Errorf("namesvc: client ID must be non-zero")
+	}
+	return c.send(pendingOp{onReclaim: cb}, opReclaim, client, uint64(name))
 }
 
 // send registers the pending op, then encodes and buffers its request
 // frame. The op is selected by wire tag rather than a fill closure so the
 // per-op path allocates nothing; registration comes first so a response
 // racing the flusher always finds its callback.
-func (c *Client) send(p pendingOp, op byte, arg uint64) error {
+func (c *Client) send(p pendingOp, op byte, arg, arg2 uint64) error {
 	tag := c.nextTag.Add(1)
 	if err := c.register(tag, p); err != nil {
 		return err
@@ -206,9 +221,11 @@ func (c *Client) send(p pendingOp, op byte, arg uint64) error {
 	case opAcquire:
 		appendAcquire(&c.w, tag, arg)
 	case opRelease:
-		appendRelease(&c.w, tag, int(arg))
+		appendRelease(&c.w, tag, int(arg2))
 	case opStats:
 		appendStatsReq(&c.w, tag)
+	case opReclaim:
+		appendReclaim(&c.w, tag, arg, int(arg2))
 	}
 	return c.writeLocked(tag)
 }
@@ -234,6 +251,18 @@ func (c *Client) AcquireSync(client uint64) (Grant, error) {
 func (c *Client) ReleaseSync(name int) error {
 	ch := make(chan error, 1)
 	if err := c.Release(name, func(err error) { ch <- err }); err != nil {
+		return err
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	return <-ch
+}
+
+// ReclaimSync reclaims and waits for the acknowledgement.
+func (c *Client) ReclaimSync(client uint64, name int) error {
+	ch := make(chan error, 1)
+	if err := c.Reclaim(client, name, func(err error) { ch <- err }); err != nil {
 		return err
 	}
 	if err := c.Flush(); err != nil {
@@ -396,6 +425,14 @@ func (c *Client) dispatch(body []byte) error {
 		}
 		if p, ok := c.takePending(tag); ok && p.onStats != nil {
 			p.onStats(st, nil)
+		}
+	case opReclaimed:
+		tag, err := decodeReclaimed(body)
+		if err != nil {
+			return err
+		}
+		if p, ok := c.takePending(tag); ok && p.onReclaim != nil {
+			p.onReclaim(nil)
 		}
 	case opReject:
 		tag, code, msg, err := decodeReject(body)

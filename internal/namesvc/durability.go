@@ -1,0 +1,507 @@
+package namesvc
+
+import (
+	"fmt"
+	"time"
+
+	"ballsintoleaves/internal/namesvc/durable"
+	"ballsintoleaves/internal/wire"
+)
+
+// Durability: the service's ledgers, digests, and request-ID counters are
+// persisted through internal/namesvc/durable — one write-ahead log and
+// snapshot chain per shard. Every mutation batch that touches a ledger
+// (one CloseEpoch, one Release, one ReleaseBatch) seals exactly one WAL
+// record: the batch's assign/release events plus the shard state they
+// produce (epoch, request-ID counter, rolling digest, event counters).
+// Recovery loads the newest valid snapshot, replays the WAL tail through
+// the ordinary ledger operations, and proves the rebuilt shard honest by
+// recomputing the rolling digest and matching it against the digest sealed
+// in every record — a replay that diverges by a single event cannot
+// produce the sealed FNV chain.
+//
+// Failure policy: the service fails OPEN. If a WAL append or checkpoint
+// errors (disk full, injected crash), the shard keeps serving from memory,
+// logs the degradation once, counts it in Stats.WALFailures, and stops
+// touching the poisoned store — acknowledged operations after that point
+// are volatile, exactly as if -data-dir had not been given. The
+// alternative (fail stop) trades availability for a guarantee the
+// single-node deployment cannot fully honor anyway; replication is the
+// planned fix, and the seam for it is the durable.Store record stream.
+
+// FsyncMode selects when WAL records reach stable storage.
+type FsyncMode int
+
+const (
+	// FsyncPerEpoch fsyncs after every WAL record — every CloseEpoch and
+	// every release batch — so an acknowledged grant is durable before any
+	// client can observe it. The safest and slowest mode.
+	FsyncPerEpoch FsyncMode = iota
+	// FsyncInterval fsyncs on a timer (Durability.FsyncEvery): a crash
+	// loses at most the last interval's acknowledged operations, recovery
+	// still sees a prefix-consistent ledger.
+	FsyncInterval
+	// FsyncOff never fsyncs; the OS flushes on its own schedule. A process
+	// kill loses nothing (the page cache survives); a machine crash loses
+	// an unbounded suffix — still prefix-consistent.
+	FsyncOff
+)
+
+// String implements fmt.Stringer.
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncPerEpoch:
+		return "epoch"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("FsyncMode(%d)", int(m))
+	}
+}
+
+// AutoJournalLimit is the journal cap Open applies when durability is
+// enabled and Config.JournalLimit asks for an unbounded journal: with a
+// WAL on disk as the complete audit trail, an unbounded in-memory journal
+// is pure memory growth, so the footgun is defused automatically.
+const AutoJournalLimit = 1 << 20
+
+// Durability configures persistence for a Service; see Config.Durable.
+type Durability struct {
+	// Sinks holds one storage directory per shard (durable.ShardSinks for
+	// the on-disk layout, durable.MemSink for tests). Required; its length
+	// must equal the (normalized) shard count.
+	Sinks []durable.Sink
+	// Fsync selects the durability/throughput trade; see FsyncMode.
+	Fsync FsyncMode
+	// FsyncEvery is the FsyncInterval cadence; zero means 100ms.
+	FsyncEvery time.Duration
+	// SnapshotEvery checkpoints a shard after this many WAL records,
+	// bounding recovery replay and WAL disk growth. Zero means 4096.
+	SnapshotEvery int
+	// Logf, when non-nil, receives durability log lines (recovery summary,
+	// degradation warnings).
+	Logf func(format string, args ...any)
+}
+
+func (d *Durability) normalized(shards int) (*Durability, error) {
+	if len(d.Sinks) != shards {
+		return nil, fmt.Errorf("namesvc: %d durability sinks for %d shards", len(d.Sinks), shards)
+	}
+	nd := *d
+	if nd.FsyncEvery <= 0 {
+		nd.FsyncEvery = 100 * time.Millisecond
+	}
+	if nd.SnapshotEvery <= 0 {
+		nd.SnapshotEvery = 4096
+	}
+	if nd.Logf == nil {
+		nd.Logf = func(string, ...any) {}
+	}
+	return &nd, nil
+}
+
+// shardWAL is one shard's durability state, guarded by the shard lock.
+type shardWAL struct {
+	store     *durable.Store
+	w         wire.Writer // record/snapshot encode scratch
+	snapEvery int
+	sinceSnap int
+	logf      func(format string, args ...any)
+	err       error // sticky: first failure degrades the shard to volatile
+	records   uint64
+	snapshots uint64
+	failures  uint64
+}
+
+// fail records the first durability failure and logs the degradation.
+func (d *shardWAL) fail(shardIdx int, err error) {
+	d.failures++
+	if d.err != nil {
+		return
+	}
+	d.err = err
+	d.logf("shard %d: durability failed, serving volatile from here on: %v", shardIdx, err)
+}
+
+// WAL payload format (inside durable's CRC framing). A record seals the
+// shard state its events produce; a snapshot seals the whole state. The
+// shard index is embedded so a sink mounted under the wrong shard is an
+// error, not a silently scrambled namespace.
+const (
+	walRecordMagic   byte = 'R'
+	walSnapshotMagic byte = 'S'
+	walFormatVersion      = 1
+)
+
+// walSeal is the per-shard state sealed into every record and snapshot.
+type walSeal struct {
+	epoch    uint64
+	nextID   uint64
+	digest   uint64
+	acquires uint64
+	assigns  uint64
+	releases uint64
+	absorbed uint64
+}
+
+// sealLocked captures the shard's current sealed state; sh.mu held.
+func (sh *shard) sealLocked() walSeal {
+	return walSeal{
+		epoch:    sh.led.epoch,
+		nextID:   sh.nextID,
+		digest:   sh.led.digest,
+		acquires: sh.acquires,
+		assigns:  sh.led.assigns,
+		releases: sh.led.releases,
+		absorbed: sh.absorbed,
+	}
+}
+
+func appendSeal(w *wire.Writer, seal walSeal) {
+	w.Uvarint(seal.epoch)
+	w.Uvarint(seal.nextID)
+	w.Uvarint(seal.digest)
+	w.Uvarint(seal.acquires)
+	w.Uvarint(seal.assigns)
+	w.Uvarint(seal.releases)
+	w.Uvarint(seal.absorbed)
+}
+
+func readSeal(r *wire.Reader) walSeal {
+	return walSeal{
+		epoch:    r.Uvarint(),
+		nextID:   r.Uvarint(),
+		digest:   r.Uvarint(),
+		acquires: r.Uvarint(),
+		assigns:  r.Uvarint(),
+		releases: r.Uvarint(),
+		absorbed: r.Uvarint(),
+	}
+}
+
+func appendEntries(w *wire.Writer, entries []Entry) {
+	w.Uvarint(uint64(len(entries)))
+	for _, e := range entries {
+		w.Uvarint(e.Epoch)
+		w.Byte(byte(e.Op))
+		w.Uvarint(e.Client)
+		w.Uvarint(e.ReqID)
+		w.Uvarint(uint64(e.Name))
+	}
+}
+
+// readEntries decodes an entry list, bounded by what the payload could
+// physically hold so a corrupt count cannot force a huge allocation.
+func readEntries(r *wire.Reader) ([]Entry, error) {
+	n := r.Uvarint()
+	if r.Err() == nil && n > uint64(r.Remaining()/5+1) {
+		return nil, fmt.Errorf("%w: %d entries in %d bytes", wire.ErrTruncated, n, r.Remaining())
+	}
+	entries := make([]Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		e := Entry{
+			Epoch:  r.Uvarint(),
+			Op:     EntryOp(r.Byte()),
+			Client: r.Uvarint(),
+			ReqID:  r.Uvarint(),
+			Name:   int(r.Uvarint()),
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// appendWALRecord encodes one record payload: header, sealed state, the
+// batch's events.
+func appendWALRecord(w *wire.Writer, shardIdx int, seal walSeal, entries []Entry) {
+	w.Byte(walRecordMagic)
+	w.Uvarint(walFormatVersion)
+	w.Uvarint(uint64(shardIdx))
+	appendSeal(w, seal)
+	appendEntries(w, entries)
+}
+
+// decodeWALRecord decodes and validates a record payload for a shard.
+func decodeWALRecord(payload []byte, shardIdx int) (walSeal, []Entry, error) {
+	r := wire.NewReader(payload)
+	if m := r.Byte(); r.Err() == nil && m != walRecordMagic {
+		return walSeal{}, nil, fmt.Errorf("namesvc: WAL record magic %#x", m)
+	}
+	if v := r.Uvarint(); r.Err() == nil && v != walFormatVersion {
+		return walSeal{}, nil, fmt.Errorf("namesvc: WAL record format %d, want %d", v, walFormatVersion)
+	}
+	if sh := r.Uvarint(); r.Err() == nil && sh != uint64(shardIdx) {
+		return walSeal{}, nil, fmt.Errorf("namesvc: WAL record for shard %d mounted under shard %d", sh, shardIdx)
+	}
+	seal := readSeal(r)
+	entries, err := readEntries(r)
+	if err != nil {
+		return walSeal{}, nil, err
+	}
+	if err := r.Close(); err != nil {
+		return walSeal{}, nil, err
+	}
+	return seal, entries, nil
+}
+
+// appendWALSnapshot encodes one snapshot payload: header, sealed state,
+// the holder array (0 = free), and the retained journal window.
+func appendWALSnapshot(w *wire.Writer, shardIdx int, seal walSeal, holder []uint64, win []Entry) {
+	w.Byte(walSnapshotMagic)
+	w.Uvarint(walFormatVersion)
+	w.Uvarint(uint64(shardIdx))
+	appendSeal(w, seal)
+	w.Uvarint(uint64(len(holder)))
+	for _, h := range holder {
+		w.Uvarint(h)
+	}
+	appendEntries(w, win)
+}
+
+// decodeWALSnapshot decodes and validates a snapshot payload for a shard.
+func decodeWALSnapshot(payload []byte, shardIdx int) (walSeal, []uint64, []Entry, error) {
+	r := wire.NewReader(payload)
+	if m := r.Byte(); r.Err() == nil && m != walSnapshotMagic {
+		return walSeal{}, nil, nil, fmt.Errorf("namesvc: WAL snapshot magic %#x", m)
+	}
+	if v := r.Uvarint(); r.Err() == nil && v != walFormatVersion {
+		return walSeal{}, nil, nil, fmt.Errorf("namesvc: WAL snapshot format %d, want %d", v, walFormatVersion)
+	}
+	if sh := r.Uvarint(); r.Err() == nil && sh != uint64(shardIdx) {
+		return walSeal{}, nil, nil, fmt.Errorf("namesvc: WAL snapshot for shard %d mounted under shard %d", sh, shardIdx)
+	}
+	seal := readSeal(r)
+	n := r.Uvarint()
+	if r.Err() == nil && n > uint64(r.Remaining()+1) {
+		return walSeal{}, nil, nil, fmt.Errorf("%w: %d holders in %d bytes", wire.ErrTruncated, n, r.Remaining())
+	}
+	holder := make([]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		holder = append(holder, r.Uvarint())
+	}
+	win, err := readEntries(r)
+	if err != nil {
+		return walSeal{}, nil, nil, err
+	}
+	if err := r.Close(); err != nil {
+		return walSeal{}, nil, nil, err
+	}
+	return seal, holder, win, nil
+}
+
+// flushWALLocked drains the ledger's staged events into one WAL record
+// sealing the shard's current state, checkpointing when the snapshot
+// cadence is due; sh.mu must be held. With nothing staged (or durability
+// off, or the shard degraded) it is a no-op.
+func (s *Service) flushWALLocked(shardIdx int, sh *shard) {
+	d := sh.dur
+	if d == nil {
+		return
+	}
+	entries := sh.led.takeStage()
+	if len(entries) == 0 || d.err != nil {
+		return
+	}
+	d.w.Reset()
+	appendWALRecord(&d.w, shardIdx, sh.sealLocked(), entries)
+	if _, err := d.store.Append(d.w.Bytes()); err != nil {
+		d.fail(shardIdx, err)
+		return
+	}
+	d.records++
+	d.sinceSnap++
+	if d.sinceSnap >= d.snapEvery {
+		s.checkpointLocked(shardIdx, sh)
+	}
+}
+
+// checkpointLocked seals a snapshot of the shard's full state and rotates
+// its WAL; sh.mu must be held.
+func (s *Service) checkpointLocked(shardIdx int, sh *shard) {
+	d := sh.dur
+	if d == nil || d.err != nil {
+		return
+	}
+	d.w.Reset()
+	appendWALSnapshot(&d.w, shardIdx, sh.sealLocked(), sh.led.holder, sh.led.journalWindow())
+	if err := d.store.Checkpoint(d.w.Bytes()); err != nil {
+		d.fail(shardIdx, err)
+		return
+	}
+	d.sinceSnap = 0
+	d.snapshots++
+}
+
+// recoverShard rebuilds one shard from its sink: newest valid snapshot,
+// then the WAL tail replayed through the ordinary ledger operations, with
+// the rolling digest recomputed and checked against the digest sealed in
+// every record. On success the shard's store is open for appends and a
+// fresh boot checkpoint has physically truncated any torn tail.
+func (s *Service) recoverShard(shardIdx int, sh *shard, dcfg *Durability) error {
+	store, rec, err := durable.Open(dcfg.Sinks[shardIdx], durable.Options{
+		SyncEachAppend: dcfg.Fsync == FsyncPerEpoch,
+	})
+	if err != nil {
+		return fmt.Errorf("namesvc: shard %d: %w", shardIdx, err)
+	}
+	if rec.Snapshot != nil {
+		seal, holder, win, err := decodeWALSnapshot(rec.Snapshot, shardIdx)
+		if err != nil {
+			return fmt.Errorf("namesvc: shard %d: snapshot %d: %w", shardIdx, rec.SnapSeq, err)
+		}
+		if err := sh.led.restore(seal.epoch, holder, seal.digest, seal.assigns, seal.releases, win); err != nil {
+			return fmt.Errorf("namesvc: shard %d: snapshot %d: %w", shardIdx, rec.SnapSeq, err)
+		}
+		sh.nextID = seal.nextID
+		sh.acquires = seal.acquires
+		sh.absorbed = seal.absorbed
+	}
+	for _, r := range rec.Records {
+		seal, entries, err := decodeWALRecord(r.Payload, shardIdx)
+		if err != nil {
+			return fmt.Errorf("namesvc: shard %d: record %d: %w", shardIdx, r.Seq, err)
+		}
+		for _, e := range entries {
+			switch e.Op {
+			case OpAssign:
+				if e.Name < 1 || e.Name > sh.led.cap || sh.led.holderOf(e.Name) != 0 {
+					return fmt.Errorf("namesvc: shard %d: record %d assigns unassignable name %d",
+						shardIdx, r.Seq, e.Name)
+				}
+				sh.led.assign(e.Epoch, e.ReqID, e.Client, e.Name)
+			case OpRelease:
+				if err := sh.led.release(e.Epoch, e.Client, e.Name); err != nil {
+					return fmt.Errorf("namesvc: shard %d: record %d: %w", shardIdx, r.Seq, err)
+				}
+			default:
+				return fmt.Errorf("namesvc: shard %d: record %d: unknown op %d", shardIdx, r.Seq, e.Op)
+			}
+		}
+		// The seal is the proof obligation: the replayed ledger must have
+		// arrived at exactly the digest and counters the live shard sealed
+		// when it wrote this record.
+		sh.led.epoch = seal.epoch
+		sh.nextID = seal.nextID
+		sh.acquires = seal.acquires
+		sh.absorbed = seal.absorbed
+		if sh.led.digest != seal.digest {
+			return fmt.Errorf("namesvc: shard %d: record %d: replayed digest %016x != sealed %016x",
+				shardIdx, r.Seq, sh.led.digest, seal.digest)
+		}
+		if sh.led.assigns != seal.assigns || sh.led.releases != seal.releases {
+			return fmt.Errorf("namesvc: shard %d: record %d: replayed counters (%d assigns, %d releases) != sealed (%d, %d)",
+				shardIdx, r.Seq, sh.led.assigns, sh.led.releases, seal.assigns, seal.releases)
+		}
+	}
+	sh.dur = &shardWAL{
+		store:     store,
+		snapEvery: dcfg.SnapshotEvery,
+		logf:      dcfg.Logf,
+	}
+	sh.led.staging = true
+	if rec.Seq > 0 || rec.Torn {
+		dcfg.Logf("shard %d: recovered epoch %d, %d assigned, digest %016x (snapshot %d + %d records%s)",
+			shardIdx, sh.led.epoch, sh.led.cap-sh.led.freeCount(), sh.led.digest,
+			rec.SnapSeq, len(rec.Records), tornNote(rec.Torn))
+		// Boot checkpoint: fold the replayed tail into a fresh snapshot so
+		// torn bytes are physically gone and the next recovery is O(snapshot).
+		s.checkpointLocked(shardIdx, sh)
+		if sh.dur.err != nil {
+			return fmt.Errorf("namesvc: shard %d: boot checkpoint: %w", shardIdx, sh.dur.err)
+		}
+	}
+	return nil
+}
+
+func tornNote(torn bool) string {
+	if torn {
+		return ", torn tail truncated"
+	}
+	return ""
+}
+
+// SyncWAL fsyncs every shard's WAL segment — the FsyncInterval tick, also
+// usable by embedders with their own durability clock. It returns the
+// first failure (which degrades that shard, see the failure policy above).
+func (s *Service) SyncWAL() error {
+	var first error
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.dur != nil && sh.dur.err == nil {
+			if err := sh.dur.store.Sync(); err != nil {
+				sh.dur.fail(i, err)
+				if first == nil {
+					first = err
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}
+
+// walSyncLoop drives FsyncInterval until Close.
+func (s *Service) walSyncLoop(every time.Duration) {
+	defer close(s.syncDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.syncStop:
+			return
+		case <-t.C:
+			s.SyncWAL()
+		}
+	}
+}
+
+// Checkpoint forces a snapshot + WAL rotation on every shard, returning
+// the first shard's durability error if any shard is degraded. Volatile
+// services return nil. blnamed calls it from the SIGTERM drain so a clean
+// shutdown restarts from a snapshot, not a replay.
+func (s *Service) Checkpoint() error {
+	var first error
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.dur != nil {
+			s.flushWALLocked(i, sh) // drain any staged events first
+			s.checkpointLocked(i, sh)
+			if sh.dur.err != nil && first == nil {
+				first = sh.dur.err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}
+
+// Close checkpoints every durable shard, stops the interval syncer, and
+// releases the stores. Safe to call on volatile services (no-op) and more
+// than once. The Service must be quiescent: no concurrent Acquire,
+// Release, or CloseEpoch (a Server must be Closed first).
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() {
+		if s.syncStop != nil {
+			close(s.syncStop)
+			<-s.syncDone
+		}
+		for i, sh := range s.shards {
+			sh.mu.Lock()
+			if sh.dur != nil {
+				s.flushWALLocked(i, sh)
+				s.checkpointLocked(i, sh)
+				if sh.dur.err != nil && s.closeErr == nil {
+					s.closeErr = sh.dur.err
+				}
+				sh.dur.store.Close()
+			}
+			sh.mu.Unlock()
+		}
+	})
+	return s.closeErr
+}

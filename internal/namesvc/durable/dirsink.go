@@ -1,0 +1,94 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DirSink is the OS-backed Sink: one directory, flat files, real fsync.
+type DirSink struct {
+	dir string
+}
+
+// NewDirSink creates (if needed) and opens a directory as a Sink.
+func NewDirSink(dir string) (*DirSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	return &DirSink{dir: dir}, nil
+}
+
+// Dir returns the directory path.
+func (s *DirSink) Dir() string { return s.dir }
+
+// Create implements Sink.
+func (s *DirSink) Create(name string) (File, error) {
+	f, err := os.OpenFile(filepath.Join(s.dir, name),
+		os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadAll implements Sink.
+func (s *DirSink) ReadAll(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(s.dir, name))
+}
+
+// List implements Sink.
+func (s *DirSink) List() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// Remove implements Sink; a missing file is not an error.
+func (s *DirSink) Remove(name string) error {
+	err := os.Remove(filepath.Join(s.dir, name))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Sync implements Sink: it fsyncs the directory so file creations and
+// removals are themselves durable, not just the data inside the files.
+func (s *DirSink) Sync() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// ShardSinks creates one DirSink per shard under dir (shard-0000,
+// shard-0001, …) — the layout cmd/blnamed points -data-dir at.
+func ShardSinks(dir string, shards int) ([]Sink, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("durable: shards must be >= 1, got %d", shards)
+	}
+	sinks := make([]Sink, shards)
+	for i := range sinks {
+		s, err := NewDirSink(filepath.Join(dir, fmt.Sprintf("shard-%04d", i)))
+		if err != nil {
+			return nil, err
+		}
+		sinks[i] = s
+	}
+	return sinks, nil
+}

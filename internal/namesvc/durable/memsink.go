@@ -1,0 +1,77 @@
+package durable
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MemSink is an in-memory Sink for hermetic tests: same contract as
+// DirSink, no filesystem. Data written through a File is visible to
+// ReadAll immediately (the torn-write crash model is supplied by
+// CrashBudget, not by buffering here).
+type MemSink struct {
+	files map[string][]byte
+}
+
+// NewMemSink returns an empty in-memory sink.
+func NewMemSink() *MemSink {
+	return &MemSink{files: make(map[string][]byte)}
+}
+
+// Clone returns an independent deep copy of the sink's current contents —
+// a disk image, for recovery tests that open the same remains twice.
+func (s *MemSink) Clone() *MemSink {
+	c := NewMemSink()
+	for name, b := range s.files {
+		c.files[name] = append([]byte(nil), b...)
+	}
+	return c
+}
+
+// memFile appends into its sink's map entry.
+type memFile struct {
+	s    *MemSink
+	name string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.s.files[f.name] = append(f.s.files[f.name], p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }
+
+// Create implements Sink.
+func (s *MemSink) Create(name string) (File, error) {
+	s.files[name] = nil
+	return &memFile{s: s, name: name}, nil
+}
+
+// ReadAll implements Sink.
+func (s *MemSink) ReadAll(name string) ([]byte, error) {
+	b, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("durable: %s: file does not exist", name)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// List implements Sink.
+func (s *MemSink) List() ([]string, error) {
+	names := make([]string, 0, len(s.files))
+	for name := range s.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements Sink; a missing file is not an error.
+func (s *MemSink) Remove(name string) error {
+	delete(s.files, name)
+	return nil
+}
+
+// Sync implements Sink.
+func (s *MemSink) Sync() error { return nil }

@@ -1,0 +1,320 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File layout under one Sink (one shard):
+//
+//	wal-<start>.log    WAL segment holding records start+1, start+2, …
+//	snap-<seq>.snap    snapshot sealing the state after record seq
+//
+// Both numbers are 16-digit lower-case hex, so lexical and numeric order
+// agree. A checkpoint at seq S writes snap-<S>.snap, fsyncs it, fsyncs the
+// directory, opens wal-<S>.log as the new segment, and only then prunes
+// every artifact the snapshot supersedes — so at every instant, some
+// (snapshot, segment-suffix) pair on disk reconstructs the state, whichever
+// byte the machine died on.
+
+// Options parameterizes a Store.
+type Options struct {
+	// SyncEachAppend fsyncs the segment after every appended record — the
+	// per-epoch fsync policy. Off, the caller either syncs on an interval
+	// (Store.Sync) or accepts the OS flush cadence.
+	SyncEachAppend bool
+	// MaxPayload bounds one record or snapshot payload; larger appends are
+	// rejected and larger length prefixes found during recovery are
+	// treated as tail damage. Zero means 1<<26 (64 MiB).
+	MaxPayload int
+}
+
+func (o Options) normalized() Options {
+	if o.MaxPayload <= 0 {
+		o.MaxPayload = 1 << 26
+	}
+	return o
+}
+
+// Record is one recovered WAL record.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// Recovered is what Open found on disk: the newest snapshot that
+// validates, and the WAL records after it, in sequence order. The caller
+// rebuilds its state by loading Snapshot and applying Records; Seq is the
+// sequence number the rebuilt state corresponds to.
+type Recovered struct {
+	// SnapSeq is the sequence the snapshot seals; 0 with a nil Snapshot
+	// means recovery started from an empty state.
+	SnapSeq  uint64
+	Snapshot []byte // nil if no valid snapshot exists
+	// Records is the replayed WAL tail: seqs SnapSeq+1 … Seq, contiguous.
+	Records []Record
+	// Seq is the state's sequence number after replay: SnapSeq + len(Records).
+	Seq uint64
+	// Torn reports that a torn or corrupt record tail was found and
+	// truncated — the expected residue of a crash mid-append.
+	Torn bool
+}
+
+// Store is one shard's write-ahead log and snapshot chain over a Sink.
+// It is not safe for concurrent use; the owning shard serializes access.
+type Store struct {
+	sink Sink
+	opts Options
+	seq  uint64 // last appended (or recovered) record sequence
+	seg  File   // current WAL segment
+	buf  []byte // framing scratch, reused per append
+	err  error  // sticky: after any write failure the stream position is untrusted
+}
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+func segName(start uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, start, segSuffix) }
+func snapName(seq uint64) string  { return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix) }
+func parseName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Open scans the sink, reconstructs the recoverable state (newest valid
+// snapshot plus the contiguous WAL records after it, truncating a torn
+// tail), and opens a fresh segment at the recovered sequence so Append can
+// continue. Unknown files are ignored; artifacts that cannot be reconciled
+// (a record gap, valid records after a tear) yield ErrCorrupt.
+func Open(sink Sink, opts Options) (*Store, *Recovered, error) {
+	opts = opts.normalized()
+	names, err := sink.List()
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: list: %w", err)
+	}
+	var snaps []uint64 // snapshot seqs, any order
+	var segs []uint64  // segment starts
+	for _, name := range names {
+		if v, ok := parseName(name, snapPrefix, snapSuffix); ok {
+			snaps = append(snaps, v)
+		} else if v, ok := parseName(name, segPrefix, segSuffix); ok {
+			segs = append(segs, v)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] }) // newest first
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })    // oldest first
+
+	rec := &Recovered{}
+	// Newest snapshot that validates wins; a torn or corrupt snapshot is
+	// skipped (its WAL, or an older snapshot's, still covers the state).
+	for _, sseq := range snaps {
+		data, err := sink.ReadAll(snapName(sseq))
+		if err != nil {
+			continue
+		}
+		seq, payload, n, err := decodeRecord(data, opts.MaxPayload)
+		if err != nil || n != len(data) || seq != sseq {
+			rec.Torn = true // a half-written checkpoint left behind
+			continue
+		}
+		rec.SnapSeq, rec.Snapshot = sseq, payload
+		break
+	}
+
+	cur := rec.SnapSeq
+	torn := false
+	for _, start := range segs {
+		data, err := sink.ReadAll(segName(start))
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: read %s: %w", segName(start), err)
+		}
+		for len(data) > 0 {
+			seq, payload, n, err := decodeRecord(data, opts.MaxPayload)
+			if err != nil {
+				// Tail damage: legal only as the final thing on disk. Any
+				// valid record beyond the current sequence found after
+				// this point turns it into ErrCorrupt below.
+				torn = true
+				break
+			}
+			data = data[n:]
+			switch {
+			case seq <= cur:
+				// Superseded by the snapshot (or a duplicate segment
+				// prefix): already part of the recovered state.
+			case seq == cur+1 && !torn:
+				rec.Records = append(rec.Records, Record{Seq: seq, Payload: payload})
+				cur = seq
+			case torn:
+				return nil, nil, fmt.Errorf("%w: record %d follows a torn tail at %d", ErrCorrupt, seq, cur)
+			default:
+				return nil, nil, fmt.Errorf("%w: record gap %d -> %d", ErrCorrupt, cur, seq)
+			}
+		}
+	}
+	rec.Seq = cur
+	rec.Torn = rec.Torn || torn
+
+	s := &Store{sink: sink, opts: opts, seq: cur}
+	// Open a fresh segment at the recovered sequence. If a file of that
+	// name exists its contents are dead bytes (empty, fully torn, or
+	// superseded — otherwise recovery would have advanced past cur), so
+	// truncating is exactly the "recovery truncates torn tails" step.
+	seg, err := sink.Create(segName(cur))
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: open segment: %w", err)
+	}
+	if err := sink.Sync(); err != nil {
+		seg.Close()
+		return nil, nil, fmt.Errorf("durable: sync dir: %w", err)
+	}
+	s.seg = seg
+	return s, rec, nil
+}
+
+// Seq returns the sequence number of the last appended record.
+func (s *Store) Seq() uint64 { return s.seq }
+
+// Err returns the sticky error, if any: after a failed write the stream
+// position is untrusted and every further mutation fails with it.
+func (s *Store) Err() error { return s.err }
+
+// Append writes one record with the next sequence number, fsyncing when
+// the store was opened with SyncEachAppend. On error the record must be
+// assumed lost and the store is poisoned (Err): a torn append leaves bytes
+// the next append must not follow.
+func (s *Store) Append(payload []byte) (uint64, error) {
+	if s.err != nil {
+		return s.seq, s.err
+	}
+	if len(payload) > s.opts.MaxPayload {
+		return s.seq, fmt.Errorf("durable: record payload %d exceeds limit %d", len(payload), s.opts.MaxPayload)
+	}
+	s.buf = appendRecord(s.buf[:0], s.seq+1, payload)
+	if _, err := s.seg.Write(s.buf); err != nil {
+		s.err = err
+		return s.seq, err
+	}
+	if s.opts.SyncEachAppend {
+		if err := s.seg.Sync(); err != nil {
+			s.err = err
+			return s.seq, err
+		}
+	}
+	s.seq++
+	return s.seq, nil
+}
+
+// Sync fsyncs the current segment — the interval fsync policy's clock tick.
+func (s *Store) Sync() error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.seg.Sync(); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}
+
+// Checkpoint seals the caller's snapshot of the state after the last
+// appended record, rotates to a fresh WAL segment, and prunes everything
+// the snapshot supersedes. The snapshot is fsynced (and the directory with
+// it) before any old artifact is removed, so a crash at any point leaves
+// either the old chain, the new chain, or both — never neither
+// (TestCheckpointNeverRemovesBeforeSnapshotSync pins the ordering).
+func (s *Store) Checkpoint(snapshot []byte) error {
+	if s.err != nil {
+		return s.err
+	}
+	if len(snapshot) > s.opts.MaxPayload {
+		return fmt.Errorf("durable: snapshot payload %d exceeds limit %d", len(snapshot), s.opts.MaxPayload)
+	}
+	seq := s.seq
+	fail := func(err error) error {
+		s.err = err
+		return err
+	}
+	snap, err := s.sink.Create(snapName(seq))
+	if err != nil {
+		return fail(fmt.Errorf("durable: create snapshot: %w", err))
+	}
+	s.buf = appendRecord(s.buf[:0], seq, snapshot)
+	if _, err := snap.Write(s.buf); err != nil {
+		snap.Close()
+		return fail(fmt.Errorf("durable: write snapshot: %w", err))
+	}
+	if err := snap.Sync(); err != nil {
+		snap.Close()
+		return fail(fmt.Errorf("durable: sync snapshot: %w", err))
+	}
+	if err := snap.Close(); err != nil {
+		return fail(fmt.Errorf("durable: close snapshot: %w", err))
+	}
+	if err := s.sink.Sync(); err != nil {
+		return fail(fmt.Errorf("durable: sync dir: %w", err))
+	}
+	// The new chain is durable; rotate, then prune the superseded one.
+	if err := s.seg.Close(); err != nil {
+		return fail(fmt.Errorf("durable: close segment: %w", err))
+	}
+	seg, err := s.sink.Create(segName(seq))
+	if err != nil {
+		return fail(fmt.Errorf("durable: rotate segment: %w", err))
+	}
+	s.seg = seg
+	names, err := s.sink.List()
+	if err != nil {
+		return fail(fmt.Errorf("durable: list for prune: %w", err))
+	}
+	for _, name := range names {
+		if v, ok := parseName(name, segPrefix, segSuffix); ok && v < seq {
+			if err := s.sink.Remove(name); err != nil {
+				return fail(fmt.Errorf("durable: prune %s: %w", name, err))
+			}
+		} else if v, ok := parseName(name, snapPrefix, snapSuffix); ok && v < seq {
+			if err := s.sink.Remove(name); err != nil {
+				return fail(fmt.Errorf("durable: prune %s: %w", name, err))
+			}
+		}
+	}
+	if err := s.sink.Sync(); err != nil {
+		return fail(fmt.Errorf("durable: sync dir: %w", err))
+	}
+	return nil
+}
+
+// Close releases the current segment handle without syncing (callers that
+// need durability checkpoint or Sync first).
+func (s *Store) Close() error {
+	if s.seg == nil {
+		return nil
+	}
+	err := s.seg.Close()
+	s.seg = nil
+	if s.err == nil && err != nil {
+		s.err = errors.New("durable: store closed")
+		return err
+	}
+	if s.err == nil {
+		s.err = errors.New("durable: store closed")
+	}
+	return nil
+}

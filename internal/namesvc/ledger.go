@@ -82,6 +82,13 @@ type ledger struct {
 	jstart     int // live journal window is entries[jstart:]
 	assigns    uint64
 	releases   uint64
+
+	// staging, when set, copies every recorded event into stage — the
+	// write-ahead-log staging buffer the owning shard drains into one WAL
+	// record per mutation batch (durability.go). It is off during recovery
+	// replay, so replayed events are not re-logged.
+	staging bool
+	stage   []Entry
 }
 
 // newLedger builds a ledger over local names 1..capacity. journalCap bounds
@@ -204,6 +211,9 @@ func (l *ledger) record(e Entry) {
 		}
 	}
 	l.digest = d
+	if l.staging {
+		l.stage = append(l.stage, e)
+	}
 	if !l.journal {
 		return
 	}
@@ -220,3 +230,57 @@ func (l *ledger) record(e Entry) {
 
 // journalWindow returns the retained journal entries, oldest first.
 func (l *ledger) journalWindow() []Entry { return l.entries[l.jstart:] }
+
+// takeStage returns the WAL-staged events since the last take and resets
+// the buffer (retaining capacity). The returned slice aliases the buffer:
+// it is valid until the next recorded event, which under the shard lock
+// means until the caller's own next mutation.
+func (l *ledger) takeStage() []Entry {
+	e := l.stage
+	l.stage = l.stage[:0]
+	return e
+}
+
+// holderOf returns the client holding a local name, 0 if free.
+func (l *ledger) holderOf(name int) uint64 {
+	if name < 1 || name > l.cap {
+		return 0
+	}
+	return l.holder[name-1]
+}
+
+// restore overwrites the ledger's assignment state from a snapshot: the
+// holder array (0 = free), the full-history digest, the event counters,
+// and the completed-epoch count. The free-pool bitmap is rebuilt from the
+// holders. The journal window, when the ledger journals, is replaced by
+// win. Recovery-only; the ledger must be freshly built and not staging.
+func (l *ledger) restore(epoch uint64, holder []uint64, digest, assigns, releases uint64, win []Entry) error {
+	if len(holder) != l.cap {
+		return fmt.Errorf("namesvc: snapshot holds %d names, ledger capacity %d", len(holder), l.cap)
+	}
+	copy(l.holder, holder)
+	for i := range l.words {
+		l.words[i] = 0
+	}
+	for i := range l.summary {
+		l.summary[i] = 0
+	}
+	l.nfree = 0
+	for i, h := range l.holder {
+		if h != 0 {
+			continue
+		}
+		l.words[i/64] |= 1 << (uint(i) % 64)
+		l.summary[i/64/64] |= 1 << (uint(i/64) % 64)
+		l.nfree++
+	}
+	l.epoch = epoch
+	l.digest = digest
+	l.assigns = assigns
+	l.releases = releases
+	if l.journal {
+		l.entries = append(l.entries[:0], win...)
+		l.jstart = 0
+	}
+	return nil
+}

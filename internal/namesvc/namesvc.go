@@ -73,8 +73,13 @@ type Config struct {
 	// entries older than the window cannot be replayed or audited — a
 	// capped journal answers "what happened recently", not "everything
 	// that ever happened". Zero retains every entry, which grows without
-	// bound and is meant for bounded runs only.
+	// bound and is meant for bounded runs only — with Durable set it is
+	// auto-capped at AutoJournalLimit (the WAL is the full audit trail).
 	JournalLimit int
+	// Durable, when non-nil, persists every shard through a write-ahead
+	// log and snapshot chain; Open recovers the prior state from the
+	// configured sinks before serving. See Durability.
+	Durable *Durability
 }
 
 // normalized returns the config with defaults applied.
@@ -184,6 +189,8 @@ type shard struct {
 
 	acquires uint64
 	absorbed uint64
+
+	dur *shardWAL // nil on volatile services
 }
 
 // Service is the deterministic name-allocation core: sharded ledgers, FIFO
@@ -192,14 +199,42 @@ type shard struct {
 type Service struct {
 	cfg    Config
 	shards []*shard
+
+	// Durability plumbing; zero-valued on volatile services.
+	syncStop  chan struct{}
+	syncDone  chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// New builds a Service.
-func New(cfg Config) (*Service, error) {
+// New builds a Service. With Config.Durable set it recovers the persisted
+// state first (see Open, which it aliases).
+func New(cfg Config) (*Service, error) { return Open(cfg) }
+
+// Open builds a Service, recovering each shard from its durability sink
+// when Config.Durable is set: newest valid snapshot, WAL tail replay with
+// the sealed digests re-proven, torn tails truncated. A volatile config
+// (nil Durable) makes Open identical to a plain constructor. Durable
+// services must be Closed to flush the final checkpoint.
+func Open(cfg Config) (*Service, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.normalized()
+	var dcfg *Durability
+	if cfg.Durable != nil {
+		var err error
+		dcfg, err = cfg.Durable.normalized(cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Journal && cfg.JournalLimit <= 0 {
+			// An unbounded in-memory journal under a durable service is pure
+			// memory growth (the WAL already holds the complete history);
+			// cap it rather than let a long-lived daemon OOM.
+			cfg.JournalLimit = AutoJournalLimit
+		}
+	}
 	s := &Service{cfg: cfg, shards: make([]*shard, cfg.Shards)}
 	for i := range s.shards {
 		s.shards[i] = &shard{
@@ -208,6 +243,21 @@ func New(cfg Config) (*Service, error) {
 			seed:   rng.DeriveSeed(cfg.Seed, shardSalt+uint64(i)),
 			runner: forkRunner(cfg.Runner),
 		}
+		if dcfg != nil {
+			if err := s.recoverShard(i, s.shards[i], dcfg); err != nil {
+				for j := 0; j <= i; j++ {
+					if d := s.shards[j].dur; d != nil {
+						d.store.Close()
+					}
+				}
+				return nil, err
+			}
+		}
+	}
+	if dcfg != nil && dcfg.Fsync == FsyncInterval {
+		s.syncStop = make(chan struct{})
+		s.syncDone = make(chan struct{})
+		go s.walSyncLoop(dcfg.FsyncEvery)
 	}
 	return s, nil
 }
@@ -369,7 +419,11 @@ func (s *Service) Release(client uint64, name int) error {
 	sh := s.shards[shardIdx]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.led.release(sh.led.epoch, client, local)
+	err = sh.led.release(sh.led.epoch, client, local)
+	if err == nil {
+		s.flushWALLocked(shardIdx, sh)
+	}
+	return err
 }
 
 // ReleaseOp is one element of a ReleaseBatch submission.
@@ -404,8 +458,34 @@ func (s *Service) ReleaseBatch(shardIdx int, ops []ReleaseOp, errs []error) ([]e
 		}
 		errs = append(errs, sh.led.release(sh.led.epoch, op.Client, op.Name-lo))
 	}
+	s.flushWALLocked(shardIdx, sh)
 	sh.mu.Unlock()
 	return errs, nil
+}
+
+// Reclaim re-binds a held global name to the client the ledger records as
+// its holder — the restart handshake: after a crash and recovery, grants
+// survive in the ledger but no live connection holds them, so a returning
+// client proves continuity by reclaiming the names it held. It errors if
+// the name is outside the namespace, free, or held by a different client.
+// Reclaiming mutates nothing (the ledger already agrees), so it appends no
+// WAL record.
+func (s *Service) Reclaim(client uint64, name int) error {
+	shardIdx, err := s.ShardOfName(name)
+	if err != nil {
+		return err
+	}
+	local := name - shardIdx*s.cfg.ShardCap
+	sh := s.shards[shardIdx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	switch h := sh.led.holderOf(local); {
+	case h == 0:
+		return fmt.Errorf("namesvc: name %d is not assigned", name)
+	case h != client:
+		return fmt.Errorf("namesvc: name %d is not held by client %d", name, client)
+	}
+	return nil
 }
 
 // Pending returns the number of queued (uncancelled) requests on a shard.
@@ -543,6 +623,10 @@ func (s *Service) CloseEpoch(shardIdx int) ([]Grant, error) {
 	sh.grants = grants
 	sh.queued -= limit
 	sh.pending = append(sh.pending[:0], sh.pending[limit:]...)
+	// Seal the epoch's events (assigns plus absorbed releases) into one WAL
+	// record. A WAL failure degrades the shard, never the epoch: the grants
+	// stand (see the failure policy in durability.go).
+	s.flushWALLocked(shardIdx, sh)
 	return grants, nil
 }
 
@@ -647,12 +731,26 @@ type Stats struct {
 	Grants   uint64
 	Releases uint64
 	Absorbed uint64
+	// Digests holds each shard's rolling ledger digest, indexed by shard —
+	// the fingerprint a restarted instance must reproduce.
+	Digests []uint64
+	// WALRecords and WALSnapshots count durability artifacts written;
+	// WALFailures counts failed durability operations (a non-zero value
+	// means at least one shard has degraded to volatile — see the failure
+	// policy in durability.go). All zero on volatile services.
+	WALRecords   uint64
+	WALSnapshots uint64
+	WALFailures  uint64
 }
 
 // Stats collects the summary, locking each shard in turn.
 func (s *Service) Stats() Stats {
-	st := Stats{Shards: len(s.shards), ShardCap: s.cfg.ShardCap}
-	for _, sh := range s.shards {
+	st := Stats{
+		Shards:   len(s.shards),
+		ShardCap: s.cfg.ShardCap,
+		Digests:  make([]uint64, len(s.shards)),
+	}
+	for i, sh := range s.shards {
 		sh.mu.Lock()
 		st.Epochs += sh.led.epoch
 		free := sh.led.freeCount()
@@ -663,6 +761,12 @@ func (s *Service) Stats() Stats {
 		st.Grants += sh.led.assigns
 		st.Releases += sh.led.releases
 		st.Absorbed += sh.absorbed
+		st.Digests[i] = sh.led.digest
+		if d := sh.dur; d != nil {
+			st.WALRecords += d.records
+			st.WALSnapshots += d.snapshots
+			st.WALFailures += d.failures
+		}
 		sh.mu.Unlock()
 	}
 	return st
@@ -676,6 +780,14 @@ func (s *Service) ShardJournal(shardIdx int) []Entry {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return append([]Entry(nil), sh.led.journalWindow()...)
+}
+
+// ShardEpoch returns a shard's completed-epoch count.
+func (s *Service) ShardEpoch(shardIdx int) uint64 {
+	sh := s.shards[shardIdx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.led.epoch
 }
 
 // ShardDigest returns a shard's rolling ledger digest.

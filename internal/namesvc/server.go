@@ -704,6 +704,29 @@ func (s *Server) ingestFrame(c *svcConn, in *ingest, body []byte) (fatal bool) {
 		in.w.Reset()
 		appendStatsRep(&in.w, tag, st)
 		in.pushResp()
+	case opReclaim:
+		tag, client, name, err := decodeReclaim(body)
+		if err != nil {
+			s.cfg.Logf("%v: malformed reclaim: %v (closing connection)", c.conn.RemoteAddr(), err)
+			return true
+		}
+		// The restart handshake: re-bind a ledger-held name (a grant that
+		// survived a server restart) to this connection, so it can be
+		// released here. Flush the burst first so a preceding release of
+		// the same name is observed, matching one-at-a-time semantics.
+		s.submitBurst(c, in)
+		in.w.Reset()
+		if err := s.svc.Reclaim(client, name); err != nil {
+			appendReject(&in.w, tag, RejectNotHeld, err.Error())
+		} else {
+			c.mu.Lock()
+			if c.held != nil {
+				c.held[name] = client
+			}
+			c.mu.Unlock()
+			appendReclaimed(&in.w, tag)
+		}
+		in.pushResp()
 	default:
 		s.cfg.Logf("%v: unknown op %d (closing connection)", c.conn.RemoteAddr(), op)
 		return true

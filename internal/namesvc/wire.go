@@ -18,23 +18,28 @@ import (
 // name the connection does not hold) are answered with a reject frame and
 // the connection lives on.
 const (
-	opHello    byte = 1  // client → server: protocol version
-	opAcquire  byte = 2  // client → server: tag, client ID
-	opRelease  byte = 3  // client → server: tag, global name
-	opStats    byte = 4  // client → server: tag
-	opWelcome  byte = 16 // server → client: version, shards, shard capacity
-	opGrant    byte = 17 // server → client: tag, name, shard, epoch
-	opReleased byte = 18 // server → client: tag
-	opStatsRep byte = 19 // server → client: tag, counters
-	opReject   byte = 20 // server → client: tag, code, message
+	opHello     byte = 1  // client → server: protocol version
+	opAcquire   byte = 2  // client → server: tag, client ID
+	opRelease   byte = 3  // client → server: tag, global name
+	opStats     byte = 4  // client → server: tag
+	opReclaim   byte = 5  // client → server: tag, client ID, global name
+	opWelcome   byte = 16 // server → client: version, shards, shard capacity
+	opGrant     byte = 17 // server → client: tag, name, shard, epoch
+	opReleased  byte = 18 // server → client: tag
+	opStatsRep  byte = 19 // server → client: tag, counters, per-shard digests
+	opReject    byte = 20 // server → client: tag, code, message
+	opReclaimed byte = 21 // server → client: tag
 )
 
-// svcProtocolVersion is the hello/welcome handshake version.
-const svcProtocolVersion = 1
+// svcProtocolVersion is the hello/welcome handshake version. Version 2
+// added reclaim (the restart handshake for durable servers) and the
+// per-shard digests + WAL counters in the stats reply.
+const svcProtocolVersion = 2
 
 // svcMaxFrame bounds any frame of the service protocol; every op is a few
-// varints, so 4 KiB is generous while keeping hostile length prefixes cheap.
-const svcMaxFrame = 1 << 12
+// varints — the stats reply additionally carries one digest per shard — so
+// 64 KiB is generous while keeping hostile length prefixes cheap.
+const svcMaxFrame = 1 << 16
 
 // RejectCode classifies a reject frame.
 type RejectCode uint64
@@ -149,6 +154,46 @@ func decodeRelease(body []byte) (tag uint64, name int, err error) {
 	return tag, name, nil
 }
 
+func appendReclaim(w *wire.Writer, tag, client uint64, name int) {
+	w.Byte(opReclaim)
+	w.Uvarint(tag)
+	w.Uvarint(client)
+	w.Uvarint(uint64(name))
+}
+
+func decodeReclaim(body []byte) (tag, client uint64, name int, err error) {
+	r := wire.NewReader(body)
+	r.Byte()
+	tag = r.Uvarint()
+	client = r.Uvarint()
+	name = int(r.Uvarint())
+	if err := r.Close(); err != nil {
+		return 0, 0, 0, err
+	}
+	if client == 0 {
+		return 0, 0, 0, fmt.Errorf("namesvc: reclaim with zero client ID")
+	}
+	if name < 1 {
+		return 0, 0, 0, fmt.Errorf("namesvc: reclaim of name %d", name)
+	}
+	return tag, client, name, nil
+}
+
+func appendReclaimed(w *wire.Writer, tag uint64) {
+	w.Byte(opReclaimed)
+	w.Uvarint(tag)
+}
+
+func decodeReclaimed(body []byte) (tag uint64, err error) {
+	r := wire.NewReader(body)
+	r.Byte()
+	tag = r.Uvarint()
+	if err := r.Close(); err != nil {
+		return 0, err
+	}
+	return tag, nil
+}
+
 func appendStatsReq(w *wire.Writer, tag uint64) {
 	w.Byte(opStats)
 	w.Uvarint(tag)
@@ -216,6 +261,13 @@ func appendStatsRep(w *wire.Writer, tag uint64, st Stats) {
 	w.Uvarint(st.Grants)
 	w.Uvarint(st.Releases)
 	w.Uvarint(st.Absorbed)
+	w.Uvarint(uint64(len(st.Digests)))
+	for _, d := range st.Digests {
+		w.Uvarint(d)
+	}
+	w.Uvarint(st.WALRecords)
+	w.Uvarint(st.WALSnapshots)
+	w.Uvarint(st.WALFailures)
 }
 
 func decodeStatsRep(body []byte) (tag uint64, st Stats, err error) {
@@ -232,6 +284,19 @@ func decodeStatsRep(body []byte) (tag uint64, st Stats, err error) {
 	st.Grants = r.Uvarint()
 	st.Releases = r.Uvarint()
 	st.Absorbed = r.Uvarint()
+	n := r.Uvarint()
+	if r.Err() == nil && n > uint64(r.Remaining()+1) {
+		return 0, Stats{}, fmt.Errorf("%w: %d digests in %d remaining", wire.ErrTruncated, n, r.Remaining())
+	}
+	if n > 0 {
+		st.Digests = make([]uint64, 0, n)
+		for i := uint64(0); i < n; i++ {
+			st.Digests = append(st.Digests, r.Uvarint())
+		}
+	}
+	st.WALRecords = r.Uvarint()
+	st.WALSnapshots = r.Uvarint()
+	st.WALFailures = r.Uvarint()
 	if err := r.Close(); err != nil {
 		return 0, Stats{}, err
 	}

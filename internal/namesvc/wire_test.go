@@ -2,6 +2,7 @@ package namesvc
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -57,11 +58,24 @@ func TestWireRoundTrips(t *testing.T) {
 	}
 
 	st := Stats{Shards: 4, ShardCap: 1024, Epochs: 17, Assigned: 12, Free: 4084,
-		Pending: 3, Acquires: 100, Grants: 90, Releases: 78, Absorbed: 2}
+		Pending: 3, Acquires: 100, Grants: 90, Releases: 78, Absorbed: 2,
+		Digests: []uint64{1, 0xcbf29ce484222325, 3, 4}, WALRecords: 17, WALSnapshots: 2, WALFailures: 1}
 	w.Reset()
 	appendStatsRep(&w, 9, st)
-	if tag, got, err := decodeStatsRep(w.Bytes()); err != nil || tag != 9 || got != st {
+	if tag, got, err := decodeStatsRep(w.Bytes()); err != nil || tag != 9 || !reflect.DeepEqual(got, st) {
 		t.Fatalf("stats rep = (%d, %+v, %v)", tag, got, err)
+	}
+
+	w.Reset()
+	appendReclaim(&w, 11, 99, 2061)
+	if tag, client, name, err := decodeReclaim(w.Bytes()); err != nil || tag != 11 || client != 99 || name != 2061 {
+		t.Fatalf("reclaim = (%d, %d, %d, %v)", tag, client, name, err)
+	}
+
+	w.Reset()
+	appendReclaimed(&w, 11)
+	if tag, err := decodeReclaimed(w.Bytes()); err != nil || tag != 11 {
+		t.Fatalf("reclaimed = (%d, %v)", tag, err)
 	}
 
 	w.Reset()
@@ -78,17 +92,20 @@ func TestWireRoundTrips(t *testing.T) {
 func TestWireCutPointsAreTruncated(t *testing.T) {
 	t.Parallel()
 	g := Grant{ReqID: 1, Client: 300, Shard: 3, Epoch: 300, Name: 300}
-	st := Stats{Shards: 300, ShardCap: 300, Epochs: 300, Acquires: 300}
+	st := Stats{Shards: 300, ShardCap: 300, Epochs: 300, Acquires: 300,
+		Digests: []uint64{300, 300}, WALRecords: 300}
 	encoders := map[string]func(*wire.Writer){
-		"hello":    func(w *wire.Writer) { appendSvcHello(w) },
-		"welcome":  func(w *wire.Writer) { appendWelcome(w, 300, 300) },
-		"acquire":  func(w *wire.Writer) { appendAcquire(w, 300, 300) },
-		"release":  func(w *wire.Writer) { appendRelease(w, 300, 300) },
-		"statsreq": func(w *wire.Writer) { appendStatsReq(w, 300) },
-		"grant":    func(w *wire.Writer) { appendGrant(w, 300, g) },
-		"released": func(w *wire.Writer) { appendReleased(w, 300) },
-		"statsrep": func(w *wire.Writer) { appendStatsRep(w, 300, st) },
-		"reject":   func(w *wire.Writer) { appendReject(w, 300, RejectBusy, "busy busy") },
+		"hello":     func(w *wire.Writer) { appendSvcHello(w) },
+		"welcome":   func(w *wire.Writer) { appendWelcome(w, 300, 300) },
+		"acquire":   func(w *wire.Writer) { appendAcquire(w, 300, 300) },
+		"release":   func(w *wire.Writer) { appendRelease(w, 300, 300) },
+		"statsreq":  func(w *wire.Writer) { appendStatsReq(w, 300) },
+		"reclaim":   func(w *wire.Writer) { appendReclaim(w, 300, 300, 300) },
+		"grant":     func(w *wire.Writer) { appendGrant(w, 300, g) },
+		"released":  func(w *wire.Writer) { appendReleased(w, 300) },
+		"reclaimed": func(w *wire.Writer) { appendReclaimed(w, 300) },
+		"statsrep":  func(w *wire.Writer) { appendStatsRep(w, 300, st) },
+		"reject":    func(w *wire.Writer) { appendReject(w, 300, RejectBusy, "busy busy") },
 	}
 	decoders := map[string]func([]byte) error{
 		"hello":   decodeSvcHello,
@@ -99,10 +116,12 @@ func TestWireCutPointsAreTruncated(t *testing.T) {
 			_, err := decodeStatsReq(b)
 			return err
 		},
-		"grant":    func(b []byte) error { _, _, err := decodeGrant(b); return err },
-		"released": func(b []byte) error { _, err := decodeReleased(b); return err },
-		"statsrep": func(b []byte) error { _, _, err := decodeStatsRep(b); return err },
-		"reject":   func(b []byte) error { _, _, _, err := decodeReject(b); return err },
+		"reclaim":   func(b []byte) error { _, _, _, err := decodeReclaim(b); return err },
+		"grant":     func(b []byte) error { _, _, err := decodeGrant(b); return err },
+		"released":  func(b []byte) error { _, err := decodeReleased(b); return err },
+		"reclaimed": func(b []byte) error { _, err := decodeReclaimed(b); return err },
+		"statsrep":  func(b []byte) error { _, _, err := decodeStatsRep(b); return err },
+		"reject":    func(b []byte) error { _, _, _, err := decodeReject(b); return err },
 	}
 	for name, enc := range encoders {
 		var w wire.Writer
