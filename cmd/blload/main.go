@@ -61,6 +61,7 @@ type config struct {
 	rate        int
 	timeout     time.Duration
 	json        bool
+	probe       bool
 }
 
 // parseFlags parses args into a validated config.
@@ -80,6 +81,8 @@ func parseFlags(args []string) (*config, error) {
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "dial and write timeout")
 	fs.BoolVar(&cfg.json, "json", false,
 		"emit the report as one JSON object on stdout (for BENCH_*.json artifacts), after the text report on stderr")
+	fs.BoolVar(&cfg.probe, "probe", false,
+		"readiness probe: dial once, complete the hello/welcome handshake, exit 0 on success and 1 on failure (for CI startup polling; no load is generated)")
 	if err := fs.Parse(args); err != nil {
 		// The FlagSet has already reported the problem (or printed the
 		// -h usage) to stderr; mark it so main does not repeat it.
@@ -164,6 +167,11 @@ type jsonReport struct {
 	SvcAbsorbed uint64  `json:"server_absorbed"`
 	SvcAssigned int     `json:"server_assigned"`
 	SvcFree     int     `json:"server_free"`
+	// Latency is the raw histogram snapshot (non-empty buckets plus exact
+	// aggregates), not just the quantiles above: artifacts from separate
+	// runs — or from the simulator, which emits the same shape — merge
+	// losslessly through stats.FromSnapshot + Histogram.Merge.
+	Latency stats.Snapshot `json:"latency_ns"`
 }
 
 // writeJSON emits the report as a single JSON object.
@@ -194,6 +202,7 @@ func (r *report) writeJSON(w io.Writer) error {
 		SvcAbsorbed: r.svc.Absorbed,
 		SvcAssigned: r.svc.Assigned,
 		SvcFree:     r.svc.Free,
+		Latency:     r.lat.Snapshot(),
 	}
 	return json.NewEncoder(w).Encode(out)
 }
@@ -212,7 +221,7 @@ type worker struct {
 	releases atomic.Uint64
 	inflight atomic.Int64
 	comp     chan completion
-	relCB    func(error) // created once, shared by every release
+	relCB    func(error)   // created once, shared by every release
 	done     chan struct{} // closed when stopped and drained
 	doneOnce sync.Once
 }
@@ -498,6 +507,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 		}
 		os.Exit(2)
+	}
+	if cfg.probe {
+		c, err := namesvc.Dial(cfg.connect, namesvc.ClientConfig{Timeout: cfg.timeout})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blload: probe: %v\n", err)
+			os.Exit(1)
+		}
+		c.Close()
+		return
 	}
 	rep, err := runLoad(cfg)
 	if err != nil {

@@ -76,6 +76,7 @@ type config struct {
 	journal        bool
 	journalLimit   int
 	quiet          bool
+	manualEpochs   bool
 	dataDir        string
 	fsyncMode      namesvc.FsyncMode
 	fsyncEvery     time.Duration
@@ -105,6 +106,8 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.journalLimit, "journal-limit", 1<<20,
 		"with -journal, retain only the most recent entries per shard (0 = unbounded growth)")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress per-connection logging")
+	fs.BoolVar(&cfg.manualEpochs, "manual-epochs", false,
+		"testing/replay mode: no autonomous epoch loops; epochs close only on a client's epoch op (-epoch is ignored), making epoch composition a pure function of wire traffic")
 	fs.StringVar(&cfg.dataDir, "data-dir", "",
 		"directory for per-shard write-ahead logs and snapshots; empty = volatile")
 	var fsync string
@@ -212,6 +215,7 @@ func build(cfg *config) (*namesvc.Server, *namesvc.Service, error) {
 		IOTimeout:      cfg.timeout,
 		MaxOutstanding: cfg.maxOutstanding,
 		MaxConnQueue:   cfg.maxConnQueue,
+		ManualEpochs:   cfg.manualEpochs,
 	}
 	if !cfg.quiet {
 		scfg.Logf = func(format string, args ...any) {

@@ -8,6 +8,13 @@
 //	blsim -n 4096 -algo early -f 64    # early termination under 64 crashes
 //	blsim -n 1024 -crash splitter      # the §6 single-crash pattern
 //	blsim -n 32 -names                 # print the decided name table
+//
+// Service-simulation mode (scenario.go) drives the name service under
+// virtual time instead:
+//
+//	blsim -list-scenarios                      # the scenario library
+//	blsim -scenario zipf-shards -seed 7 -json  # one run, JSON artifact
+//	blsim -scenario all -seeds 3 -diff         # seed sweep + sim==real gate
 package main
 
 import (
@@ -36,8 +43,24 @@ func main() {
 		names  = flag.Bool("names", false, "print the decided name table")
 		verify = flag.Bool("verify", true, "enable runtime invariant checks")
 		arity  = flag.Int("arity", 2, "virtual tree fan-out")
+
+		scenario = flag.String("scenario", "", "run a name-service simulation scenario (name from -list-scenarios, or \"all\")")
+		seeds    = flag.Int("seeds", 1, "scenario mode: sweep this many consecutive seeds starting at -seed")
+		scale    = flag.Float64("scale", 1, "scenario mode: population/horizon scale factor (CI uses 0.25)")
+		jsonOut  = flag.Bool("json", false, "scenario mode: emit deterministic JSON artifacts")
+		diff     = flag.Bool("diff", false, "scenario mode: replay each trace through a real server over loopback TCP and require identical digests, grants, journals")
+		list     = flag.Bool("list-scenarios", false, "list the scenario library and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		listScenarios()
+		return
+	}
+	if *scenario != "" {
+		scenarioMain(*scenario, *seed, *seeds, *scale, *jsonOut, *diff)
+		return
+	}
 
 	strategy, err := parseStrategy(*algo)
 	if err != nil {

@@ -58,6 +58,8 @@ type pendingOp struct {
 	onRelease func(error)
 	onStats   func(Stats, error)
 	onReclaim func(error)
+	onEpoch   func(epoch uint64, granted int, err error)
+	onJournal func(JournalPage, error)
 }
 
 // fail invokes whichever callback is set with the error.
@@ -71,6 +73,10 @@ func (p pendingOp) fail(err error) {
 		p.onStats(Stats{}, err)
 	case p.onReclaim != nil:
 		p.onReclaim(err)
+	case p.onEpoch != nil:
+		p.onEpoch(0, 0, err)
+	case p.onJournal != nil:
+		p.onJournal(JournalPage{}, err)
 	}
 }
 
@@ -176,17 +182,17 @@ func (c *Client) Acquire(client uint64, cb func(Grant, error)) error {
 	if client == 0 {
 		return fmt.Errorf("namesvc: client ID must be non-zero")
 	}
-	return c.send(pendingOp{onGrant: cb}, opAcquire, client, 0)
+	return c.send(pendingOp{onGrant: cb}, opAcquire, client, 0, 0)
 }
 
 // Release returns a held name; cb receives nil on success.
 func (c *Client) Release(name int, cb func(error)) error {
-	return c.send(pendingOp{onRelease: cb}, opRelease, 0, uint64(name))
+	return c.send(pendingOp{onRelease: cb}, opRelease, 0, uint64(name), 0)
 }
 
 // Stats requests the server's counters.
 func (c *Client) Stats(cb func(Stats, error)) error {
-	return c.send(pendingOp{onStats: cb}, opStats, 0, 0)
+	return c.send(pendingOp{onStats: cb}, opStats, 0, 0, 0)
 }
 
 // Reclaim re-binds a name the service's ledger already records as held by
@@ -198,14 +204,39 @@ func (c *Client) Reclaim(client uint64, name int, cb func(error)) error {
 	if client == 0 {
 		return fmt.Errorf("namesvc: client ID must be non-zero")
 	}
-	return c.send(pendingOp{onReclaim: cb}, opReclaim, client, uint64(name))
+	return c.send(pendingOp{onReclaim: cb}, opReclaim, client, uint64(name), 0)
+}
+
+// Epoch asks a manual-epoch server (ServerConfig.ManualEpochs) to close
+// exactly one epoch on the given shard. The reply carries the shard's epoch
+// counter after the close and the number of grants it accepted; because the
+// server appends the epoch's grant frames before the reply, every grant of
+// the epoch destined for this connection has already been dispatched when
+// cb runs. Ordinary servers reject the op with RejectUnsupported.
+func (c *Client) Epoch(shard int, cb func(epoch uint64, granted int, err error)) error {
+	if shard < 0 {
+		return fmt.Errorf("namesvc: shard must be >= 0, got %d", shard)
+	}
+	return c.send(pendingOp{onEpoch: cb}, opEpoch, uint64(shard), 0, 0)
+}
+
+// Journal fetches one page of a journaling server's retained journal window
+// for a shard: up to maxEntries entries starting at position start (the
+// server caps a page at its frame budget, so the reply may be shorter —
+// page callers advance by len(Entries) until Start+len(Entries) == Total).
+// Servers without Config.Journal reject the op with RejectUnsupported.
+func (c *Client) Journal(shard, start, maxEntries int, cb func(JournalPage, error)) error {
+	if shard < 0 || start < 0 || maxEntries < 0 {
+		return fmt.Errorf("namesvc: journal request shard %d start %d max %d", shard, start, maxEntries)
+	}
+	return c.send(pendingOp{onJournal: cb}, opJournal, uint64(shard), uint64(start), uint64(maxEntries))
 }
 
 // send registers the pending op, then encodes and buffers its request
 // frame. The op is selected by wire tag rather than a fill closure so the
 // per-op path allocates nothing; registration comes first so a response
 // racing the flusher always finds its callback.
-func (c *Client) send(p pendingOp, op byte, arg, arg2 uint64) error {
+func (c *Client) send(p pendingOp, op byte, arg, arg2, arg3 uint64) error {
 	tag := c.nextTag.Add(1)
 	if err := c.register(tag, p); err != nil {
 		return err
@@ -226,6 +257,10 @@ func (c *Client) send(p pendingOp, op byte, arg, arg2 uint64) error {
 		appendStatsReq(&c.w, tag)
 	case opReclaim:
 		appendReclaim(&c.w, tag, arg, int(arg2))
+	case opEpoch:
+		appendEpochReq(&c.w, tag, int(arg))
+	case opJournal:
+		appendJournalReq(&c.w, tag, int(arg), int(arg2), int(arg3))
 	}
 	return c.writeLocked(tag)
 }
@@ -269,6 +304,58 @@ func (c *Client) ReclaimSync(client uint64, name int) error {
 		return err
 	}
 	return <-ch
+}
+
+// EpochSync closes one epoch on a manual-epoch server and waits for the
+// reply. When it returns, every grant the epoch handed to this connection
+// has already been dispatched to its Acquire callback.
+func (c *Client) EpochSync(shard int) (epoch uint64, granted int, err error) {
+	type result struct {
+		epoch   uint64
+		granted int
+		err     error
+	}
+	ch := make(chan result, 1)
+	if err := c.Epoch(shard, func(epoch uint64, granted int, err error) {
+		ch <- result{epoch, granted, err}
+	}); err != nil {
+		return 0, 0, err
+	}
+	if err := c.Flush(); err != nil {
+		return 0, 0, err
+	}
+	r := <-ch
+	return r.epoch, r.granted, r.err
+}
+
+// JournalSync fetches a shard's entire retained journal window, paging until
+// the server reports no further entries.
+func (c *Client) JournalSync(shard int) ([]Entry, error) {
+	type result struct {
+		page JournalPage
+		err  error
+	}
+	ch := make(chan result, 1)
+	var entries []Entry
+	for start := 0; ; {
+		if err := c.Journal(shard, start, journalPageMax, func(page JournalPage, err error) {
+			ch <- result{page, err}
+		}); err != nil {
+			return nil, err
+		}
+		if err := c.Flush(); err != nil {
+			return nil, err
+		}
+		r := <-ch
+		if r.err != nil {
+			return nil, r.err
+		}
+		entries = append(entries, r.page.Entries...)
+		start += len(r.page.Entries)
+		if start >= r.page.Total || len(r.page.Entries) == 0 {
+			return entries, nil
+		}
+	}
 }
 
 // StatsSync fetches the server's counters.
@@ -433,6 +520,22 @@ func (c *Client) dispatch(body []byte) error {
 		}
 		if p, ok := c.takePending(tag); ok && p.onReclaim != nil {
 			p.onReclaim(nil)
+		}
+	case opEpochRep:
+		tag, epoch, granted, err := decodeEpochRep(body)
+		if err != nil {
+			return err
+		}
+		if p, ok := c.takePending(tag); ok && p.onEpoch != nil {
+			p.onEpoch(epoch, granted, nil)
+		}
+	case opJournalRep:
+		tag, page, err := decodeJournalRep(body)
+		if err != nil {
+			return err
+		}
+		if p, ok := c.takePending(tag); ok && p.onJournal != nil {
+			p.onJournal(page, nil)
 		}
 	case opReject:
 		tag, code, msg, err := decodeReject(body)

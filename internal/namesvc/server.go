@@ -55,6 +55,16 @@ type ServerConfig struct {
 	MaxConnQueue int
 	// IOTimeout bounds the handshake read and every write. Zero means 30s.
 	IOTimeout time.Duration
+	// ManualEpochs disables the autonomous epoch loops: no epoch runs until
+	// a client sends an epoch-close op for a shard, which closes exactly one
+	// epoch and replies with the shard's epoch number and grant count after
+	// delivering the grants. This makes epoch composition — which requests
+	// batch into which epoch — a pure function of the wire traffic, which is
+	// what the deterministic simulator's differential replay needs; it is a
+	// testing/replay mode, not a production configuration. EpochInterval is
+	// ignored. On a server without ManualEpochs the epoch op is rejected
+	// with RejectUnsupported.
+	ManualEpochs bool
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -101,9 +111,13 @@ type Server struct {
 	workers int             // epoch loops; shard s is driven by worker s%workers
 	kicks   []chan struct{} // one binary semaphore per epoch worker
 	deliver []shardDelivery
-	stop    chan struct{}
-	once    sync.Once
-	wg      sync.WaitGroup
+	// manualMu serializes manual epoch closes per shard (ManualEpochs mode):
+	// a shard's delivery scratch is owned by whoever closes its epochs, and
+	// with no epoch loops that is whichever connection sent the epoch op.
+	manualMu []sync.Mutex
+	stop     chan struct{}
+	once     sync.Once
+	wg       sync.WaitGroup
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -124,14 +138,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.EpochInterval > 0 || workers > shards {
 		workers = shards
 	}
+	if cfg.ManualEpochs {
+		workers = 0 // no autonomous epoch loops; clients drive every close
+	}
 	s := &Server{
-		cfg:     cfg,
-		svc:     cfg.Service,
-		workers: workers,
-		kicks:   make([]chan struct{}, workers),
-		deliver: make([]shardDelivery, shards),
-		stop:    make(chan struct{}),
-		conns:   make(map[net.Conn]struct{}),
+		cfg:      cfg,
+		svc:      cfg.Service,
+		workers:  workers,
+		kicks:    make([]chan struct{}, workers),
+		deliver:  make([]shardDelivery, shards),
+		manualMu: make([]sync.Mutex, shards),
+		stop:     make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	for i := range s.deliver {
 		s.deliver[i].byConn = make(map[*svcConn]int32)
@@ -197,12 +215,32 @@ func (s *Server) Close() error {
 }
 
 // kick nudges the epoch loop driving a shard; the channel is a binary
-// semaphore, so concurrent kicks coalesce.
+// semaphore, so concurrent kicks coalesce. With ManualEpochs there is no
+// loop to nudge — the next client-driven epoch close observes the work.
 func (s *Server) kick(shard int) {
+	if s.workers == 0 {
+		return
+	}
 	select {
 	case s.kicks[shard%s.workers] <- struct{}{}:
 	default:
 	}
+}
+
+// closeManualEpoch closes exactly one epoch on a shard and delivers its
+// grants — the server half of the epoch op. The per-shard manual mutex
+// makes the delivery scratch single-owner exactly as an epoch loop would;
+// the read-loop goroutine that sent the op runs the close synchronously, so
+// by the time its reply is encoded, every grant frame of the epoch is
+// already committed to its destination outbox (FIFO before the reply on
+// the requesting connection).
+func (s *Server) closeManualEpoch(shard int) (epoch uint64, granted int, err error) {
+	s.manualMu[shard].Lock()
+	defer s.manualMu[shard].Unlock()
+	grants, err := s.svc.CloseEpoch(shard)
+	granted = len(grants)
+	s.deliverEpochs(shard)
+	return s.svc.ShardEpoch(shard), granted, err
 }
 
 // shardLoop closes epochs on one shard whenever work arrives: group commit
@@ -703,6 +741,62 @@ func (s *Server) ingestFrame(c *svcConn, in *ingest, body []byte) (fatal bool) {
 		st := s.svc.Stats()
 		in.w.Reset()
 		appendStatsRep(&in.w, tag, st)
+		in.pushResp()
+	case opEpoch:
+		tag, shard, err := decodeEpochReq(body)
+		if err != nil {
+			s.cfg.Logf("%v: malformed epoch: %v (closing connection)", c.conn.RemoteAddr(), err)
+			return true
+		}
+		// Flush the burst first: an epoch close must batch every acquire
+		// that preceded it on this connection, exactly the FIFO semantics
+		// the replay harness depends on.
+		s.submitBurst(c, in)
+		in.w.Reset()
+		switch {
+		case !s.cfg.ManualEpochs:
+			appendReject(&in.w, tag, RejectUnsupported, "server closes epochs autonomously")
+		case shard < 0 || shard >= s.svc.Shards():
+			appendReject(&in.w, tag, RejectInternal,
+				fmt.Sprintf("shard %d outside 0..%d", shard, s.svc.Shards()-1))
+		default:
+			epoch, granted, err := s.closeManualEpoch(shard)
+			if err != nil {
+				appendReject(&in.w, tag, RejectInternal, err.Error())
+			} else {
+				appendEpochRep(&in.w, tag, epoch, granted)
+			}
+		}
+		in.pushResp()
+	case opJournal:
+		tag, shard, start, maxEntries, err := decodeJournalReq(body)
+		if err != nil {
+			s.cfg.Logf("%v: malformed journal: %v (closing connection)", c.conn.RemoteAddr(), err)
+			return true
+		}
+		s.submitBurst(c, in)
+		in.w.Reset()
+		switch {
+		case !s.svc.cfg.Journal:
+			appendReject(&in.w, tag, RejectUnsupported, "server keeps no journal")
+		case shard < 0 || shard >= s.svc.Shards():
+			appendReject(&in.w, tag, RejectInternal,
+				fmt.Sprintf("shard %d outside 0..%d", shard, s.svc.Shards()-1))
+		default:
+			win := s.svc.ShardJournal(shard)
+			if maxEntries <= 0 || maxEntries > journalPageMax {
+				maxEntries = journalPageMax
+			}
+			if start > len(win) {
+				start = len(win)
+			}
+			end := min(start+maxEntries, len(win))
+			appendJournalRep(&in.w, tag, JournalPage{
+				Total:   len(win),
+				Start:   start,
+				Entries: win[start:end],
+			})
+		}
 		in.pushResp()
 	case opReclaim:
 		tag, client, name, err := decodeReclaim(body)

@@ -18,23 +18,29 @@ import (
 // name the connection does not hold) are answered with a reject frame and
 // the connection lives on.
 const (
-	opHello     byte = 1  // client → server: protocol version
-	opAcquire   byte = 2  // client → server: tag, client ID
-	opRelease   byte = 3  // client → server: tag, global name
-	opStats     byte = 4  // client → server: tag
-	opReclaim   byte = 5  // client → server: tag, client ID, global name
-	opWelcome   byte = 16 // server → client: version, shards, shard capacity
-	opGrant     byte = 17 // server → client: tag, name, shard, epoch
-	opReleased  byte = 18 // server → client: tag
-	opStatsRep  byte = 19 // server → client: tag, counters, per-shard digests
-	opReject    byte = 20 // server → client: tag, code, message
-	opReclaimed byte = 21 // server → client: tag
+	opHello      byte = 1  // client → server: protocol version
+	opAcquire    byte = 2  // client → server: tag, client ID
+	opRelease    byte = 3  // client → server: tag, global name
+	opStats      byte = 4  // client → server: tag
+	opReclaim    byte = 5  // client → server: tag, client ID, global name
+	opEpoch      byte = 6  // client → server: tag, shard (manual-epoch servers only)
+	opJournal    byte = 7  // client → server: tag, shard, start, max
+	opWelcome    byte = 16 // server → client: version, shards, shard capacity
+	opGrant      byte = 17 // server → client: tag, name, shard, epoch
+	opReleased   byte = 18 // server → client: tag
+	opStatsRep   byte = 19 // server → client: tag, counters, per-shard digests
+	opReject     byte = 20 // server → client: tag, code, message
+	opReclaimed  byte = 21 // server → client: tag
+	opEpochRep   byte = 22 // server → client: tag, shard epoch after the close, grant count
+	opJournalRep byte = 23 // server → client: tag, window total, start, entries
 )
 
 // svcProtocolVersion is the hello/welcome handshake version. Version 2
 // added reclaim (the restart handshake for durable servers) and the
-// per-shard digests + WAL counters in the stats reply.
-const svcProtocolVersion = 2
+// per-shard digests + WAL counters in the stats reply. Version 3 added
+// the manual-epoch close op and the paged journal fetch, the replay
+// surface the deterministic simulator's differential harness drives.
+const svcProtocolVersion = 3
 
 // svcMaxFrame bounds any frame of the service protocol; every op is a few
 // varints — the stats reply additionally carries one digest per shard — so
@@ -51,6 +57,10 @@ const (
 	RejectNotHeld RejectCode = 2
 	// RejectInternal: the server failed to process the request.
 	RejectInternal RejectCode = 3
+	// RejectUnsupported: the op exists in the protocol but this server does
+	// not serve it (an epoch close on a server whose epoch loops run
+	// autonomously, or a journal fetch on a server that keeps no journal).
+	RejectUnsupported RejectCode = 4
 )
 
 // String implements fmt.Stringer.
@@ -62,6 +72,8 @@ func (c RejectCode) String() string {
 		return "not-held"
 	case RejectInternal:
 		return "internal"
+	case RejectUnsupported:
+		return "unsupported"
 	default:
 		return fmt.Sprintf("reject(%d)", uint64(c))
 	}
@@ -309,6 +321,126 @@ func appendReject(w *wire.Writer, tag uint64, code RejectCode, msg string) {
 	w.Uvarint(uint64(code))
 	w.Uvarint(uint64(len(msg)))
 	w.Raw([]byte(msg))
+}
+
+func appendEpochReq(w *wire.Writer, tag uint64, shard int) {
+	w.Byte(opEpoch)
+	w.Uvarint(tag)
+	w.Uvarint(uint64(shard))
+}
+
+func decodeEpochReq(body []byte) (tag uint64, shard int, err error) {
+	r := wire.NewReader(body)
+	r.Byte()
+	tag = r.Uvarint()
+	shard = int(r.Uvarint())
+	if err := r.Close(); err != nil {
+		return 0, 0, err
+	}
+	return tag, shard, nil
+}
+
+func appendEpochRep(w *wire.Writer, tag, epoch uint64, granted int) {
+	w.Byte(opEpochRep)
+	w.Uvarint(tag)
+	w.Uvarint(epoch)
+	w.Uvarint(uint64(granted))
+}
+
+func decodeEpochRep(body []byte) (tag, epoch uint64, granted int, err error) {
+	r := wire.NewReader(body)
+	r.Byte()
+	tag = r.Uvarint()
+	epoch = r.Uvarint()
+	granted = int(r.Uvarint())
+	if err := r.Close(); err != nil {
+		return 0, 0, 0, err
+	}
+	return tag, epoch, granted, nil
+}
+
+// journalPageMax caps the entries per journal reply so a page of five-varint
+// entries always fits svcMaxFrame with room to spare.
+const journalPageMax = 1024
+
+func appendJournalReq(w *wire.Writer, tag uint64, shard, start, maxEntries int) {
+	w.Byte(opJournal)
+	w.Uvarint(tag)
+	w.Uvarint(uint64(shard))
+	w.Uvarint(uint64(start))
+	w.Uvarint(uint64(maxEntries))
+}
+
+func decodeJournalReq(body []byte) (tag uint64, shard, start, maxEntries int, err error) {
+	r := wire.NewReader(body)
+	r.Byte()
+	tag = r.Uvarint()
+	shard = int(r.Uvarint())
+	start = int(r.Uvarint())
+	maxEntries = int(r.Uvarint())
+	if err := r.Close(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if start < 0 || maxEntries < 0 {
+		return 0, 0, 0, 0, fmt.Errorf("namesvc: journal request start %d max %d", start, maxEntries)
+	}
+	return tag, shard, start, maxEntries, nil
+}
+
+// JournalPage is one paged window of a shard's retained journal, fetched
+// over the wire: Entries holds journal positions Start..Start+len(Entries)-1
+// of a retained window Total entries long (names are shard-local, exactly as
+// Service.ShardJournal reports them).
+type JournalPage struct {
+	Total   int
+	Start   int
+	Entries []Entry
+}
+
+func appendJournalRep(w *wire.Writer, tag uint64, page JournalPage) {
+	w.Byte(opJournalRep)
+	w.Uvarint(tag)
+	w.Uvarint(uint64(page.Total))
+	w.Uvarint(uint64(page.Start))
+	w.Uvarint(uint64(len(page.Entries)))
+	for _, e := range page.Entries {
+		w.Uvarint(e.Epoch)
+		w.Byte(byte(e.Op))
+		w.Uvarint(e.Client)
+		w.Uvarint(e.ReqID)
+		w.Uvarint(uint64(e.Name))
+	}
+}
+
+func decodeJournalRep(body []byte) (tag uint64, page JournalPage, err error) {
+	r := wire.NewReader(body)
+	r.Byte()
+	tag = r.Uvarint()
+	page.Total = int(r.Uvarint())
+	page.Start = int(r.Uvarint())
+	n := r.Uvarint()
+	if r.Err() == nil && n > uint64(r.Remaining()/5+1) {
+		return 0, JournalPage{}, fmt.Errorf("%w: %d journal entries in %d remaining", wire.ErrTruncated, n, r.Remaining())
+	}
+	if n > 0 {
+		page.Entries = make([]Entry, 0, n)
+		for i := uint64(0); i < n; i++ {
+			page.Entries = append(page.Entries, Entry{
+				Epoch:  r.Uvarint(),
+				Op:     EntryOp(r.Byte()),
+				Client: r.Uvarint(),
+				ReqID:  r.Uvarint(),
+				Name:   int(r.Uvarint()),
+			})
+		}
+	}
+	if err := r.Close(); err != nil {
+		return 0, JournalPage{}, err
+	}
+	if page.Total < 0 || page.Start < 0 {
+		return 0, JournalPage{}, fmt.Errorf("namesvc: journal page start %d of %d", page.Start, page.Total)
+	}
+	return tag, page, nil
 }
 
 func decodeReject(body []byte) (tag uint64, code RejectCode, msg string, err error) {

@@ -1,0 +1,99 @@
+package simsvc
+
+// Package-level note: the discrete-event engine replaces goroutines, timers
+// and sockets with a heap of (virtual time, fn) events. Ties on virtual time
+// break by scheduling order (a monotone sequence number), so the execution
+// order of any event population is total and reproducible — the foundation
+// for bit-identical simulation runs.
+
+// event is one scheduled callback.
+type event struct {
+	at  int64 // virtual nanoseconds
+	seq uint64
+	fn  func()
+}
+
+// before orders events by (at, seq).
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// Engine is a minimal discrete-event scheduler under virtual time. The zero
+// value is ready to use. Not safe for concurrent use.
+type Engine struct {
+	now  int64
+	seq  uint64
+	heap []event
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn at virtual time t; a t in the past fires "now" (still
+// through the heap, after already-scheduled events for the current instant).
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.heap = append(e.heap, event{at: t, seq: e.seq, fn: fn})
+	e.siftUp(len(e.heap) - 1)
+}
+
+// After schedules fn d nanoseconds from now; a non-positive d fires "now".
+func (e *Engine) After(d int64, fn func()) { e.At(e.now+d, fn) }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Run executes events in (time, seq) order until the heap is empty or the
+// next event lies beyond the horizon; virtual time ends at the later of its
+// start and the horizon. Events scheduled while running participate.
+func (e *Engine) Run(until int64) {
+	for len(e.heap) > 0 && e.heap[0].at <= until {
+		ev := e.pop()
+		e.now = ev.at
+		ev.fn()
+	}
+	if until > e.now {
+		e.now = until
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heap[i].before(e.heap[parent]) {
+			return
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() event {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap[n] = event{} // release the closure
+	e.heap = e.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && e.heap[l].before(e.heap[small]) {
+			small = l
+		}
+		if r < n && e.heap[r].before(e.heap[small]) {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		e.heap[i], e.heap[small] = e.heap[small], e.heap[i]
+		i = small
+	}
+}

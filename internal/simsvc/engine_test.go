@@ -1,0 +1,57 @@
+package simsvc
+
+import "testing"
+
+func TestEngineOrdersByTimeThenSeq(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	// Ties fire in scheduling order.
+	e.At(20, func() { got = append(got, 20) })
+	e.Run(100)
+	want := []int{1, 2, 20, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ran %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %d after Run(100)", e.Now())
+	}
+}
+
+func TestEngineHorizonAndReentrancy(t *testing.T) {
+	var e Engine
+	ran := 0
+	e.At(5, func() {
+		ran++
+		// Scheduled while running: participates if within the horizon.
+		e.After(10, func() { ran++ })
+		// Beyond the horizon: left unexecuted.
+		e.After(1000, func() { t.Fatal("ran past the horizon") })
+	})
+	e.Run(50)
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("%d events pending, want the one past the horizon", e.Pending())
+	}
+}
+
+func TestEnginePastSchedulesClampToNow(t *testing.T) {
+	var e Engine
+	var at int64 = -1
+	e.At(40, func() {
+		e.At(3, func() { at = e.Now() }) // in the past: fires at now
+	})
+	e.Run(100)
+	if at != 40 {
+		t.Fatalf("past event fired at %d, want clamped to 40", at)
+	}
+}

@@ -1,0 +1,61 @@
+package simsvc
+
+import "ballsintoleaves/internal/rng"
+
+// streamKey identifies one RNG stream: every (scenario, subsystem, entity)
+// triple owns a private generator, so adding a subsystem — or drawing more
+// randomness inside one — never perturbs any other stream's sequence. This
+// is the property that keeps scenarios mutually isolated: tuning the hold
+// times of "slow-readers" cannot shift a single draw of "zipf-shards".
+type streamKey struct {
+	scenario  string
+	subsystem string
+	entity    uint64
+}
+
+// PartitionedRNG hands out deterministic, mutually independent random
+// streams keyed by (scenario, subsystem, entity-id). Streams are derived
+// lazily from the root seed through the same SplitMix64 chain as the
+// service's own epoch seeds (rng.DeriveSeed), with the string labels folded
+// in through FNV-1a — so a stream's sequence is a pure function of
+// (root seed, key) and nothing else.
+//
+// Not safe for concurrent use; the simulator is single-threaded by design.
+type PartitionedRNG struct {
+	root    uint64
+	streams map[streamKey]*rng.Source
+}
+
+// NewPartitionedRNG builds a partition rooted at the given seed.
+func NewPartitionedRNG(seed uint64) *PartitionedRNG {
+	return &PartitionedRNG{root: seed, streams: make(map[streamKey]*rng.Source)}
+}
+
+// fnv64 hashes a label string for seed derivation.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Stream returns the stream for (scenario, subsystem, entity), creating it
+// on first use. Repeated calls return the same generator, so a caller that
+// interleaves draws with other subsystems still consumes its own sequence
+// in order.
+func (p *PartitionedRNG) Stream(scenario, subsystem string, entity uint64) *rng.Source {
+	k := streamKey{scenario, subsystem, entity}
+	if s, ok := p.streams[k]; ok {
+		return s
+	}
+	seed := rng.DeriveSeed(rng.DeriveSeed(rng.DeriveSeed(p.root, fnv64(scenario)), fnv64(subsystem)), entity)
+	s := rng.New(seed)
+	p.streams[k] = s
+	return s
+}

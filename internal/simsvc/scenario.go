@@ -1,0 +1,299 @@
+package simsvc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Virtual time units. The simulator's clock is nanoseconds, like the real
+// one, so latency histograms from both worlds share a scale.
+const (
+	vus = int64(1_000)
+	vms = int64(1_000_000)
+)
+
+// Scenario is one workload shape: a service configuration, a client
+// population, and behavior hooks. All randomness inside hooks must come
+// from Sim.Stream so scenarios stay mutually isolated and bit-reproducible;
+// all time from Sim.Now. Hooks run single-threaded on the event loop.
+type Scenario struct {
+	Name        string
+	Description string
+	// WireReplayable marks scenarios whose recorded trace replays exactly
+	// through a real server over the wire: no cancels (which consume
+	// request IDs without a wire op) and no absorbed grants (which
+	// interleave assign+release mid-epoch). Crash scenarios are sim-only.
+	WireReplayable bool
+
+	Shards   int
+	ShardCap int
+	MaxBatch int
+	Clients  int
+	Duration int64 // virtual ns
+	// EpochEvery is the per-shard epoch tick interval; each tick drains
+	// everything currently assignable, like the server's epoch loop.
+	EpochEvery int64
+
+	// ClientID picks the identity for population index idx (nil: idx+1).
+	// Must be non-zero and unique across the population.
+	ClientID func(s *Sim, idx int) uint64
+	// FirstAt schedules a client's first acquire (nil: t=0).
+	FirstAt func(s *Sim, c *Client) int64
+	// Hold is how long a client keeps a granted name (nil: 1ns).
+	Hold func(s *Sim, c *Client) int64
+	// Think is the idle gap between a release and the next acquire
+	// (nil: 1ns).
+	Think func(s *Sim, c *Client) int64
+	// Events, when set, schedules scenario-wide happenings (herd waves,
+	// crash storms) before the run starts.
+	Events func(s *Sim)
+}
+
+// validate reports scenario configuration errors.
+func (scn Scenario) validate() error {
+	switch {
+	case scn.Name == "":
+		return fmt.Errorf("simsvc: scenario has no name")
+	case scn.Shards < 1 || scn.ShardCap < 1:
+		return fmt.Errorf("simsvc: scenario %q namespace %dx%d invalid", scn.Name, scn.Shards, scn.ShardCap)
+	case scn.Clients < 1:
+		return fmt.Errorf("simsvc: scenario %q has no clients", scn.Name)
+	case scn.Duration < 1 || scn.EpochEvery < 1:
+		return fmt.Errorf("simsvc: scenario %q duration %d / epoch interval %d invalid", scn.Name, scn.Duration, scn.EpochEvery)
+	}
+	return nil
+}
+
+// jittered draws base + uniform[0, spread) from the client's own stream.
+func jittered(s *Sim, subsystem string, c *Client, base, spread int64) int64 {
+	if spread <= 0 {
+		return base
+	}
+	return base + int64(s.Stream(subsystem, uint64(c.Idx)).Uint64n(uint64(spread)))
+}
+
+// clientIDForShard searches deterministic candidate identities until one
+// routes to the wanted shard. The low 32 bits carry the population index,
+// so identities stay unique no matter how many attempts the search takes.
+func clientIDForShard(s *Sim, idx, shard int) uint64 {
+	for attempt := uint64(0); ; attempt++ {
+		id := attempt<<32 | uint64(idx+1)
+		if s.Service().Shard(id) == shard || attempt == 1<<16 {
+			return id
+		}
+	}
+}
+
+// Library returns the scenario library at the given scale factor: scale 1
+// is the full default shape, smaller values shrink the population and the
+// virtual horizon proportionally (floored so every scenario still
+// exercises its mechanism). CI runs the whole library at small scale.
+func Library(scale float64) []Scenario {
+	if scale <= 0 {
+		scale = 1
+	}
+	sc := func(n int, floor int) int {
+		v := int(float64(n) * scale)
+		if v < floor {
+			v = floor
+		}
+		return v
+	}
+	sct := func(d int64, floor int64) int64 {
+		v := int64(float64(d) * scale)
+		if v < floor {
+			v = floor
+		}
+		return v
+	}
+
+	zipf := Scenario{
+		Name:           "zipf-shards",
+		Description:    "Zipf-skewed shard demand: the client population is drawn so low shards see multiples of the load of high shards, exercising uneven epoch sizes and free-pool pressure on the hot shard.",
+		WireReplayable: true,
+		Shards:         4,
+		ShardCap:       64,
+		MaxBatch:       32,
+		Clients:        sc(192, 16),
+		Duration:       sct(400*vms, 80*vms),
+		EpochEvery:     1 * vms,
+		ClientID: func(s *Sim, idx int) uint64 {
+			// P(shard k) ∝ 1/(k+1): integer weights 12:6:4:3 over 4 shards.
+			w := s.Stream("population", uint64(idx)).Uint64n(25)
+			shard := 3
+			switch {
+			case w < 12:
+				shard = 0
+			case w < 18:
+				shard = 1
+			case w < 22:
+				shard = 2
+			}
+			return clientIDForShard(s, idx, shard)
+		},
+		FirstAt: func(s *Sim, c *Client) int64 { return jittered(s, "arrival", c, 0, 10*vms) },
+		Hold:    func(s *Sim, c *Client) int64 { return jittered(s, "hold", c, 2*vms, 2*vms) },
+		Think:   func(s *Sim, c *Client) int64 { return jittered(s, "think", c, 1*vms, 1*vms) },
+	}
+
+	const day = 100 * vms
+	diurnal := Scenario{
+		Name:           "diurnal-burst",
+		Description:    "Diurnal load: think times swing 13x between virtual midnight and noon over repeated 100ms virtual days, so epochs breathe from near-empty to MaxBatch-full.",
+		WireReplayable: true,
+		Shards:         4,
+		ShardCap:       64,
+		MaxBatch:       32,
+		Clients:        sc(160, 16),
+		Duration:       sct(400*vms, 100*vms),
+		EpochEvery:     1 * vms,
+		FirstAt:        func(s *Sim, c *Client) int64 { return jittered(s, "arrival", c, 0, 20*vms) },
+		Hold:           func(s *Sim, c *Client) int64 { return jittered(s, "hold", c, 1*vms, 1*vms) },
+		Think: func(s *Sim, c *Client) int64 {
+			// Triangle wave: peak demand (factor 1) mid-day, trough
+			// (factor 13) at day boundaries. Integer math keeps the
+			// schedule platform-exact.
+			pos := s.Now() % day // 0..day
+			dist := pos - day/2  // -day/2..day/2
+			if dist < 0 {
+				dist = -dist
+			}
+			factor := 1 + 12*dist/(day/2) // 1 at noon .. 13 at midnight
+			return jittered(s, "think", c, factor*500*vus, 500*vus)
+		},
+	}
+
+	herd := Scenario{
+		Name:           "thundering-herd",
+		Description:    "Thundering-herd reconnects: every 50ms every holding client releases and re-acquires at the same virtual instant, slamming each shard with a full-population epoch.",
+		WireReplayable: true,
+		Shards:         4,
+		ShardCap:       64,
+		MaxBatch:       64,
+		Clients:        sc(160, 16),
+		Duration:       sct(400*vms, 120*vms),
+		EpochEvery:     1 * vms,
+		FirstAt:        func(s *Sim, c *Client) int64 { return jittered(s, "arrival", c, 0, 5*vms) },
+		Hold:           func(s *Sim, c *Client) int64 { return jittered(s, "hold", c, 30*vms, 10*vms) },
+		Think:          func(s *Sim, c *Client) int64 { return jittered(s, "think", c, 500*vus, 500*vus) },
+		Events: func(s *Sim) {
+			const period = 50 * vms
+			var wave func()
+			wave = func() {
+				// Releases first, then the reconnect rush, in stable
+				// population order — one synchronized instant.
+				var herders []*Client
+				for _, c := range s.Clients() {
+					if !c.crashed && c.State == StateHolding {
+						s.releaseHeld(c)
+						herders = append(herders, c)
+					}
+				}
+				for _, c := range herders {
+					s.acquire(c)
+				}
+				s.After(period, wave)
+			}
+			s.At(period, wave)
+		},
+	}
+
+	slow := Scenario{
+		Name:           "slow-readers",
+		Description:    "Slow-reader flood: one client in ten parks on its name 60x longer than the churning majority, pinning occupancy high so epochs shrink toward the free-pool bound.",
+		WireReplayable: true,
+		Shards:         4,
+		ShardCap:       48,
+		MaxBatch:       32,
+		Clients:        sc(176, 16),
+		Duration:       sct(400*vms, 80*vms),
+		EpochEvery:     1 * vms,
+		FirstAt:        func(s *Sim, c *Client) int64 { return jittered(s, "arrival", c, 0, 10*vms) },
+		Hold: func(s *Sim, c *Client) int64 {
+			if c.Idx%10 == 0 {
+				return jittered(s, "hold-slow", c, 60*vms, 20*vms)
+			}
+			return jittered(s, "hold", c, 1*vms, 1*vms)
+		},
+		Think: func(s *Sim, c *Client) int64 { return jittered(s, "think", c, 500*vus, 500*vus) },
+	}
+
+	exhaustion := Scenario{
+		Name:           "exhaustion",
+		Description:    "Namespace exhaustion: four clients per name, most holding far longer than the horizon, so the free pool empties and the pending queue outlives it; only a short-holding eighth of the population keeps a trickle of re-grants flowing.",
+		WireReplayable: true,
+		Shards:         2,
+		ShardCap:       32,
+		MaxBatch:       32,
+		Clients:        sc(256, 32),
+		Duration:       sct(400*vms, 80*vms),
+		EpochEvery:     1 * vms,
+		FirstAt:        func(s *Sim, c *Client) int64 { return jittered(s, "arrival", c, 0, 20*vms) },
+		Hold: func(s *Sim, c *Client) int64 {
+			if c.Idx%8 == 0 {
+				return jittered(s, "hold-short", c, 2*vms, 2*vms)
+			}
+			return jittered(s, "hold-long", c, 1000*vms, 0)
+		},
+		Think: func(s *Sim, c *Client) int64 { return jittered(s, "think", c, 1*vms, 1*vms) },
+	}
+
+	storm := Scenario{
+		Name:           "crash-storm",
+		Description:    "Correlated crash storms: every 40ms half of one shard's clients die together — queued requests cancelled or absorbed mid-epoch, held names torn down — then recover and rejoin. Sim-only: cancels and absorbed grants have no wire-replayable encoding.",
+		WireReplayable: false,
+		Shards:         4,
+		ShardCap:       64,
+		MaxBatch:       32,
+		Clients:        sc(160, 16),
+		Duration:       sct(400*vms, 120*vms),
+		EpochEvery:     1 * vms,
+		FirstAt:        func(s *Sim, c *Client) int64 { return jittered(s, "arrival", c, 0, 10*vms) },
+		Hold:           func(s *Sim, c *Client) int64 { return jittered(s, "hold", c, 2*vms, 2*vms) },
+		Think:          func(s *Sim, c *Client) int64 { return jittered(s, "think", c, 1*vms, 1*vms) },
+		Events: func(s *Sim) {
+			const period = 40 * vms
+			wave := uint64(0)
+			var storm func()
+			storm = func() {
+				src := s.Stream("storm", wave)
+				wave++
+				target := src.Intn(s.Service().Shards())
+				for _, c := range s.Clients() {
+					if c.crashed || c.Shard != target {
+						continue
+					}
+					if src.Uint64n(2) == 0 {
+						continue // survivor
+					}
+					cancel := src.Uint64n(2) == 0
+					s.Crash(c, cancel, jittered(s, "recover", c, 10*vms, 10*vms))
+				}
+				s.After(period, storm)
+			}
+			s.At(period, storm)
+		},
+	}
+
+	return []Scenario{zipf, diurnal, herd, slow, exhaustion, storm}
+}
+
+// Lookup returns the named scenario at the given scale.
+func Lookup(name string, scale float64) (Scenario, error) {
+	for _, scn := range Library(scale) {
+		if scn.Name == name {
+			return scn, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("simsvc: unknown scenario %q (have %v)", name, Names())
+}
+
+// Names lists the library's scenario names, sorted.
+func Names() []string {
+	var names []string
+	for _, scn := range Library(1) {
+		names = append(names, scn.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,169 @@
+package simsvc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// runScenario executes one (scenario, seed) and returns result + artifact.
+func runScenario(t *testing.T, scn Scenario, seed uint64) (*Result, []byte) {
+	t.Helper()
+	sim, err := NewSim(scn, seed)
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := res.Artifact()
+	if err != nil {
+		t.Fatalf("Artifact: %v", err)
+	}
+	return res, b
+}
+
+// TestScenarioArtifactsReproducible is the acceptance gate for determinism:
+// the same (scenario, seed) must produce byte-identical artifacts across
+// two independent runs, for every scenario in the library.
+func TestScenarioArtifactsReproducible(t *testing.T) {
+	for _, scn := range Library(0.25) {
+		scn := scn
+		t.Run(scn.Name, func(t *testing.T) {
+			r1, b1 := runScenario(t, scn, 7)
+			r2, b2 := runScenario(t, scn, 7)
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("artifacts differ across identical runs:\n--- run 1\n%s\n--- run 2\n%s", b1, b2)
+			}
+			for i := range r1.Digests {
+				if r1.Digests[i] != r2.Digests[i] {
+					t.Fatalf("shard %d digest differs: %#x vs %#x", i, r1.Digests[i], r2.Digests[i])
+				}
+			}
+			// A different seed must change the execution (digests diverge).
+			r3, _ := runScenario(t, scn, 8)
+			same := true
+			for i := range r1.Digests {
+				if r1.Digests[i] != r3.Digests[i] {
+					same = false
+				}
+			}
+			if same && r1.Grants > 0 {
+				t.Fatalf("seed 7 and seed 8 produced identical digests %v", r1.Digests)
+			}
+		})
+	}
+}
+
+// TestScenarioInvariants checks each scenario actually exercises its
+// mechanism and that the service invariants hold throughout.
+func TestScenarioInvariants(t *testing.T) {
+	for _, scn := range Library(0.25) {
+		scn := scn
+		t.Run(scn.Name, func(t *testing.T) {
+			r, _ := runScenario(t, scn, 7)
+			if r.Duplicates != 0 {
+				t.Fatalf("%d duplicate grants", r.Duplicates)
+			}
+			if r.Grants == 0 {
+				t.Fatal("scenario granted nothing")
+			}
+			if r.HeldEnd > scn.Shards*scn.ShardCap {
+				t.Fatalf("held %d > capacity %d", r.HeldEnd, scn.Shards*scn.ShardCap)
+			}
+			switch scn.Name {
+			case "exhaustion":
+				if r.PendingEnd == 0 {
+					t.Fatal("exhaustion scenario ended with an empty queue")
+				}
+				if r.HeldEnd < scn.Shards*scn.ShardCap/2 {
+					t.Fatalf("exhaustion held only %d of %d names", r.HeldEnd, scn.Shards*scn.ShardCap)
+				}
+			case "crash-storm":
+				if r.Crashes == 0 {
+					t.Fatal("crash storm crashed nobody")
+				}
+				if r.Cancels == 0 && r.Absorbed == 0 {
+					t.Fatal("crash storm produced neither cancels nor absorbed grants")
+				}
+			case "zipf-shards":
+				// The skew must be visible: the hottest shard serves more
+				// clients than the coldest.
+				sim, _ := NewSim(scn, 7)
+				if _, err := sim.Run(); err != nil {
+					t.Fatal(err)
+				}
+				perShard := make([]int, scn.Shards)
+				for _, c := range sim.Clients() {
+					perShard[c.Shard]++
+				}
+				if perShard[0] <= perShard[scn.Shards-1] {
+					t.Fatalf("no shard skew: population %v", perShard)
+				}
+			case "thundering-herd":
+				// Herd waves synchronize the population: some epoch must be
+				// far larger than the steady-state trickle.
+				if r.EpochSizes.Max < 8 {
+					t.Fatalf("largest epoch %d, want a herd-sized batch", r.EpochSizes.Max)
+				}
+			}
+			if scn.WireReplayable {
+				if r.Absorbed != 0 || r.Cancels != 0 {
+					t.Fatalf("wire-replayable scenario produced %d absorbed, %d cancels", r.Absorbed, r.Cancels)
+				}
+				if r.Trace == nil {
+					t.Fatal("wire-replayable scenario recorded no trace")
+				}
+			} else if r.Trace != nil {
+				t.Fatal("sim-only scenario recorded a trace")
+			}
+		})
+	}
+}
+
+// TestTraceReplaysInProcess replays every replayable scenario's trace
+// through a fresh Service — pinning that the trace alone reproduces the
+// execution, independent of the simulator's event loop.
+func TestTraceReplaysInProcess(t *testing.T) {
+	for _, scn := range Library(0.25) {
+		if !scn.WireReplayable {
+			continue
+		}
+		scn := scn
+		t.Run(scn.Name, func(t *testing.T) {
+			r, _ := runScenario(t, scn, 7)
+			rep, err := r.Trace.ReplayService()
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if d := r.Trace.Diff(rep); d != "" {
+				t.Fatalf("replay diverged: %s", d)
+			}
+		})
+	}
+}
+
+func TestLibraryShape(t *testing.T) {
+	lib := Library(1)
+	if len(lib) < 6 {
+		t.Fatalf("library has %d scenarios, want >= 6", len(lib))
+	}
+	replayable := 0
+	for _, scn := range lib {
+		if err := scn.validate(); err != nil {
+			t.Fatal(err)
+		}
+		if scn.WireReplayable {
+			replayable++
+		}
+	}
+	if replayable < 2 {
+		t.Fatalf("%d wire-replayable scenarios, want >= 2 for the differential gate", replayable)
+	}
+	if _, err := Lookup("zipf-shards", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("no-such", 1); err == nil {
+		t.Fatal("Lookup accepted an unknown scenario")
+	}
+}

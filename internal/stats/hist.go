@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 )
@@ -142,6 +143,52 @@ func (h *Histogram) P50() int64  { return h.Quantile(0.50) }
 func (h *Histogram) P90() int64  { return h.Quantile(0.90) }
 func (h *Histogram) P99() int64  { return h.Quantile(0.99) }
 func (h *Histogram) P999() int64 { return h.Quantile(0.999) }
+
+// Snapshot is a portable dump of a Histogram: the non-empty buckets as
+// (index, count) pairs plus the exact aggregates, small enough to embed in
+// JSON artifacts. Round-tripping through FromSnapshot is lossless, so
+// artifacts written by different tools (the load generator, the simulator)
+// merge through the same Histogram.Merge path as live histograms.
+type Snapshot struct {
+	// Buckets holds [bucket index, sample count] pairs for every non-empty
+	// bucket, in ascending index order. Indexes address the log-linear
+	// layout shared by every Histogram (histSubBits).
+	Buckets [][2]uint64 `json:"buckets,omitempty"`
+	Count   uint64      `json:"count"`
+	Sum     float64     `json:"sum"`
+	Min     int64       `json:"min"`
+	Max     int64       `json:"max"`
+}
+
+// Snapshot dumps the histogram's non-empty buckets and aggregates.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{Count: h.total, Sum: h.sum, Min: h.Min(), Max: h.Max()}
+	for i, c := range h.counts {
+		if c != 0 {
+			s.Buckets = append(s.Buckets, [2]uint64{uint64(i), c})
+		}
+	}
+	return s
+}
+
+// FromSnapshot reconstructs the histogram a Snapshot was dumped from. It
+// errors on malformed input: an out-of-range bucket index, or bucket counts
+// that do not sum to Count.
+func FromSnapshot(s Snapshot) (*Histogram, error) {
+	h := &Histogram{total: s.Count, sum: s.Sum, min: s.Min, max: s.Max}
+	var n uint64
+	for _, b := range s.Buckets {
+		if b[0] >= histBuckets {
+			return nil, fmt.Errorf("stats: snapshot bucket index %d outside 0..%d", b[0], histBuckets-1)
+		}
+		h.counts[b[0]] += b[1]
+		n += b[1]
+	}
+	if n != s.Count {
+		return nil, fmt.Errorf("stats: snapshot buckets sum to %d, count says %d", n, s.Count)
+	}
+	return h, nil
+}
 
 // Merge folds another histogram's samples into h.
 func (h *Histogram) Merge(o *Histogram) {

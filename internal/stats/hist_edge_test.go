@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestHistogramMergeEdgeCases table-drives the merge corners the aggregation
+// paths (blload per-connection merge, simulator artifact merge) depend on:
+// empty operands in every position, disjoint value ranges, and the overflow
+// bucket at the top of the int64 range.
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	t.Parallel()
+	rec := func(vs ...int64) *Histogram {
+		var h Histogram
+		for _, v := range vs {
+			h.Record(v)
+		}
+		return &h
+	}
+	cases := []struct {
+		name     string
+		a, b     *Histogram
+		count    uint64
+		min, max int64
+		p50      int64 // -1 = skip quantile check
+	}{
+		{"empty+empty", rec(), rec(), 0, 0, 0, 0},
+		{"empty+one", rec(), rec(42), 1, 42, 42, 42},
+		{"one+empty", rec(42), rec(), 1, 42, 42, 42},
+		{"disjoint low+high", rec(1, 2, 3), rec(1<<40, 1<<40+1), 5, 1, 1<<40 + 1, 3},
+		{"disjoint high+low", rec(1<<40, 1<<40+1), rec(1, 2, 3), 5, 1, 1<<40 + 1, 3},
+		{"identical ranges", rec(10, 20), rec(10, 20), 4, 10, 20, 10},
+		{"zero only", rec(0, 0), rec(0), 3, 0, 0, 0},
+		{"overflow bucket", rec(math.MaxInt64), rec(math.MaxInt64 - 1), 2, math.MaxInt64 - 1, math.MaxInt64, -1},
+		{"overflow+small", rec(math.MaxInt64, 5), rec(), 2, 5, math.MaxInt64, -1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			a := *tc.a // merge mutates the receiver; keep the fixtures intact
+			a.Merge(tc.b)
+			if a.Count() != tc.count || a.Min() != tc.min || a.Max() != tc.max {
+				t.Fatalf("count/min/max = %d/%d/%d, want %d/%d/%d",
+					a.Count(), a.Min(), a.Max(), tc.count, tc.min, tc.max)
+			}
+			if tc.p50 >= 0 {
+				if got := a.P50(); got != tc.p50 {
+					t.Fatalf("P50 = %d, want %d", got, tc.p50)
+				}
+			}
+			// Quantile extremes always collapse to the recorded min/max,
+			// even for the overflow bucket whose midpoint is unrepresentable.
+			if a.Count() > 0 && (a.Quantile(0) != tc.min || a.Quantile(1) != tc.max) {
+				t.Fatalf("quantile extremes %d/%d, want %d/%d", a.Quantile(0), a.Quantile(1), tc.min, tc.max)
+			}
+		})
+	}
+}
+
+// TestHistogramMergeCommutes pins that merge order cannot matter — the
+// property that lets artifacts from different tools fold in any order.
+func TestHistogramMergeCommutes(t *testing.T) {
+	t.Parallel()
+	var a1, b1, a2, b2 Histogram
+	for i := int64(0); i < 1000; i++ {
+		a1.Record(i * i)
+		a2.Record(i * i)
+		b1.Record(i << 20)
+		b2.Record(i << 20)
+	}
+	a1.Merge(&b1) // a then b
+	b2.Merge(&a2) // b then a
+	for _, q := range []float64{0, 0.1, 0.5, 0.99, 1} {
+		if a1.Quantile(q) != b2.Quantile(q) {
+			t.Fatalf("Quantile(%v): %d vs %d depending on merge order", q, a1.Quantile(q), b2.Quantile(q))
+		}
+	}
+	if a1.Count() != b2.Count() || a1.Mean() != b2.Mean() {
+		t.Fatal("merge order changed count or mean")
+	}
+}
+
+// TestHistogramSnapshotRoundTrip pins the artifact path: Snapshot →
+// JSON → FromSnapshot → Merge is lossless, so blload and simsvc artifacts
+// aggregate exactly like live histograms.
+func TestHistogramSnapshotRoundTrip(t *testing.T) {
+	t.Parallel()
+	var h Histogram
+	for i := int64(0); i < 10000; i++ {
+		h.Record(i * 31 % (1 << 34))
+	}
+	h.Record(0)
+	h.Record(math.MaxInt64)
+
+	b, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() || back.Min() != h.Min() || back.Max() != h.Max() || back.Mean() != h.Mean() {
+		t.Fatalf("round trip lost aggregates: %d/%d/%d/%v vs %d/%d/%d/%v",
+			back.Count(), back.Min(), back.Max(), back.Mean(), h.Count(), h.Min(), h.Max(), h.Mean())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.999, 1} {
+		if back.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("Quantile(%v) = %d after round trip, want %d", q, back.Quantile(q), h.Quantile(q))
+		}
+	}
+	// Round-tripped histograms merge like live ones.
+	var live Histogram
+	live.Record(7)
+	live.Merge(back)
+	if live.Count() != h.Count()+1 {
+		t.Fatalf("merge after round trip: count %d, want %d", live.Count(), h.Count()+1)
+	}
+
+	// Empty snapshot round-trips to an empty histogram.
+	empty, err := FromSnapshot((&Histogram{}).Snapshot())
+	if err != nil || empty.Count() != 0 || empty.Quantile(0.5) != 0 {
+		t.Fatalf("empty round trip: %v, count %d", err, empty.Count())
+	}
+}
+
+// TestFromSnapshotRejectsMalformed covers hostile or corrupt artifacts.
+func TestFromSnapshotRejectsMalformed(t *testing.T) {
+	t.Parallel()
+	if _, err := FromSnapshot(Snapshot{Buckets: [][2]uint64{{histBuckets, 1}}, Count: 1}); err == nil {
+		t.Fatal("out-of-range bucket index accepted")
+	}
+	if _, err := FromSnapshot(Snapshot{Buckets: [][2]uint64{{3, 2}}, Count: 5}); err == nil {
+		t.Fatal("count/bucket-sum mismatch accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestReadFrameBufferedCutSweep runs the non-blocking drain against a stream
+// cut at every possible byte offset — inside the length prefix, inside the
+// payload, and exactly on frame boundaries. At each cut the drain must hand
+// back every frame whose bytes are fully buffered, never consume a partial
+// frame, and resume cleanly once the rest of the stream arrives. This is the
+// exact sequence the server's batched reader performs when TCP segments split
+// frames at arbitrary points.
+func TestReadFrameBufferedCutSweep(t *testing.T) {
+	t.Parallel()
+	payloads := [][]byte{
+		[]byte("alpha"),
+		nil, // empty frame: header only
+		bytes.Repeat([]byte{0x5a}, 37),
+		{0xff},
+	}
+	var stream bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrame(&stream, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := stream.Bytes()
+
+	// ends[i] = offset just past frame i; framesBefore(cut) = number of
+	// complete frames strictly within full[:cut].
+	ends := make([]int, len(payloads))
+	off := 0
+	for i, p := range payloads {
+		off += frameHeaderLen + len(p)
+		ends[i] = off
+	}
+	framesBefore := func(cut int) int {
+		n := 0
+		for _, e := range ends {
+			if e <= cut {
+				n++
+			}
+		}
+		return n
+	}
+
+	for cut := 1; cut < len(full); cut++ {
+		br := bufio.NewReaderSize(&halfFeeder{data: full, cut: cut}, 1<<10)
+		// Prime the buffer with exactly the first feed, consuming nothing.
+		if _, err := br.Peek(1); err != nil {
+			t.Fatalf("cut %d: peek: %v", cut, err)
+		}
+		if br.Buffered() != cut {
+			t.Fatalf("cut %d: buffered %d bytes after peek", cut, br.Buffered())
+		}
+
+		var got [][]byte
+		var buf []byte
+		for {
+			frame, ok, err := ReadFrameBuffered(br, buf, testMaxFrame)
+			if err != nil {
+				t.Fatalf("cut %d: drain: %v", cut, err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, append([]byte(nil), frame...))
+			buf = frame
+		}
+		if want := framesBefore(cut); len(got) != want {
+			t.Fatalf("cut %d: drained %d frames, want %d", cut, len(got), want)
+		}
+		for i, g := range got {
+			if !bytes.Equal(g, payloads[i]) {
+				t.Fatalf("cut %d: frame %d = %q, want %q", cut, i, g, payloads[i])
+			}
+		}
+
+		// The partial frame (if any) was left intact: blocking reads finish
+		// it and the remainder of the stream, byte-for-byte.
+		for i := len(got); i < len(payloads); i++ {
+			frame, err := ReadFrame(br, buf, testMaxFrame)
+			if err != nil {
+				t.Fatalf("cut %d: resume frame %d: %v", cut, i, err)
+			}
+			if !bytes.Equal(frame, payloads[i]) {
+				t.Fatalf("cut %d: resume frame %d = %q, want %q", cut, i, frame, payloads[i])
+			}
+			buf = frame
+		}
+		if _, err := ReadFrame(br, buf, testMaxFrame); err != io.EOF {
+			t.Fatalf("cut %d: after last frame: %v, want io.EOF", cut, err)
+		}
+	}
+}
+
+// TestReadFrameBufferedHeaderSplit pins the narrowest case of the sweep: a
+// length prefix split across two reads must report "no frame" without
+// consuming the prefix bytes already buffered.
+func TestReadFrameBufferedHeaderSplit(t *testing.T) {
+	t.Parallel()
+	var stream bytes.Buffer
+	if err := WriteFrame(&stream, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	full := stream.Bytes()
+	for cut := 1; cut < frameHeaderLen; cut++ {
+		br := bufio.NewReaderSize(&halfFeeder{data: full, cut: cut}, 1<<10)
+		if _, err := br.Peek(1); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := ReadFrameBuffered(br, nil, testMaxFrame); ok || err != nil {
+			t.Fatalf("header cut at %d: ok=%v, err=%v", cut, ok, err)
+		}
+		if br.Buffered() != cut {
+			t.Fatalf("header cut at %d: drain consumed %d of %d buffered bytes",
+				cut, cut-br.Buffered(), cut)
+		}
+		got, err := ReadFrame(br, nil, testMaxFrame)
+		if err != nil || !bytes.Equal(got, []byte("payload")) {
+			t.Fatalf("header cut at %d: resume = %q, %v", cut, got, err)
+		}
+	}
+}
