@@ -37,11 +37,23 @@
 // and a restarted daemon recovers the ledgers — holders, digests,
 // request-ID counters — before serving. -fsync picks the flush policy:
 // "epoch" fsyncs every WAL record before its grants are acknowledged,
-// "off" leaves flushing to the OS, and a duration ("100ms") fsyncs on that
-// interval. Clients that held names before a crash re-attach them with the
-// reclaim op and release them normally. A SIGTERM drain writes a final
-// checkpoint, so a clean restart recovers from a snapshot instead of a
-// log replay.
+// "group" delivers grants only after a shared fsync round covering their
+// records (one fsync pass absorbs every shard's records, so concurrent
+// shards split the cost instead of paying one each), "off" leaves flushing
+// to the OS, and a duration ("100ms") fsyncs on that interval. Clients
+// that held names before a crash re-attach them with the reclaim op and
+// release them normally. A SIGTERM drain writes a final checkpoint, so a
+// clean restart recovers from a snapshot instead of a log replay.
+//
+// -replicate turns the daemon into one member of a fault-tolerant cluster
+// (see internal/namesvc/repl): -peers lists every member's replication and
+// client addresses, -node-id names this one, and an election decides who
+// serves writes. The leader streams each sealed WAL record to its
+// followers and acknowledges a grant only after a quorum holds the records
+// behind it; followers reject writes with a redirect to the leader
+// (clients using DialLeader follow it automatically). Kill the leader and
+// a follower takes over without losing an acknowledged grant; the cmd/
+// blcluster launcher scripts exactly that demonstration.
 package main
 
 import (
@@ -51,11 +63,14 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"ballsintoleaves/internal/namesvc"
 	"ballsintoleaves/internal/namesvc/durable"
+	"ballsintoleaves/internal/namesvc/repl"
 )
 
 // errFlagsReported marks parse failures the FlagSet already printed.
@@ -81,6 +96,11 @@ type config struct {
 	fsyncMode      namesvc.FsyncMode
 	fsyncEvery     time.Duration
 	snapshotEvery  int
+
+	replicate       bool
+	nodeID          int
+	peers           []repl.PeerSpec
+	electionTimeout time.Duration
 }
 
 // parseFlags parses args into a validated config.
@@ -115,6 +135,14 @@ func parseFlags(args []string) (*config, error) {
 		"with -data-dir, WAL flush policy: epoch (fsync every record), off, or an interval like 100ms")
 	fs.IntVar(&cfg.snapshotEvery, "snapshot-every", 4096,
 		"with -data-dir, checkpoint a shard after this many WAL records")
+	fs.BoolVar(&cfg.replicate, "replicate", false,
+		"join a replication cluster: this daemon leads or follows per election (requires -peers, -node-id, -data-dir)")
+	var peers string
+	fs.StringVar(&peers, "peers", "",
+		"with -replicate, every cluster member as replAddr=clientAddr, comma-separated, in an order shared verbatim by all members")
+	fs.IntVar(&cfg.nodeID, "node-id", 0, "with -replicate, this member's index into -peers")
+	fs.DurationVar(&cfg.electionTimeout, "election-timeout", 500*time.Millisecond,
+		"with -replicate, follower patience before campaigning (heartbeats flow at a fifth of it)")
 	if err := fs.Parse(args); err != nil {
 		// The FlagSet has already reported the problem (or printed the
 		// -h usage) to stderr; mark it so main does not repeat it.
@@ -147,15 +175,40 @@ func parseFlags(args []string) (*config, error) {
 	switch fsync {
 	case "epoch":
 		cfg.fsyncMode = namesvc.FsyncPerEpoch
+	case "group":
+		cfg.fsyncMode = namesvc.FsyncGroup
 	case "off":
 		cfg.fsyncMode = namesvc.FsyncOff
 	default:
 		d, err := time.ParseDuration(fsync)
 		if err != nil || d <= 0 {
-			return nil, fmt.Errorf("blnamed: -fsync must be epoch, off, or a positive duration, got %q", fsync)
+			return nil, fmt.Errorf("blnamed: -fsync must be epoch, group, off, or a positive duration, got %q", fsync)
 		}
 		cfg.fsyncMode = namesvc.FsyncInterval
 		cfg.fsyncEvery = d
+	}
+	if cfg.replicate {
+		if peers == "" {
+			return nil, fmt.Errorf("blnamed: -replicate requires -peers")
+		}
+		if cfg.dataDir == "" {
+			return nil, fmt.Errorf("blnamed: -replicate requires -data-dir (election state and the WAL must survive restarts)")
+		}
+		for _, member := range strings.Split(peers, ",") {
+			replAddr, clientAddr, ok := strings.Cut(member, "=")
+			if !ok || replAddr == "" || clientAddr == "" {
+				return nil, fmt.Errorf("blnamed: -peers member %q is not replAddr=clientAddr", member)
+			}
+			cfg.peers = append(cfg.peers, repl.PeerSpec{ReplAddr: replAddr, ClientAddr: clientAddr})
+		}
+		if cfg.nodeID < 0 || cfg.nodeID >= len(cfg.peers) {
+			return nil, fmt.Errorf("blnamed: -node-id %d outside -peers (0..%d)", cfg.nodeID, len(cfg.peers)-1)
+		}
+		if cfg.electionTimeout <= 0 {
+			return nil, fmt.Errorf("blnamed: -election-timeout must be positive, got %v", cfg.electionTimeout)
+		}
+	} else if peers != "" {
+		return nil, fmt.Errorf("blnamed: -peers requires -replicate")
 	}
 	return cfg, nil
 }
@@ -178,9 +231,10 @@ func warnJournal(cfg *config) {
 			"memory grows without bound — intended for bounded runs only")
 }
 
-// build assembles the service and server from a config, recovering from
-// -data-dir when durability is enabled.
-func build(cfg *config) (*namesvc.Server, *namesvc.Service, error) {
+// build assembles the service, the optional replication node, and the
+// server from a config, recovering from -data-dir when durability is
+// enabled.
+func build(cfg *config) (*namesvc.Server, *namesvc.Service, *repl.Node, error) {
 	svcCfg := namesvc.Config{
 		Shards:       cfg.shards,
 		ShardCap:     cfg.shardCap,
@@ -193,7 +247,7 @@ func build(cfg *config) (*namesvc.Server, *namesvc.Service, error) {
 	if cfg.dataDir != "" {
 		sinks, err := durable.ShardSinks(cfg.dataDir, cfg.shards)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		svcCfg.Durable = &namesvc.Durability{
 			Sinks:         sinks,
@@ -207,7 +261,24 @@ func build(cfg *config) (*namesvc.Server, *namesvc.Service, error) {
 	}
 	svc, err := namesvc.Open(svcCfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+	var node *repl.Node
+	if cfg.replicate {
+		node, err = repl.Start(repl.Config{
+			NodeID:          cfg.nodeID,
+			Peers:           cfg.peers,
+			Service:         svc,
+			MetaPath:        filepath.Join(cfg.dataDir, "repl-meta"),
+			ElectionTimeout: cfg.electionTimeout,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "blnamed: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			svc.Close()
+			return nil, nil, nil, err
+		}
 	}
 	scfg := namesvc.ServerConfig{
 		Service:        svc,
@@ -217,6 +288,15 @@ func build(cfg *config) (*namesvc.Server, *namesvc.Service, error) {
 		MaxConnQueue:   cfg.maxConnQueue,
 		ManualEpochs:   cfg.manualEpochs,
 	}
+	switch {
+	case node != nil:
+		// Replication is the commit rule: writes only on the leader,
+		// grants only after a quorum holds the records behind them.
+		scfg.Gate = node
+	case cfg.fsyncMode == namesvc.FsyncGroup && cfg.dataDir != "":
+		// Standalone group commit: grants wait for a shared fsync round.
+		scfg.Gate = namesvc.GroupGate(svc)
+	}
 	if !cfg.quiet {
 		scfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "blnamed: "+format+"\n", args...)
@@ -224,10 +304,16 @@ func build(cfg *config) (*namesvc.Server, *namesvc.Service, error) {
 	}
 	srv, err := namesvc.NewServer(scfg)
 	if err != nil {
+		if node != nil {
+			node.Close()
+		}
 		svc.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return srv, svc, nil
+	if node != nil {
+		node.SetServer(srv)
+	}
+	return srv, svc, node, nil
 }
 
 func main() {
@@ -242,7 +328,7 @@ func main() {
 		os.Exit(2)
 	}
 	warnJournal(cfg)
-	srv, svc, err := build(cfg)
+	srv, svc, node, err := build(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "blnamed: %v\n", err)
 		os.Exit(1)
@@ -260,6 +346,9 @@ func main() {
 				i, svc.ShardEpoch(i), svc.ShardDigest(i))
 		}
 	}
+	if node != nil {
+		durability += fmt.Sprintf(", replicating as node %d of %d", cfg.nodeID, len(cfg.peers))
+	}
 	fmt.Printf("blnamed: serving %d shard(s) x %d names on %s (runner %s, seed %d, %s)\n",
 		cfg.shards, cfg.shardCap, ln.Addr(), cfg.runner.Name(), cfg.seed, durability)
 
@@ -275,6 +364,15 @@ func main() {
 	err = srv.Serve(ln)
 	ln.Close()
 	srv.Close()
+	if node != nil {
+		// The drain report names the role and the last committed stream
+		// index so an operator can tell at a glance whether this replica
+		// was the leader and how far the cluster had acknowledged.
+		role, term, commit := node.Status()
+		node.Close()
+		fmt.Fprintf(os.Stderr, "blnamed: replication: drained as %s of term %d, committed through record %d\n",
+			role, term, commit)
+	}
 	if cerr := svc.Close(); cerr != nil {
 		fmt.Fprintf(os.Stderr, "blnamed: final checkpoint: %v\n", cerr)
 		if err == nil {

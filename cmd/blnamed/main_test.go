@@ -26,6 +26,16 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"zero snapshot-every", []string{"-listen", ":0", "-snapshot-every", "0"}},
 		{"bad fsync", []string{"-listen", ":0", "-fsync", "sometimes"}},
 		{"negative fsync interval", []string{"-listen", ":0", "-fsync", "-5ms"}},
+		{"replicate without peers", []string{"-listen", ":0", "-replicate", "-data-dir", "/tmp/x"}},
+		{"replicate without data-dir", []string{"-listen", ":0", "-replicate",
+			"-peers", "a:1=a:2,b:1=b:2,c:1=c:2"}},
+		{"malformed peers member", []string{"-listen", ":0", "-replicate", "-data-dir", "/tmp/x",
+			"-peers", "a:1=a:2,b:1"}},
+		{"node-id outside peers", []string{"-listen", ":0", "-replicate", "-data-dir", "/tmp/x",
+			"-peers", "a:1=a:2,b:1=b:2,c:1=c:2", "-node-id", "3"}},
+		{"zero election timeout", []string{"-listen", ":0", "-replicate", "-data-dir", "/tmp/x",
+			"-peers", "a:1=a:2,b:1=b:2,c:1=c:2", "-election-timeout", "0s"}},
+		{"peers without replicate", []string{"-listen", ":0", "-peers", "a:1=a:2"}},
 	}
 	for _, tc := range cases {
 		if _, err := parseFlags(tc.args); err == nil {
@@ -70,6 +80,17 @@ func TestParseFlagsValidation(t *testing.T) {
 	if cfg.fsyncMode != namesvc.FsyncOff {
 		t.Fatalf("fsync off cfg = %+v", cfg)
 	}
+	cfg, err = parseFlags([]string{"-listen", "127.0.0.1:4801", "-data-dir", "/tmp/x",
+		"-fsync", "group", "-replicate", "-node-id", "1",
+		"-peers", "a:1=a:2,b:1=b:2,c:1=c:2", "-election-timeout", "250ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.replicate || cfg.nodeID != 1 || len(cfg.peers) != 3 ||
+		cfg.peers[1].ReplAddr != "b:1" || cfg.peers[1].ClientAddr != "b:2" ||
+		cfg.fsyncMode != namesvc.FsyncGroup || cfg.electionTimeout != 250*time.Millisecond {
+		t.Fatalf("replicated cfg = %+v", cfg)
+	}
 }
 
 // TestDaemonEndToEnd drives a built-from-flags daemon over a real socket:
@@ -85,7 +106,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, svc, err := build(cfg)
+	srv, svc, _, err := build(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -88,7 +88,7 @@ func TestClientSteadyStateZeroAllocs(t *testing.T) {
 		}
 		rbuf = body
 		w.Reset()
-		appendWelcome(&w, 1, 16)
+		appendWelcome(&w, 1, 16, RoleStandalone, "")
 		if !reply() {
 			return
 		}

@@ -91,6 +91,8 @@ type Client struct {
 	cfg      ClientConfig
 	shards   int
 	shardCap int
+	role     Role
+	leader   string // leader client address from the welcome; "" if none
 
 	wmu   sync.Mutex
 	bw    *bufio.Writer
@@ -143,7 +145,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("namesvc: awaiting welcome: %w", err)
 	}
-	if c.shards, c.shardCap, err = decodeWelcome(body); err != nil {
+	if c.shards, c.shardCap, c.role, c.leader, err = decodeWelcome(body); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -161,6 +163,72 @@ func (c *Client) ShardCap() int { return c.shardCap }
 
 // Capacity returns the server's total namespace size.
 func (c *Client) Capacity() int { return c.shards * c.shardCap }
+
+// Role returns the server's replication role at handshake time.
+func (c *Client) Role() Role { return c.role }
+
+// LeaderHint returns the leader client address the server advertised in
+// its welcome — empty on a standalone server, on the leader itself, and
+// on a follower that does not currently know a leader. Writes rejected
+// after a leadership change carry the fresher hint in the RejectNotLeader
+// message (see LeaderHintFromError).
+func (c *Client) LeaderHint() string { return c.leader }
+
+// LeaderHintFromError extracts the redirect hint from a RejectNotLeader
+// error: ok reports whether err is one, and leader is the advertised
+// leader client address (possibly empty — retry the known addresses).
+func LeaderHintFromError(err error) (leader string, ok bool) {
+	var rej *RejectError
+	if errors.As(err, &rej) && rej.Code == RejectNotLeader {
+		return rej.Msg, true
+	}
+	return "", false
+}
+
+// DialLeader dials until it lands on a server that serves writes: it
+// tries the given addresses, follows each follower's leader hint, and
+// retries through elections until cfg.Timeout (as a total budget) runs
+// out. It is the client half of leader failover — blload and the cluster
+// tests reconnect through it after a kill.
+func DialLeader(addrs []string, cfg ClientConfig) (*Client, error) {
+	cfg.normalize()
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("namesvc: DialLeader needs at least one address")
+	}
+	deadline := time.Now().Add(cfg.Timeout)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		// A fresh hint is always tried first, then the static list.
+		try := addrs
+		for _, addr := range try {
+			c, err := Dial(addr, cfg)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if c.Role() != RoleFollower {
+				return c, nil
+			}
+			hint := c.LeaderHint()
+			c.Close()
+			if hint != "" {
+				if hc, err := Dial(hint, cfg); err == nil {
+					if hc.Role() != RoleFollower {
+						return hc, nil
+					}
+					hc.Close()
+				} else {
+					lastErr = err
+				}
+			}
+			lastErr = fmt.Errorf("namesvc: %s is a follower (leader hint %q)", addr, hint)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("namesvc: no leader found in %v: %w", cfg.Timeout, lastErr)
+		}
+		time.Sleep(min(50*time.Millisecond*time.Duration(attempt+1), 500*time.Millisecond))
+	}
+}
 
 // Close tears the connection down; every in-flight callback fails with a
 // wrapped ErrClientClosed.

@@ -205,6 +205,21 @@ type Service struct {
 	syncDone  chan struct{}
 	closeOnce sync.Once
 	closeErr  error
+
+	// group coordinates FsyncGroup sync rounds; nil in other modes.
+	group *groupSyncer
+	// onRecord, when non-nil, observes every sealed WAL record as it is
+	// produced (under the shard lock) — the replication tap. Set once via
+	// SetRecordHook before any traffic.
+	onRecord func(shard int, payload []byte)
+}
+
+// SetRecordHook installs the sealed-record observer (see Service.onRecord).
+// The hook runs under the shard lock with a payload that aliases encode
+// scratch: it must copy what it keeps, must not block, and must not call
+// back into the Service. Install it before the service takes traffic.
+func (s *Service) SetRecordHook(hook func(shard int, payload []byte)) {
+	s.onRecord = hook
 }
 
 // New builds a Service. With Config.Durable set it recovers the persisted
@@ -258,6 +273,10 @@ func Open(cfg Config) (*Service, error) {
 		s.syncStop = make(chan struct{})
 		s.syncDone = make(chan struct{})
 		go s.walSyncLoop(dcfg.FsyncEvery)
+	}
+	if dcfg != nil && dcfg.Fsync == FsyncGroup {
+		s.group = &groupSyncer{}
+		s.group.cond.L = &s.group.mu
 	}
 	return s, nil
 }

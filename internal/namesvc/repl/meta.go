@@ -1,0 +1,87 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// meta is the durable election state. Term and VotedFor are the classic
+// Raft pair: persisted before any vote or vote request leaves the node,
+// so a restart can never vote twice in one term. LastRecTerm is the term
+// of the newest record this replica holds — the WAL itself carries no
+// terms, so it must survive restarts separately or a restarted node
+// would understate its freshness and hand leadership to a replica
+// missing quorum-committed records. It is persisted before the
+// corresponding acknowledgement (follower) or before serving (leader),
+// keeping "what I claim" always at or above "what I acknowledged".
+type meta struct {
+	Term        uint64 `json:"term"`
+	VotedFor    int    `json:"voted_for"` // -1 = none this term
+	LastRecTerm uint64 `json:"last_record_term"`
+}
+
+// loadMeta reads the persisted election state; a missing file (first
+// boot) is the zero state. An empty path is memory-only mode (tests).
+func loadMeta(path string) (meta, error) {
+	m := meta{VotedFor: -1}
+	if path == "" {
+		return m, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return m, nil
+	}
+	if err != nil {
+		return m, fmt.Errorf("repl: reading %s: %w", path, err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("repl: parsing %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// save persists the election state durably: temp file, fsync, rename,
+// directory fsync — the same discipline as the WAL's snapshot writes, so
+// a crash leaves either the old state or the new, never a torn file.
+func (m meta) save(path string) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("repl: encoding meta: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("repl: writing meta: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("repl: writing meta: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("repl: syncing meta: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("repl: closing meta: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("repl: installing meta: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

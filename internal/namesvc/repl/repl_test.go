@@ -1,0 +1,698 @@
+package repl
+
+import (
+	"net"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"ballsintoleaves/internal/namesvc"
+	"ballsintoleaves/internal/namesvc/durable"
+	"ballsintoleaves/internal/wire"
+)
+
+const (
+	testShards   = 2
+	testShardCap = 64
+	testSeed     = 42
+)
+
+// testLogf wraps t.Logf so background goroutines that outlive the test
+// body (stream managers winding down during cleanup) cannot log after
+// the test has completed.
+func testLogf(t *testing.T) func(string, ...any) {
+	var mu sync.Mutex
+	done := false
+	t.Cleanup(func() { mu.Lock(); done = true; mu.Unlock() })
+	return func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !done {
+			t.Logf(format, args...)
+		}
+	}
+}
+
+func memSinks() []durable.Sink {
+	sinks := make([]durable.Sink, testShards)
+	for i := range sinks {
+		sinks[i] = durable.NewMemSink()
+	}
+	return sinks
+}
+
+// openReplica opens a durable service over sinks with the cluster test
+// configuration. Reopening over the same sinks models a process restart.
+func openReplica(t *testing.T, sinks []durable.Sink) *namesvc.Service {
+	t.Helper()
+	svc, err := namesvc.Open(namesvc.Config{
+		Shards:       testShards,
+		ShardCap:     testShardCap,
+		Seed:         testSeed,
+		Journal:      true,
+		JournalLimit: 1024,
+		Durable: &namesvc.Durability{
+			Sinks:         sinks,
+			Fsync:         namesvc.FsyncGroup,
+			SnapshotEvery: 8,
+		},
+	})
+	if err != nil {
+		t.Fatalf("opening replica service: %v", err)
+	}
+	return svc
+}
+
+// openReference opens the volatile single-service reference: identical
+// allocation configuration, no durability, no replication.
+func openReference(t *testing.T) *namesvc.Service {
+	t.Helper()
+	svc, err := namesvc.Open(namesvc.Config{
+		Shards:       testShards,
+		ShardCap:     testShardCap,
+		Seed:         testSeed,
+		Journal:      true,
+		JournalLimit: 1024,
+	})
+	if err != nil {
+		t.Fatalf("opening reference service: %v", err)
+	}
+	return svc
+}
+
+// cluster is an in-process replication cluster: one Service + Node per
+// member, replication listeners on loopback ephemeral ports, elections
+// manual so tests pick leaders deterministically.
+type cluster struct {
+	t     *testing.T
+	peers []PeerSpec
+	sinks [][]durable.Sink
+	svcs  []*namesvc.Service
+	nodes []*Node
+	logf  func(string, ...any)
+}
+
+func startCluster(t *testing.T, size int) *cluster {
+	t.Helper()
+	c := &cluster{t: t, logf: testLogf(t)}
+	lns := make([]net.Listener, size)
+	for i := 0; i < size; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("binding replication listener: %v", err)
+		}
+		lns[i] = ln
+		c.peers = append(c.peers, PeerSpec{
+			ReplAddr:   ln.Addr().String(),
+			ClientAddr: "client-" + ln.Addr().String(),
+		})
+	}
+	for i := 0; i < size; i++ {
+		sinks := memSinks()
+		svc := openReplica(t, sinks)
+		node, err := Start(Config{
+			NodeID:          i,
+			Peers:           c.peers,
+			Service:         svc,
+			Listener:        lns[i],
+			ElectionTimeout: 200 * time.Millisecond,
+			ManualElections: true,
+			Logf:            c.logf,
+		})
+		if err != nil {
+			t.Fatalf("starting node %d: %v", i, err)
+		}
+		c.sinks = append(c.sinks, sinks)
+		c.svcs = append(c.svcs, svc)
+		c.nodes = append(c.nodes, node)
+	}
+	t.Cleanup(c.close)
+	return c
+}
+
+func (c *cluster) close() {
+	for _, n := range c.nodes {
+		if n != nil {
+			n.Close()
+		}
+	}
+	for _, s := range c.svcs {
+		if s != nil {
+			s.Close()
+		}
+	}
+}
+
+// waitConverged polls until every live replica's position vector equals
+// the leader's — stable across two consecutive leader reads, so the
+// leader did not advance mid-check.
+func (c *cluster) waitConverged(leader int) {
+	c.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		want := c.svcs[leader].Positions(nil)
+		ok := true
+		for i, svc := range c.svcs {
+			if i == leader || svc == nil {
+				continue
+			}
+			if !positionsEqual(svc.Positions(nil), want) {
+				ok = false
+				break
+			}
+		}
+		if ok && positionsEqual(c.svcs[leader].Positions(nil), want) {
+			return
+		}
+		if time.Now().After(deadline) {
+			for i, svc := range c.svcs {
+				if svc != nil {
+					c.t.Logf("node %d positions: %v", i, svc.Positions(nil))
+				}
+			}
+			c.t.Fatalf("replicas did not converge on leader %d's positions %v", leader, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// assertReplicasMatch requires every live replica to be byte-identical to
+// the first live one: per-shard epochs, digests, and journal windows.
+func (c *cluster) assertReplicasMatch() {
+	c.t.Helper()
+	base := -1
+	for i, svc := range c.svcs {
+		if svc == nil {
+			continue
+		}
+		if base < 0 {
+			base = i
+			continue
+		}
+		if got, want := svc.Digest(), c.svcs[base].Digest(); got != want {
+			c.t.Fatalf("node %d digest %#x != node %d digest %#x", i, got, base, want)
+		}
+		for shard := 0; shard < testShards; shard++ {
+			if got, want := svc.ShardEpoch(shard), c.svcs[base].ShardEpoch(shard); got != want {
+				c.t.Fatalf("node %d shard %d epoch %d != node %d epoch %d", i, shard, got, base, want)
+			}
+			if got, want := svc.ShardDigest(shard), c.svcs[base].ShardDigest(shard); got != want {
+				c.t.Fatalf("node %d shard %d digest %#x != node %d digest %#x", i, shard, got, base, want)
+			}
+			if got, want := svc.ShardJournal(shard), c.svcs[base].ShardJournal(shard); !reflect.DeepEqual(got, want) {
+				c.t.Fatalf("node %d shard %d journal diverges from node %d:\n got %v\nwant %v",
+					i, shard, base, got, want)
+			}
+		}
+	}
+}
+
+// mustCommit waits for the shard's records to quorum-commit, bounded so a
+// broken cluster fails the test instead of hanging it.
+func mustCommit(t *testing.T, n *Node, shard int) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- n.WaitCommitted(shard) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitCommitted(%d): %v", shard, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("WaitCommitted(%d) stalled", shard)
+	}
+}
+
+// closeEpochs closes one epoch on every shard directly on a leader's
+// service and waits for the records to commit.
+func closeEpochs(t *testing.T, c *cluster, leader int) {
+	t.Helper()
+	for shard := 0; shard < testShards; shard++ {
+		if _, err := c.svcs[leader].CloseEpoch(shard); err != nil {
+			t.Fatalf("closing epoch on shard %d: %v", shard, err)
+		}
+		mustCommit(t, c.nodes[leader], shard)
+	}
+}
+
+// TestSingleNodeCommitsAlone: a one-member cluster is its own quorum —
+// leadership on demand, every record committed by the leader's own
+// durable copy.
+func TestSingleNodeCommitsAlone(t *testing.T) {
+	c := startCluster(t, 1)
+	if !c.nodes[0].Campaign() {
+		t.Fatal("single node failed to elect itself")
+	}
+	if !c.nodes[0].IsLeader() {
+		t.Fatal("campaign won but IsLeader is false")
+	}
+	for client := uint64(1); client <= 8; client++ {
+		if _, err := c.svcs[0].Acquire(client, nil); err != nil {
+			t.Fatalf("acquire %d: %v", client, err)
+		}
+	}
+	closeEpochs(t, c, 0)
+	role, term, commit := c.nodes[0].Status()
+	if role != namesvc.RoleLeader || term != 1 {
+		t.Fatalf("status = (%v, %d, %d), want leader of term 1", role, term, commit)
+	}
+	if commit == 0 {
+		t.Fatal("epoch records produced but commit index is 0")
+	}
+}
+
+// TestClusterMatchesVolatileReference is the differential gate: the same
+// client trace driven through a real Server+Client against a 3-replica
+// cluster, and mirrored directly onto a single volatile Service, must
+// produce identical grants — and leave the leader, both followers, and
+// the reference with identical ledgers, digests, and journals.
+func TestClusterMatchesVolatileReference(t *testing.T) {
+	c := startCluster(t, 3)
+	if !c.nodes[0].Campaign() {
+		t.Fatal("node 0 failed to take leadership")
+	}
+
+	srv, err := namesvc.NewServer(namesvc.ServerConfig{
+		Service:      c.svcs[0],
+		Gate:         c.nodes[0],
+		ManualEpochs: true,
+		Logf:         c.logf,
+	})
+	if err != nil {
+		t.Fatalf("starting server: %v", err)
+	}
+	c.nodes[0].SetServer(srv)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("binding client listener: %v", err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	cl, err := namesvc.Dial(ln.Addr().String(), namesvc.ClientConfig{})
+	if err != nil {
+		t.Fatalf("dialing leader: %v", err)
+	}
+	defer cl.Close()
+	if cl.Role() != namesvc.RoleLeader {
+		t.Fatalf("leader welcome role = %v, want %v", cl.Role(), namesvc.RoleLeader)
+	}
+
+	ref := openReference(t)
+	defer ref.Close()
+
+	var mu sync.Mutex
+	clusterGrants := make(map[uint64]namesvc.Grant)
+	refGrants := make(map[uint64]namesvc.Grant)
+
+	acquireBoth := func(clients []uint64) {
+		t.Helper()
+		for _, client := range clients {
+			client := client
+			err := cl.Acquire(client, func(g namesvc.Grant, err error) {
+				if err != nil {
+					t.Errorf("cluster acquire %d: %v", client, err)
+					return
+				}
+				mu.Lock()
+				clusterGrants[client] = g
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatalf("submitting acquire %d: %v", client, err)
+			}
+		}
+		for _, client := range clients {
+			if _, err := ref.Acquire(client, nil); err != nil {
+				t.Fatalf("reference acquire %d: %v", client, err)
+			}
+		}
+	}
+	epochBoth := func() {
+		t.Helper()
+		for shard := 0; shard < testShards; shard++ {
+			clEpoch, _, err := cl.EpochSync(shard)
+			if err != nil {
+				t.Fatalf("cluster epoch on shard %d: %v", shard, err)
+			}
+			grants, err := ref.CloseEpoch(shard)
+			if err != nil {
+				t.Fatalf("reference epoch on shard %d: %v", shard, err)
+			}
+			for _, g := range grants {
+				refGrants[g.Client] = g
+			}
+			if refEpoch := ref.ShardEpoch(shard); clEpoch != refEpoch {
+				t.Fatalf("shard %d epoch: cluster %d, reference %d", shard, clEpoch, refEpoch)
+			}
+		}
+	}
+
+	// Round 1: a batch of acquires granted in one epoch per shard.
+	round1 := make([]uint64, 0, 24)
+	for client := uint64(1); client <= 24; client++ {
+		round1 = append(round1, client)
+	}
+	acquireBoth(round1)
+	epochBoth()
+
+	// Round 2: half the holders release; the released names recirculate.
+	type holding struct {
+		client uint64
+		name   int
+	}
+	mu.Lock()
+	released := make([]holding, 0, len(round1)/2)
+	for i, client := range round1 {
+		if i%2 == 0 {
+			released = append(released, holding{client, clusterGrants[client].Name})
+		}
+	}
+	mu.Unlock()
+	for _, h := range released {
+		if err := cl.ReleaseSync(h.name); err != nil {
+			t.Fatalf("cluster release of name %d: %v", h.name, err)
+		}
+		if err := ref.Release(h.client, h.name); err != nil {
+			t.Fatalf("reference release of name %d: %v", h.name, err)
+		}
+	}
+
+	// Round 3: fresh clients compete for the recirculated names.
+	round3 := make([]uint64, 0, 12)
+	for client := uint64(101); client <= 112; client++ {
+		round3 = append(round3, client)
+	}
+	acquireBoth(round3)
+	epochBoth()
+
+	// The trace is identical, so the grants must be too — same name,
+	// shard, and epoch, client by client. (Grant frames on the client
+	// wire carry only those three fields; the client id is the map key.)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(clusterGrants) != len(refGrants) {
+		t.Fatalf("cluster granted %d clients, reference %d", len(clusterGrants), len(refGrants))
+	}
+	for client, g := range clusterGrants {
+		rg, ok := refGrants[client]
+		if !ok || g.Name != rg.Name || g.Shard != rg.Shard || g.Epoch != rg.Epoch {
+			t.Fatalf("client %d: cluster grant %+v, reference grant %+v", client, g, rg)
+		}
+	}
+
+	// Every replica — leader included — must be byte-identical to the
+	// unreplicated reference.
+	c.waitConverged(0)
+	c.assertReplicasMatch()
+	if got, want := c.svcs[0].Digest(), ref.Digest(); got != want {
+		t.Fatalf("cluster digest %#x != reference digest %#x", got, want)
+	}
+	for shard := 0; shard < testShards; shard++ {
+		if got, want := c.svcs[0].ShardDigest(shard), ref.ShardDigest(shard); got != want {
+			t.Fatalf("shard %d: cluster digest %#x != reference digest %#x", shard, got, want)
+		}
+		if got, want := c.svcs[0].ShardJournal(shard), ref.ShardJournal(shard); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shard %d journal diverges from reference:\n got %v\nwant %v", shard, got, want)
+		}
+	}
+}
+
+// TestFailoverFencesDeposedLeader: a new campaign deposes the old leader
+// mid-flight — its commit waiters fail, it stops admitting writes and
+// redirects to the new leader, and the cluster reconverges under the new
+// term.
+func TestFailoverFencesDeposedLeader(t *testing.T) {
+	c := startCluster(t, 3)
+	if !c.nodes[0].Campaign() {
+		t.Fatal("node 0 failed to take leadership")
+	}
+	for client := uint64(1); client <= 16; client++ {
+		if _, err := c.svcs[0].Acquire(client, nil); err != nil {
+			t.Fatalf("acquire %d: %v", client, err)
+		}
+	}
+	closeEpochs(t, c, 0)
+	c.waitConverged(0)
+
+	// Depose: node 1 campaigns at a higher term. Its freshness equals the
+	// converged cluster's, so it must win.
+	if !c.nodes[1].Campaign() {
+		t.Fatal("converged follower failed to take leadership")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.nodes[0].IsLeader() {
+		if time.Now().After(deadline) {
+			t.Fatal("deposed leader still claims leadership")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.nodes[0].WaitCommitted(0); err == nil {
+		t.Fatal("WaitCommitted on the deposed leader returned nil")
+	}
+	if admit, _ := c.nodes[0].AdmitWrites(); admit {
+		t.Fatal("deposed leader still admits writes")
+	}
+	// Once the new leader's stream reaches node 0, the redirect hint
+	// names node 1's client address.
+	for {
+		role, hint := c.nodes[0].WireRole()
+		if role == namesvc.RoleFollower && hint == c.peers[1].ClientAddr {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node 0 reports (%v, %q), want follower redirecting to %q",
+				role, hint, c.peers[1].ClientAddr)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The new leader serves: fresh clients, fresh epochs, quorum commits.
+	for client := uint64(201); client <= 216; client++ {
+		if _, err := c.svcs[1].Acquire(client, nil); err != nil {
+			t.Fatalf("acquire %d on new leader: %v", client, err)
+		}
+	}
+	closeEpochs(t, c, 1)
+	c.waitConverged(1)
+	c.assertReplicasMatch()
+}
+
+// TestFollowerCatchUpAfterRestart: a follower that was down while the
+// cluster moved on restarts from its own WAL, rejoins, and is resynced —
+// snapshot plus stream tail — to byte-identical state.
+func TestFollowerCatchUpAfterRestart(t *testing.T) {
+	c := startCluster(t, 3)
+	if !c.nodes[0].Campaign() {
+		t.Fatal("node 0 failed to take leadership")
+	}
+	for client := uint64(1); client <= 12; client++ {
+		if _, err := c.svcs[0].Acquire(client, nil); err != nil {
+			t.Fatalf("acquire %d: %v", client, err)
+		}
+	}
+	closeEpochs(t, c, 0)
+	c.waitConverged(0)
+
+	// Node 2 goes down; a quorum of two keeps committing without it.
+	c.nodes[2].Close()
+	c.svcs[2].Close()
+	c.nodes[2], c.svcs[2] = nil, nil
+	for client := uint64(101); client <= 124; client++ {
+		if _, err := c.svcs[0].Acquire(client, nil); err != nil {
+			t.Fatalf("acquire %d with node 2 down: %v", client, err)
+		}
+	}
+	closeEpochs(t, c, 0)
+
+	// Restart node 2 over the same sinks (its WAL survives) and the same
+	// replication address. The leader's stream manager re-attaches it.
+	svc2 := openReplica(t, c.sinks[2])
+	ln, err := net.Listen("tcp", c.peers[2].ReplAddr)
+	if err != nil {
+		t.Fatalf("rebinding node 2's replication address: %v", err)
+	}
+	node2, err := Start(Config{
+		NodeID:          2,
+		Peers:           c.peers,
+		Service:         svc2,
+		Listener:        ln,
+		ElectionTimeout: 200 * time.Millisecond,
+		ManualElections: true,
+		Logf:            c.logf,
+	})
+	if err != nil {
+		t.Fatalf("restarting node 2: %v", err)
+	}
+	c.svcs[2], c.nodes[2] = svc2, node2
+
+	// More traffic lands after the rejoin; everything converges.
+	for client := uint64(201); client <= 208; client++ {
+		if _, err := c.svcs[0].Acquire(client, nil); err != nil {
+			t.Fatalf("acquire %d after rejoin: %v", client, err)
+		}
+	}
+	closeEpochs(t, c, 0)
+	c.waitConverged(0)
+	c.assertReplicasMatch()
+}
+
+// TestStaleCandidateLosesElection: a follower missing quorum-committed
+// records must not collect a quorum of votes — the freshness rule at
+// work.
+func TestStaleCandidateLosesElection(t *testing.T) {
+	c := startCluster(t, 3)
+	if !c.nodes[0].Campaign() {
+		t.Fatal("node 0 failed to take leadership")
+	}
+	// Node 2 is partitioned off (closed) before any records exist; its
+	// slots are cleared so convergence checks cover only the live pair.
+	c.nodes[2].Close()
+	downSvc := c.svcs[2]
+	defer downSvc.Close()
+	c.nodes[2], c.svcs[2] = nil, nil
+	for client := uint64(1); client <= 8; client++ {
+		if _, err := c.svcs[0].Acquire(client, nil); err != nil {
+			t.Fatalf("acquire %d: %v", client, err)
+		}
+	}
+	closeEpochs(t, c, 0)
+	c.waitConverged(0) // nodes 0 and 1 hold the committed records; node 2 does not
+
+	// Restart node 2's replication endpoint only — same empty service, so
+	// it is strictly staler than the quorum.
+	ln, err := net.Listen("tcp", c.peers[2].ReplAddr)
+	if err != nil {
+		t.Fatalf("rebinding node 2: %v", err)
+	}
+	staleSvc := openReference(t)
+	defer staleSvc.Close()
+	stale, err := Start(Config{
+		NodeID:          2,
+		Peers:           c.peers,
+		Service:         staleSvc,
+		Listener:        ln,
+		ElectionTimeout: 200 * time.Millisecond,
+		ManualElections: true,
+		Logf:            c.logf,
+	})
+	if err != nil {
+		t.Fatalf("restarting node 2: %v", err)
+	}
+	defer stale.Close()
+
+	if stale.Campaign() {
+		t.Fatal("a candidate missing quorum-committed records won an election")
+	}
+}
+
+func TestWireRoundTrips(t *testing.T) {
+	var w wire.Writer
+
+	appendHello(&w, 7, 2)
+	if term, id, err := decodeHello(w.Bytes()); err != nil || term != 7 || id != 2 {
+		t.Fatalf("hello round-trip: (%d, %d, %v)", term, id, err)
+	}
+
+	w.Reset()
+	appendHelloAck(&w, 7, 3, []uint64{10, 0, 42})
+	term, rec, pos, err := decodeHelloAck(w.Bytes())
+	if err != nil || term != 7 || rec != 3 || !positionsEqual(pos, []uint64{10, 0, 42}) {
+		t.Fatalf("hello-ack round-trip: (%d, %d, %v, %v)", term, rec, pos, err)
+	}
+
+	// A hello-ack claiming more positions than its bytes could hold must
+	// be rejected, not allocated.
+	w.Reset()
+	w.Byte(kHelloAck)
+	w.Uvarint(7)
+	w.Uvarint(3)
+	w.Uvarint(1 << 40)
+	if _, _, _, err := decodeHelloAck(w.Bytes()); err == nil {
+		t.Fatal("oversized hello-ack position count accepted")
+	}
+
+	w.Reset()
+	appendVoteReq(&w, 9, 1, 4, 1234)
+	if term, id, rec, p, err := decodeVoteReq(w.Bytes()); err != nil || term != 9 || id != 1 || rec != 4 || p != 1234 {
+		t.Fatalf("vote-req round-trip: (%d, %d, %d, %d, %v)", term, id, rec, p, err)
+	}
+
+	for _, granted := range []bool{true, false} {
+		w.Reset()
+		appendVoteResp(&w, 9, granted)
+		if term, g, err := decodeVoteResp(w.Bytes()); err != nil || term != 9 || g != granted {
+			t.Fatalf("vote-resp round-trip: (%d, %v, %v)", term, g, err)
+		}
+	}
+
+	w.Reset()
+	appendSnap(&w, 5, 1, []byte("shard-image"))
+	if term, shard, payload, err := decodeSnap(w.Bytes()); err != nil || term != 5 || shard != 1 || string(payload) != "shard-image" {
+		t.Fatalf("snap round-trip: (%d, %d, %q, %v)", term, shard, payload, err)
+	}
+
+	w.Reset()
+	appendSnapEnd(&w, 5, 17, 12, 4)
+	if term, idx, commit, rec, err := decodeSnapEnd(w.Bytes()); err != nil || term != 5 || idx != 17 || commit != 12 || rec != 4 {
+		t.Fatalf("snap-end round-trip: (%d, %d, %d, %d, %v)", term, idx, commit, rec, err)
+	}
+
+	w.Reset()
+	appendAppend(&w, 5, 18, 12, 0, []byte("record"))
+	if term, idx, commit, shard, payload, err := decodeAppend(w.Bytes()); err != nil || term != 5 || idx != 18 || commit != 12 || shard != 0 || string(payload) != "record" {
+		t.Fatalf("append round-trip: (%d, %d, %d, %d, %q, %v)", term, idx, commit, shard, payload, err)
+	}
+
+	w.Reset()
+	appendHeartbeat(&w, 5, 12)
+	if term, commit, err := decodeHeartbeat(w.Bytes()); err != nil || term != 5 || commit != 12 {
+		t.Fatalf("heartbeat round-trip: (%d, %d, %v)", term, commit, err)
+	}
+
+	w.Reset()
+	appendAck(&w, 5, 18)
+	if term, idx, err := decodeAck(w.Bytes()); err != nil || term != 5 || idx != 18 {
+		t.Fatalf("ack round-trip: (%d, %d, %v)", term, idx, err)
+	}
+
+	w.Reset()
+	appendNack(&w, 6)
+	if term, err := decodeNack(w.Bytes()); err != nil || term != 6 {
+		t.Fatalf("nack round-trip: (%d, %v)", term, err)
+	}
+}
+
+func TestMetaPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repl-meta")
+
+	m, err := loadMeta(path)
+	if err != nil {
+		t.Fatalf("loading missing meta: %v", err)
+	}
+	if m.Term != 0 || m.VotedFor != -1 || m.LastRecTerm != 0 {
+		t.Fatalf("zero meta = %+v, want term 0, no vote", m)
+	}
+
+	want := meta{Term: 9, VotedFor: 2, LastRecTerm: 7}
+	if err := want.save(path); err != nil {
+		t.Fatalf("saving meta: %v", err)
+	}
+	got, err := loadMeta(path)
+	if err != nil {
+		t.Fatalf("reloading meta: %v", err)
+	}
+	if got != want {
+		t.Fatalf("meta round-trip: got %+v, want %+v", got, want)
+	}
+
+	// Memory-only mode: empty path is a no-op on both sides.
+	if err := (meta{Term: 1}).save(""); err != nil {
+		t.Fatalf("memory-only save: %v", err)
+	}
+	if m, err := loadMeta(""); err != nil || m.VotedFor != -1 {
+		t.Fatalf("memory-only load: (%+v, %v)", m, err)
+	}
+}

@@ -29,10 +29,55 @@ const maxIngestBurst = 512
 // back to back.
 const maxStagedGrants = 4096
 
+// CommitGate couples a Server to an external commit rule — a replication
+// quorum (internal/namesvc/repl) or group-commit fsync (GroupGate). The
+// server consults it at two points: write admission and grant delivery.
+type CommitGate interface {
+	// AdmitWrites reports whether this server currently serves writes
+	// (acquire, release, reclaim, epoch ops). When false, leader is the
+	// client address of the node that does (may be empty if unknown), and
+	// writes are rejected with RejectNotLeader carrying that hint. Called
+	// per ingested frame; it must be cheap and lock-free.
+	AdmitWrites() (ok bool, leader string)
+	// WaitCommitted blocks until every record the shard has produced so
+	// far is committed (quorum-acknowledged, or fsynced, per the gate).
+	// Grant delivery for the shard waits on it; an error means the records
+	// can no longer commit (the node was deposed mid-epoch) and the staged
+	// grants are discarded undelivered — never observable by any client,
+	// so a new leader re-granting those names is safe.
+	WaitCommitted(shard int) error
+}
+
+// wireRoleReporter is the optional CommitGate extension for gates that
+// know the node's replication role: the welcome reports it plus the
+// leader's client address so clients can redirect before the first write.
+// Gates without it (GroupGate) are standalone.
+type wireRoleReporter interface {
+	WireRole() (Role, string)
+}
+
+// groupGate adapts Service.SyncGroup to the CommitGate seam: writes are
+// always admitted, and delivery waits for a group-fsync round. Sync
+// failures degrade the shard fail-open (durability.go), so delivery
+// proceeds even then.
+type groupGate struct{ svc *Service }
+
+func (g groupGate) AdmitWrites() (bool, string)   { return true, "" }
+func (g groupGate) WaitCommitted(shard int) error { g.svc.SyncGroup(); return nil }
+
+// GroupGate returns the ServerConfig.Gate for a standalone server whose
+// service uses FsyncGroup: grants are delivered only after an fsync round
+// covers their records, with concurrent shards sharing each round.
+func GroupGate(svc *Service) CommitGate { return groupGate{svc} }
+
 // ServerConfig parameterizes a Server.
 type ServerConfig struct {
 	// Service is the allocation core to serve. Required.
 	Service *Service
+	// Gate, when non-nil, is the external commit rule (see CommitGate):
+	// replication quorum or group-commit fsync. Required when the service
+	// uses FsyncGroup (use GroupGate); nil otherwise means no gating.
+	Gate CommitGate
 	// EpochInterval is the batching window: after a shard's first queued
 	// request, its epoch loop waits this long before closing the epoch, so
 	// more arrivals join the batch. The window is adaptive: it ends early
@@ -120,7 +165,7 @@ type Server struct {
 	wg       sync.WaitGroup
 
 	mu    sync.Mutex
-	conns map[net.Conn]struct{}
+	conns map[net.Conn]chan struct{} // conn -> closed when its handler is done
 }
 
 // NewServer builds a Server and starts its epoch loops: one per shard when
@@ -149,7 +194,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		deliver:  make([]shardDelivery, shards),
 		manualMu: make([]sync.Mutex, shards),
 		stop:     make(chan struct{}),
-		conns:    make(map[net.Conn]struct{}),
+		conns:    make(map[net.Conn]chan struct{}),
 	}
 	for i := range s.deliver {
 		s.deliver[i].byConn = make(map[*svcConn]int32)
@@ -189,10 +234,14 @@ func (s *Server) Serve(ln net.Listener) error {
 			conn.Close()
 			return nil
 		}
-		s.conns[conn] = struct{}{}
+		done := make(chan struct{})
+		s.conns[conn] = done
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.handle(conn)
+		go func() {
+			s.handle(conn)
+			close(done)
+		}()
 	}
 }
 
@@ -212,6 +261,29 @@ func (s *Server) Close() error {
 	})
 	s.wg.Wait()
 	return nil
+}
+
+// DisconnectAll severs every currently-live client connection and waits
+// for their teardowns to finish: queued acquires cancelled, held names
+// released. Connections accepted afterwards are unaffected; the server
+// keeps accepting. A deposed replication leader calls this to quiesce its
+// write pipeline before its state is overwritten by a catch-up snapshot
+// (clients reconnect and are redirected to the new leader).
+func (s *Server) DisconnectAll() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	dones := make([]chan struct{}, 0, len(s.conns))
+	for conn, done := range s.conns {
+		conns = append(conns, conn)
+		dones = append(dones, done)
+	}
+	s.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	for _, done := range dones {
+		<-done
+	}
 }
 
 // kick nudges the epoch loop driving a shard; the channel is a binary
@@ -408,6 +480,22 @@ func (s *Server) deliverEpochs(shard int) {
 	d := &s.deliver[shard]
 	if len(d.staged) == 0 {
 		return
+	}
+	if g := s.cfg.Gate; g != nil {
+		// The commit rule: nothing reaches a client until the gate says the
+		// shard's records are committed (quorum-acknowledged / fsynced). On
+		// error the node was deposed with these grants in flight — discard
+		// them undelivered. No client ever observed them, so the new
+		// leader's epochs may re-grant the same names without a duplicate
+		// ever being visible; the local ledger divergence is repaired by
+		// the catch-up resync that follows deposition.
+		if err := g.WaitCommitted(shard); err != nil {
+			s.cfg.Logf("shard %d: discarding %d staged grants: %v", shard, len(d.staged), err)
+			d.staged = d.staged[:0]
+			d.runs = d.runs[:0]
+			clear(d.byConn)
+			return
+		}
 	}
 	released := false
 	for i := range d.runs {
@@ -662,8 +750,12 @@ func (s *Server) handle(conn net.Conn) {
 		s.cfg.Logf("%v: rejected: %v", conn.RemoteAddr(), err)
 		return
 	}
+	role, leader := RoleStandalone, ""
+	if rr, ok := s.cfg.Gate.(wireRoleReporter); ok {
+		role, leader = rr.WireRole()
+	}
 	in.w.Reset()
-	appendWelcome(&in.w, s.svc.Shards(), s.svc.ShardCap())
+	appendWelcome(&in.w, s.svc.Shards(), s.svc.ShardCap(), role, leader)
 	in.pushResp()
 	if !c.enqueue(in.resp) {
 		return
@@ -721,6 +813,9 @@ func (s *Server) ingestFrame(c *svcConn, in *ingest, body []byte) (fatal bool) {
 			s.cfg.Logf("%v: malformed acquire: %v (closing connection)", c.conn.RemoteAddr(), err)
 			return true
 		}
+		if !s.admitWrite(in, tag) {
+			return false
+		}
 		in.acqTag = append(in.acqTag, tag)
 		in.acqCli = append(in.acqCli, client)
 	case opRelease:
@@ -728,6 +823,9 @@ func (s *Server) ingestFrame(c *svcConn, in *ingest, body []byte) (fatal bool) {
 		if err != nil {
 			s.cfg.Logf("%v: malformed release: %v (closing connection)", c.conn.RemoteAddr(), err)
 			return true
+		}
+		if !s.admitWrite(in, tag) {
+			return false
 		}
 		in.relTag = append(in.relTag, tag)
 		in.relName = append(in.relName, name)
@@ -752,6 +850,9 @@ func (s *Server) ingestFrame(c *svcConn, in *ingest, body []byte) (fatal bool) {
 		// that preceded it on this connection, exactly the FIFO semantics
 		// the replay harness depends on.
 		s.submitBurst(c, in)
+		if !s.admitWrite(in, tag) {
+			return false
+		}
 		in.w.Reset()
 		switch {
 		case !s.cfg.ManualEpochs:
@@ -809,6 +910,9 @@ func (s *Server) ingestFrame(c *svcConn, in *ingest, body []byte) (fatal bool) {
 		// released here. Flush the burst first so a preceding release of
 		// the same name is observed, matching one-at-a-time semantics.
 		s.submitBurst(c, in)
+		if !s.admitWrite(in, tag) {
+			return false
+		}
 		in.w.Reset()
 		if err := s.svc.Reclaim(client, name); err != nil {
 			appendReject(&in.w, tag, RejectNotHeld, err.Error())
@@ -825,6 +929,25 @@ func (s *Server) ingestFrame(c *svcConn, in *ingest, body []byte) (fatal bool) {
 		s.cfg.Logf("%v: unknown op %d (closing connection)", c.conn.RemoteAddr(), op)
 		return true
 	}
+	return false
+}
+
+// admitWrite consults the commit gate before a write op joins the burst:
+// on a node that does not serve writes (a replication follower) the op is
+// rejected with RejectNotLeader whose message is the leader's client
+// address — the redirect hint. True means proceed.
+func (s *Server) admitWrite(in *ingest, tag uint64) bool {
+	g := s.cfg.Gate
+	if g == nil {
+		return true
+	}
+	ok, leader := g.AdmitWrites()
+	if ok {
+		return true
+	}
+	in.w.Reset()
+	appendReject(&in.w, tag, RejectNotLeader, leader)
+	in.pushResp()
 	return false
 }
 

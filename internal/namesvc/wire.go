@@ -40,7 +40,10 @@ const (
 // per-shard digests + WAL counters in the stats reply. Version 3 added
 // the manual-epoch close op and the paged journal fetch, the replay
 // surface the deterministic simulator's differential harness drives.
-const svcProtocolVersion = 3
+// Version 4 added the replication role and leader hint to the welcome
+// and the RejectNotLeader redirect (its message is the leader's client
+// address), so clients follow a failover instead of erroring out.
+const svcProtocolVersion = 4
 
 // svcMaxFrame bounds any frame of the service protocol; every op is a few
 // varints — the stats reply additionally carries one digest per shard — so
@@ -61,6 +64,10 @@ const (
 	// not serve it (an epoch close on a server whose epoch loops run
 	// autonomously, or a journal fetch on a server that keeps no journal).
 	RejectUnsupported RejectCode = 4
+	// RejectNotLeader: this replica does not serve writes; the message is
+	// the current leader's client address (empty if no leader is known).
+	// Clients redirect there and retry (Client.LeaderHint, DialLeader).
+	RejectNotLeader RejectCode = 5
 )
 
 // String implements fmt.Stringer.
@@ -74,6 +81,8 @@ func (c RejectCode) String() string {
 		return "internal"
 	case RejectUnsupported:
 		return "unsupported"
+	case RejectNotLeader:
+		return "not-leader"
 	default:
 		return fmt.Sprintf("reject(%d)", uint64(c))
 	}
@@ -99,31 +108,67 @@ func decodeSvcHello(body []byte) error {
 	return nil
 }
 
-func appendWelcome(w *wire.Writer, shards, shardCap int) {
+// Role is a server's replication role, reported in the welcome (wire v4).
+type Role uint64
+
+const (
+	// RoleStandalone serves writes and replicates to nobody.
+	RoleStandalone Role = 0
+	// RoleLeader serves writes and replicates them to a quorum.
+	RoleLeader Role = 1
+	// RoleFollower serves reads only; writes are rejected with
+	// RejectNotLeader plus the leader's address.
+	RoleFollower Role = 2
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleStandalone:
+		return "standalone"
+	case RoleLeader:
+		return "leader"
+	case RoleFollower:
+		return "follower"
+	default:
+		return fmt.Sprintf("role(%d)", uint64(r))
+	}
+}
+
+func appendWelcome(w *wire.Writer, shards, shardCap int, role Role, leader string) {
 	w.Byte(opWelcome)
 	w.Uvarint(svcProtocolVersion)
 	w.Uvarint(uint64(shards))
 	w.Uvarint(uint64(shardCap))
+	w.Uvarint(uint64(role))
+	w.Uvarint(uint64(len(leader)))
+	w.Raw([]byte(leader))
 }
 
-func decodeWelcome(body []byte) (shards, shardCap int, err error) {
+func decodeWelcome(body []byte) (shards, shardCap int, role Role, leader string, err error) {
 	r := wire.NewReader(body)
 	if k := r.Byte(); r.Err() == nil && k != opWelcome {
-		return 0, 0, fmt.Errorf("namesvc: expected welcome, got op %d", k)
+		return 0, 0, 0, "", fmt.Errorf("namesvc: expected welcome, got op %d", k)
 	}
 	version := r.Uvarint()
 	shards = int(r.Uvarint())
 	shardCap = int(r.Uvarint())
+	role = Role(r.Uvarint())
+	leaderLen := r.Uvarint()
+	if r.Err() == nil && leaderLen > uint64(r.Remaining()) {
+		return 0, 0, 0, "", fmt.Errorf("%w: leader hint of %d bytes in %d remaining", wire.ErrTruncated, leaderLen, r.Remaining())
+	}
+	leader = string(r.Bytes(int(leaderLen)))
 	if err := r.Close(); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, "", err
 	}
 	if version != svcProtocolVersion {
-		return 0, 0, fmt.Errorf("namesvc: protocol version %d, want %d", version, svcProtocolVersion)
+		return 0, 0, 0, "", fmt.Errorf("namesvc: protocol version %d, want %d", version, svcProtocolVersion)
 	}
 	if shards < 1 || shardCap < 1 {
-		return 0, 0, fmt.Errorf("namesvc: welcome with %d shards x %d names", shards, shardCap)
+		return 0, 0, 0, "", fmt.Errorf("namesvc: welcome with %d shards x %d names", shards, shardCap)
 	}
-	return shards, shardCap, nil
+	return shards, shardCap, role, leader, nil
 }
 
 func appendAcquire(w *wire.Writer, tag, client uint64) {

@@ -20,9 +20,10 @@ func TestWireRoundTrips(t *testing.T) {
 	}
 
 	w.Reset()
-	appendWelcome(&w, 4, 1024)
-	if shards, shardCap, err := decodeWelcome(w.Bytes()); err != nil || shards != 4 || shardCap != 1024 {
-		t.Fatalf("welcome = (%d, %d, %v)", shards, shardCap, err)
+	appendWelcome(&w, 4, 1024, RoleFollower, "127.0.0.1:4750")
+	if shards, shardCap, role, leader, err := decodeWelcome(w.Bytes()); err != nil ||
+		shards != 4 || shardCap != 1024 || role != RoleFollower || leader != "127.0.0.1:4750" {
+		t.Fatalf("welcome = (%d, %d, %v, %q, %v)", shards, shardCap, role, leader, err)
 	}
 
 	w.Reset()
@@ -96,7 +97,7 @@ func TestWireCutPointsAreTruncated(t *testing.T) {
 		Digests: []uint64{300, 300}, WALRecords: 300}
 	encoders := map[string]func(*wire.Writer){
 		"hello":     func(w *wire.Writer) { appendSvcHello(w) },
-		"welcome":   func(w *wire.Writer) { appendWelcome(w, 300, 300) },
+		"welcome":   func(w *wire.Writer) { appendWelcome(w, 300, 300, RoleLeader, "127.0.0.1:300") },
 		"acquire":   func(w *wire.Writer) { appendAcquire(w, 300, 300) },
 		"release":   func(w *wire.Writer) { appendRelease(w, 300, 300) },
 		"statsreq":  func(w *wire.Writer) { appendStatsReq(w, 300) },
@@ -109,7 +110,7 @@ func TestWireCutPointsAreTruncated(t *testing.T) {
 	}
 	decoders := map[string]func([]byte) error{
 		"hello":   decodeSvcHello,
-		"welcome": func(b []byte) error { _, _, err := decodeWelcome(b); return err },
+		"welcome": func(b []byte) error { _, _, _, _, err := decodeWelcome(b); return err },
 		"acquire": func(b []byte) error { _, _, err := decodeAcquire(b); return err },
 		"release": func(b []byte) error { _, _, err := decodeRelease(b); return err },
 		"statsreq": func(b []byte) error {
