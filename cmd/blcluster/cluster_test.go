@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"flag"
 	"fmt"
 	"net"
 	"os/exec"
@@ -14,6 +16,58 @@ import (
 
 	"ballsintoleaves/internal/namesvc"
 )
+
+func TestParseFlagsValidation(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing data-dir", nil},
+		{"zero n", []string{"-n", "0", "-data-dir", "d"}},
+		{"negative leader-wait", []string{"-leader", "-leader-wait", "-1s"}},
+		{"unknown chaos scenario", []string{"-data-dir", "d", "-chaos", "nope"}},
+		{"zero chaos duration", []string{"-data-dir", "d", "-chaos", "partition-leader", "-chaos-duration", "0s"}},
+		{"chaos with kill script", []string{"-data-dir", "d", "-chaos", "partition-leader", "-kill-leader-after", "1s"}},
+		{"chaos on too-small cluster", []string{"-data-dir", "d", "-chaos", "partition-leader", "-n", "2"}},
+		{"chaos-print without chaos", []string{"-data-dir", "d", "-chaos-print"}},
+		{"chaos proxy ports overflow", []string{"-data-dir", "d", "-chaos", "partition-leader", "-base-port", "65400"}},
+	}
+	for _, tc := range cases {
+		if _, err := parseFlags(tc.args); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := parseFlags([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h err = %v", err)
+	}
+	cfg, err := parseFlags([]string{"-data-dir", "d", "-chaos", "flapping-follower",
+		"-chaos-duration", "9s", "-chaos-seed", "11"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.chaos != "flapping-follower" || cfg.chaosDur != 9*time.Second || cfg.chaosSeed != 11 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	// -chaos-print needs no data directory: nothing is spawned.
+	if _, err := parseFlags([]string{"-chaos", "partition-leader", "-chaos-print"}); err != nil {
+		t.Fatalf("-chaos-print rejected: %v", err)
+	}
+	// Chaos mode view wiring: each node sees itself at its real
+	// replication address and every peer through its own outbound proxy,
+	// with all client addresses proxied.
+	cfg, err = parseFlags([]string{"-data-dir", "d", "-chaos", "partition-leader", "-base-port", "4000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := cfg.chaosPeerList(1)
+	want := "127.0.0.1:4303=127.0.0.1:4200," + // node 0 via proxy 1->0
+		"127.0.0.1:4101=127.0.0.1:4201," + // itself, real repl addr
+		"127.0.0.1:4305=127.0.0.1:4202" // node 2 via proxy 1->2
+	if view != want {
+		t.Fatalf("chaosPeerList(1) = %q, want %q", view, want)
+	}
+}
 
 // buildBinary compiles the package at pkgDir into dir and returns the
 // binary's path.
@@ -283,6 +337,127 @@ func TestKillLeaderFailover(t *testing.T) {
 		}
 		if got := nodes[i].stderr.String(); !strings.Contains(got, "replication: drained as") {
 			t.Fatalf("node %d drain log missing replication status:\n%s", i, got)
+		}
+	}
+}
+
+// TestChaosPrintDeterminism: -chaos-print is the CI determinism gate —
+// two compilations of the same (scenario, duration, seed) must print the
+// same schedule, byte for byte, and the schedule must end healed.
+func TestChaosPrintDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a real binary")
+	}
+	t.Parallel()
+	scratch := t.TempDir()
+	blcluster := buildBinary(t, scratch, "blcluster", ".")
+	args := []string{"-chaos", "flapping-follower", "-chaos-duration", "30s",
+		"-chaos-seed", "9", "-chaos-print"}
+	first, err := exec.Command(blcluster, args...).Output()
+	if err != nil {
+		t.Fatalf("first -chaos-print run: %v", err)
+	}
+	second, err := exec.Command(blcluster, args...).Output()
+	if err != nil {
+		t.Fatalf("second -chaos-print run: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same seed printed different schedules:\n%s\n---\n%s", first, second)
+	}
+	lines := strings.Split(strings.TrimSpace(string(first)), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("flapping-follower compiled only %d events:\n%s", len(lines), first)
+	}
+	if !strings.Contains(string(first), "partition follower") {
+		t.Fatalf("schedule missing its partitions:\n%s", first)
+	}
+	if last := lines[len(lines)-1]; !strings.Contains(last, "heal follower") {
+		t.Fatalf("schedule does not end healed: %q", last)
+	}
+}
+
+// TestChaosEndToEnd runs the blcluster binary through a full chaos
+// scenario: a 3-node cluster behind faultnet proxies, the compiled
+// partition-leader schedule cutting the leader off mid-load while Session
+// clients churn, and the end-of-run invariant checker. Exit 0 with every
+// invariant line logged.
+func TestChaosEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real processes")
+	}
+	t.Parallel()
+	scratch := t.TempDir()
+	blnamed := buildBinary(t, scratch, "blnamed", "../blnamed")
+	blcluster := buildBinary(t, scratch, "blcluster", ".")
+
+	// Chaos mode for n=3 needs the daemon ports plus both proxy ranges
+	// free: clients at +0..2, repl at +100..102, client proxies at
+	// +200..202, peer proxies at +300+i*3+j.
+	offsets := []int{0, 1, 2, 100, 101, 102, 200, 201, 202, 301, 302, 303, 305, 306, 307}
+	var base int
+	for attempt := 0; ; attempt++ {
+		base = freePorts(t, 1)[0]
+		if base+chaosPeerProxyOffset+9 > 65536 {
+			continue
+		}
+		ok := true
+		for _, off := range offsets {
+			ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", base+off))
+			if err != nil {
+				ok = false
+				break
+			}
+			ln.Close()
+		}
+		if ok {
+			break
+		}
+		if attempt > 20 {
+			t.Fatal("no free port range for chaos mode")
+		}
+	}
+
+	cmd := exec.Command(blcluster,
+		"-blnamed", blnamed, "-n", "3", "-base-port", fmt.Sprint(base),
+		"-data-dir", filepath.Join(scratch, "chaos"),
+		"-shards", "2", "-shard-cap", "128", "-seed", "7",
+		"-election-timeout", "200ms",
+		"-chaos", "partition-leader", "-chaos-duration", "6s", "-chaos-seed", "5")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var exitErr error
+	done := make(chan struct{})
+	go func() { exitErr = cmd.Wait(); close(done) }()
+	t.Cleanup(func() {
+		select {
+		case <-done:
+		default:
+			cmd.Process.Kill()
+			<-done
+		}
+	})
+	select {
+	case <-done:
+		if exitErr != nil {
+			t.Fatalf("blcluster -chaos exited %v\noutput:\n%s", exitErr, out.String())
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatalf("blcluster -chaos did not finish\noutput so far:\n%s", out.String())
+	}
+	for _, milestone := range []string{
+		"chaos plan:", "is leader",
+		"chaos: t=+1.5s partition leader", "chaos: t=+3.6s heal leader",
+		"chaos invariant: duplicates: 0",
+		"chaos invariant: 16 pre-fault grants accounted for: 16 reclaimed and released, 0 revoked",
+		"digests converged", "chaos: invariants hold",
+		"cluster shut down cleanly",
+	} {
+		if !strings.Contains(out.String(), milestone) {
+			t.Fatalf("chaos output missing %q:\n%s", milestone, out.String())
 		}
 	}
 }

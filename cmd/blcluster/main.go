@@ -17,9 +17,25 @@
 // Node i serves clients on base-port+i and peers on base-port+100+i.
 // While the cluster runs, a second blcluster invocation with -leader
 // prints the current leader's client address (for pointing blload at the
-// write endpoint):
+// write endpoint). The query retries with backoff for up to -leader-wait
+// while an election is in flight, so scripts can call it right after
+// cluster start without racing the first election:
 //
 //	blload -connect "$(blcluster -leader -n 3 -base-port 4750)" -duration 5s
+//
+// -chaos <scenario> switches to the chaos lab: every link — client and
+// peer — is routed through an in-process faultnet proxy, a
+// seed-deterministic fault schedule (internal/faultnet) is compiled and
+// driven against the elected leader or a follower, self-healing
+// namesvc.Session clients churn grants throughout, and an end-of-run
+// checker enforces the chaos invariants: zero duplicate grants, every
+// pre-fault acknowledged grant reclaimed on the post-fault leader, and
+// byte-identical replica digests after heal. -chaos-print prints the
+// compiled schedule without spawning anything, so CI can diff two
+// compilations of the same seed:
+//
+//	blcluster -blnamed ./blnamed -n 3 -data-dir /tmp/chaos \
+//	    -chaos partition-leader -chaos-duration 20s -chaos-seed 7
 //
 // Exit status is 0 only if every scripted step succeeded: the election,
 // the failover (when a kill was scheduled), digest convergence across the
@@ -39,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"ballsintoleaves/internal/faultnet"
 	"ballsintoleaves/internal/namesvc"
 )
 
@@ -65,6 +82,11 @@ type config struct {
 	killLeaderAfter time.Duration
 	runFor          time.Duration
 	leaderQuery     bool
+	leaderWait      time.Duration
+	chaos           string
+	chaosDur        time.Duration
+	chaosSeed       uint64
+	chaosPrint      bool
 }
 
 // parseFlags parses args into a validated config.
@@ -93,6 +115,16 @@ func parseFlags(args []string) (*config, error) {
 		"shut the cluster down cleanly after this long (0 = run until SIGINT/SIGTERM)")
 	fs.BoolVar(&cfg.leaderQuery, "leader", false,
 		"query mode: print the current leader's client address and exit (no daemons spawned)")
+	fs.DurationVar(&cfg.leaderWait, "leader-wait", 10*time.Second,
+		"-leader: keep retrying with backoff this long while an election is in flight (0 = single attempt)")
+	fs.StringVar(&cfg.chaos, "chaos", "",
+		"chaos mode: drive this named fault scenario against the cluster ("+strings.Join(faultnet.Scenarios(), ", ")+")")
+	fs.DurationVar(&cfg.chaosDur, "chaos-duration", 20*time.Second,
+		"length of the compiled chaos schedule")
+	fs.Uint64Var(&cfg.chaosSeed, "chaos-seed", 1,
+		"seed the chaos schedule is compiled from (same seed, same fault sequence)")
+	fs.BoolVar(&cfg.chaosPrint, "chaos-print", false,
+		"print the compiled chaos schedule and exit (no daemons spawned)")
 	if err := fs.Parse(args); err != nil {
 		return nil, errors.Join(errFlagsReported, err)
 	}
@@ -104,7 +136,7 @@ func parseFlags(args []string) (*config, error) {
 			cfg.basePort, cfg.n)
 	case cfg.n > replPortOffset:
 		return nil, fmt.Errorf("blcluster: -n must be <= %d (client and peer port ranges would collide)", replPortOffset)
-	case !cfg.leaderQuery && cfg.dataDir == "":
+	case !cfg.leaderQuery && !cfg.chaosPrint && cfg.dataDir == "":
 		return nil, fmt.Errorf("blcluster: -data-dir is required")
 	case cfg.shards < 1:
 		return nil, fmt.Errorf("blcluster: -shards must be >= 1, got %d", cfg.shards)
@@ -116,6 +148,33 @@ func parseFlags(args []string) (*config, error) {
 		return nil, fmt.Errorf("blcluster: -election-timeout must be positive, got %v", cfg.electionTimeout)
 	case cfg.killLeaderAfter < 0 || cfg.runFor < 0:
 		return nil, fmt.Errorf("blcluster: -kill-leader-after and -run-for must be >= 0")
+	case cfg.leaderWait < 0:
+		return nil, fmt.Errorf("blcluster: -leader-wait must be >= 0, got %v", cfg.leaderWait)
+	case cfg.chaosPrint && cfg.chaos == "":
+		return nil, fmt.Errorf("blcluster: -chaos-print requires -chaos")
+	}
+	if cfg.chaos != "" {
+		known := false
+		for _, s := range faultnet.Scenarios() {
+			if s == cfg.chaos {
+				known = true
+				break
+			}
+		}
+		switch {
+		case !known:
+			return nil, fmt.Errorf("blcluster: unknown -chaos scenario %q (have %s)",
+				cfg.chaos, strings.Join(faultnet.Scenarios(), ", "))
+		case cfg.chaosDur <= 0:
+			return nil, fmt.Errorf("blcluster: -chaos-duration must be positive, got %v", cfg.chaosDur)
+		case cfg.killLeaderAfter > 0:
+			return nil, fmt.Errorf("blcluster: -chaos and -kill-leader-after are mutually exclusive fault scripts")
+		case cfg.n < 3:
+			return nil, fmt.Errorf("blcluster: -chaos needs -n >= 3 (a majority must survive the partitioned node)")
+		case cfg.basePort+chaosPeerProxyOffset+cfg.n*cfg.n > 65536:
+			return nil, fmt.Errorf("blcluster: -base-port %d leaves no room for %d nodes' chaos proxy ports",
+				cfg.basePort, cfg.n)
+		}
 	}
 	return cfg, nil
 }
@@ -155,6 +214,28 @@ func findLeader(cfg *config, alive func(int) bool) (int, bool) {
 		}
 	}
 	return -1, false
+}
+
+// queryLeader serves the -leader query: it retries findLeader with
+// exponential backoff for up to -leader-wait, because a query issued
+// right after cluster start (or right after a leader death) races the
+// election window — the first answer is often a follower's, and failing
+// on it makes every calling script carry its own retry loop.
+func queryLeader(cfg *config) (int, bool) {
+	deadline := time.Now().Add(cfg.leaderWait)
+	backoff := 50 * time.Millisecond
+	for {
+		if i, ok := findLeader(cfg, nil); ok {
+			return i, true
+		}
+		if cfg.leaderWait == 0 || !time.Now().Add(backoff).Before(deadline) {
+			return -1, false
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
 }
 
 // awaitLeader polls findLeader until a leader appears or the deadline
@@ -245,8 +326,11 @@ type member struct {
 	killed bool          // SIGKILLed by the fault script
 }
 
-// spawn starts node i and forwards its output line by line, prefixed.
-func spawn(cfg *config, i int) (*member, error) {
+// spawn starts node i with the given -peers view and forwards its output
+// line by line, prefixed. Every member of a plain cluster shares the
+// canonical peer list; chaos mode hands each node its own view routing
+// peers through that node's outbound fault proxies.
+func spawn(cfg *config, i int, peers string) (*member, error) {
 	dir := filepath.Join(cfg.dataDir, fmt.Sprintf("node-%d", i))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -262,7 +346,7 @@ func spawn(cfg *config, i int) (*member, error) {
 		"-snapshot-every", fmt.Sprint(cfg.snapshotEvery),
 		"-replicate",
 		"-node-id", fmt.Sprint(i),
-		"-peers", cfg.peerList(),
+		"-peers", peers,
 		"-election-timeout", cfg.electionTimeout.String(),
 	}
 	cmd := exec.Command(cfg.blnamed, args...)
@@ -314,7 +398,7 @@ func (m *member) alive() bool {
 func run(cfg *config) error {
 	members := make([]*member, cfg.n)
 	for i := 0; i < cfg.n; i++ {
-		m, err := spawn(cfg, i)
+		m, err := spawn(cfg, i, cfg.peerList())
 		if err != nil {
 			for _, prev := range members {
 				if prev != nil {
@@ -381,6 +465,18 @@ func run(cfg *config) error {
 		return err
 	}
 
+	if err := drainMembers(members); err != nil {
+		return err
+	}
+	fmt.Println("blcluster: cluster shut down cleanly")
+	return nil
+}
+
+// drainMembers SIGTERMs every live member and waits out their clean
+// exits; members the fault script killed are skipped. The first problem —
+// a premature exit, a drain timeout, a nonzero drain status — is the
+// returned error.
+func drainMembers(members []*member) error {
 	var firstErr error
 	for i, m := range members {
 		if !m.alive() {
@@ -404,11 +500,7 @@ func run(cfg *config) error {
 			firstErr = fmt.Errorf("node %d drain: %v", i, m.err)
 		}
 	}
-	if firstErr != nil {
-		return firstErr
-	}
-	fmt.Println("blcluster: cluster shut down cleanly")
-	return nil
+	return firstErr
 }
 
 func main() {
@@ -423,12 +515,19 @@ func main() {
 		os.Exit(2)
 	}
 	if cfg.leaderQuery {
-		i, ok := findLeader(cfg, nil)
+		i, ok := queryLeader(cfg)
 		if !ok {
-			fmt.Fprintln(os.Stderr, "blcluster: no leader found")
+			fmt.Fprintf(os.Stderr, "blcluster: no leader found within %v\n", cfg.leaderWait)
 			os.Exit(1)
 		}
 		fmt.Println(cfg.clientAddr(i))
+		return
+	}
+	if cfg.chaos != "" {
+		if err := chaosRun(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "blcluster: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if err := run(cfg); err != nil {

@@ -25,10 +25,24 @@
 // the throughput window, and the duplicate/error accounting, so cold
 // caches, pool growth, and epoch-size ramp-up do not pollute the report.
 //
+// -session switches every connection from a raw client to a self-healing
+// namesvc.Session: per-op timeouts, reconnect with backoff and jitter,
+// automatic leader-redirect following, and reclaim of held grants after a
+// failover. -connect may then be a comma-separated list of cluster
+// members, and the load rides through leader kills and partitions with no
+// manual re-dial; op timeouts during a fault are reported separately and
+// do not fail the run:
+//
+//	blload -session -connect 127.0.0.1:4750,127.0.0.1:4751,127.0.0.1:4752 \
+//	    -op-timeout 2s -duration 30s
+//
 // Every grant is checked against a process-wide active-name table: a name
-// granted while still active is a uniqueness violation. The final report's
-// "duplicates: 0" line is what CI's end-to-end smoke greps for; any
-// duplicate or error makes blload exit 1.
+// granted while still active is a uniqueness violation. An entry is held
+// from grant acknowledgement until its release is submitted (or the
+// session reports the grant revoked), so the table tracks grants across
+// session reconnects and the zero-duplicate assertion stays meaningful
+// under chaos. The final report's "duplicates: 0" line is what CI's
+// end-to-end smoke greps for; any duplicate or error makes blload exit 1.
 package main
 
 import (
@@ -39,6 +53,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +75,8 @@ type config struct {
 	warmup      time.Duration
 	rate        int
 	timeout     time.Duration
+	session     bool
+	opTimeout   time.Duration
 	json        bool
 	probe       bool
 }
@@ -79,6 +96,10 @@ func parseFlags(args []string) (*config, error) {
 		"run this long before measuring; warmup ops are excluded from the histogram and duplicate accounting")
 	fs.IntVar(&cfg.rate, "rate", 0, "open-loop offered acquires/s across all connections (0 = closed loop)")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "dial and write timeout")
+	fs.BoolVar(&cfg.session, "session", false,
+		"self-healing session mode: reconnect with backoff, follow leader redirects, and reclaim held grants after failover; -connect may be a comma-separated member list")
+	fs.DurationVar(&cfg.opTimeout, "op-timeout", 10*time.Second,
+		"session mode: per-operation deadline; timed-out ops are reported separately and do not fail the run")
 	fs.BoolVar(&cfg.json, "json", false,
 		"emit the report as one JSON object on stdout (for BENCH_*.json artifacts), after the text report on stderr")
 	fs.BoolVar(&cfg.probe, "probe", false,
@@ -103,6 +124,10 @@ func parseFlags(args []string) (*config, error) {
 		return nil, fmt.Errorf("blload: -warmup must be >= 0, got %v", cfg.warmup)
 	case cfg.rate < 0:
 		return nil, fmt.Errorf("blload: -rate must be >= 0, got %d", cfg.rate)
+	case cfg.opTimeout <= 0:
+		return nil, fmt.Errorf("blload: -op-timeout must be positive, got %v", cfg.opTimeout)
+	case !cfg.session && strings.Contains(cfg.connect, ","):
+		return nil, fmt.Errorf("blload: a -connect address list requires -session")
 	}
 	return cfg, nil
 }
@@ -116,6 +141,9 @@ type report struct {
 	shed       uint64
 	duplicates uint64
 	errors     uint64
+	timeouts   uint64                  // session ops that hit -op-timeout
+	lost       uint64                  // grants the server revoked across a reconnect
+	sess       namesvc.SessionCounters // aggregated across connections
 	lat        stats.Histogram
 	svc        namesvc.Stats
 }
@@ -138,6 +166,10 @@ func (r *report) print(w *os.File) {
 		us(r.lat.P50()), us(r.lat.P90()), us(r.lat.P99()), us(r.lat.P999()), us(r.lat.Max()), r.lat.Mean()/1e3)
 	fmt.Fprintf(w, "server: %d epochs, %d grants, %d releases, %d absorbed, %d assigned, %d free\n",
 		r.svc.Epochs, r.svc.Grants, r.svc.Releases, r.svc.Absorbed, r.svc.Assigned, r.svc.Free)
+	if r.cfg.session {
+		fmt.Fprintf(w, "session: %d reconnects, %d redirects, %d reclaimed, %d lost, %d op timeouts\n",
+			r.sess.Reconnects, r.sess.Redirects, r.sess.Reclaimed, r.lost, r.timeouts)
+	}
 	fmt.Fprintf(w, "duplicates: %d, errors: %d\n", r.duplicates, r.errors)
 }
 
@@ -155,6 +187,11 @@ type jsonReport struct {
 	Shed        uint64  `json:"shed,omitempty"`
 	Duplicates  uint64  `json:"duplicates"`
 	Errors      uint64  `json:"errors"`
+	Timeouts    uint64  `json:"op_timeouts,omitempty"`
+	Lost        uint64  `json:"grants_lost,omitempty"`
+	Reconnects  uint64  `json:"session_reconnects,omitempty"`
+	Redirects   uint64  `json:"session_redirects,omitempty"`
+	Reclaimed   uint64  `json:"session_reclaimed,omitempty"`
 	P50US       float64 `json:"latency_p50_us"`
 	P90US       float64 `json:"latency_p90_us"`
 	P99US       float64 `json:"latency_p99_us"`
@@ -190,6 +227,11 @@ func (r *report) writeJSON(w io.Writer) error {
 		Shed:        r.shed,
 		Duplicates:  r.duplicates,
 		Errors:      r.errors,
+		Timeouts:    r.timeouts,
+		Lost:        r.lost,
+		Reconnects:  r.sess.Reconnects,
+		Redirects:   r.sess.Redirects,
+		Reclaimed:   r.sess.Reclaimed,
 		P50US:       us(r.lat.P50()),
 		P90US:       us(r.lat.P90()),
 		P99US:       us(r.lat.P99()),
@@ -207,14 +249,28 @@ func (r *report) writeJSON(w io.Writer) error {
 	return json.NewEncoder(w).Encode(out)
 }
 
+// loadConn is the client surface the load generator drives; it is
+// satisfied by both the raw *namesvc.Client and the self-healing
+// *namesvc.Session, so every path below is fault-mode-agnostic.
+type loadConn interface {
+	Acquire(client uint64, cb func(namesvc.Grant, error)) error
+	Release(name int, cb func(error)) error
+	StatsSync() (namesvc.Stats, error)
+	Capacity() int
+	Flush() error
+	Close() error
+	Wait()
+}
+
 // worker is one connection's driver. Grant callbacks run on the client's
 // read goroutine, which owns the histogram and the acquire counter; in
 // closed-loop mode each completion is handed to the connection's worker
 // pool, which issues the release and the chained acquire — keeping the read
 // goroutine free to drain response bursts while the workers fill the next
-// request batch.
+// request batch. (A session's callbacks run on its current client's read
+// goroutine; reconnects swap that goroutine, but never overlap two.)
 type worker struct {
-	c        *namesvc.Client
+	c        loadConn
 	shared   *shared
 	lat      stats.Histogram
 	acquires uint64 // owned by the read goroutine
@@ -244,6 +300,24 @@ type shared struct {
 	dups     atomic.Uint64
 	errs     atomic.Uint64
 	shed     atomic.Uint64
+	timeouts atomic.Uint64
+	lost     atomic.Uint64
+}
+
+// countFailure classifies one failed operation: a session op that hit its
+// deadline is an expected casualty of riding out a fault and is counted
+// as a timeout; everything else is an error. Failures outside the
+// measurement window, or after the stop flag (in-flight tails cut down by
+// teardown), stay uncounted.
+func (sh *shared) countFailure(err error, measured bool) {
+	if !measured || sh.stop.Load() {
+		return
+	}
+	if errors.Is(err, namesvc.ErrOpTimeout) {
+		sh.timeouts.Add(1)
+	} else {
+		sh.errs.Add(1)
+	}
 }
 
 // start claims one in-flight slot and fires its first acquire.
@@ -265,10 +339,9 @@ func (wk *worker) fire(chain bool) {
 	err := wk.c.Acquire(client, func(g namesvc.Grant, err error) {
 		if err != nil {
 			// Connection teardown after the run window is the expected way
-			// in-flight tails end; only mid-run failures are errors.
-			if measured && !sh.stop.Load() {
-				sh.errs.Add(1)
-			}
+			// in-flight tails end; only mid-run failures count (split into
+			// timeouts and errors by countFailure).
+			sh.countFailure(err, measured)
 			wk.finish()
 			return
 		}
@@ -278,14 +351,14 @@ func (wk *worker) fire(chain bool) {
 		}
 		// The active table is maintained across warmup and measurement (a
 		// held name is held regardless of when it was acquired); only the
-		// violation count is gated.
+		// violation count is gated. The entry stays held until the release
+		// is submitted (see release) or the session reports the grant
+		// revoked — in particular it stays held across a session
+		// reconnect, so a name re-granted while its holder neither
+		// released nor lost it is caught as a duplicate.
 		if !sh.active[g.Name].CompareAndSwap(0, 1) && measured {
 			sh.dups.Add(1)
 		}
-		// Mark free before the release frame is sent: once the server
-		// processes it the name may be re-granted to any connection, and
-		// the table must already allow it.
-		sh.active[g.Name].Store(0)
 		if chain && !sh.stop.Load() {
 			wk.comp <- completion{g, measured} // never blocks: cap covers every in-flight slot
 			return
@@ -294,19 +367,19 @@ func (wk *worker) fire(chain bool) {
 		wk.finish()
 	})
 	if err != nil {
-		if measured && !sh.stop.Load() {
-			sh.errs.Add(1)
-		}
+		sh.countFailure(err, measured)
 		wk.finish()
 	}
 }
 
 // release returns one granted name.
 func (wk *worker) release(g namesvc.Grant, measured bool) {
+	// Mark free before the release frame is sent: once the server
+	// processes it the name may be re-granted to any connection, and the
+	// table must already allow it.
+	wk.shared.active[g.Name].Store(0)
 	if err := wk.c.Release(g.Name, wk.relCB); err != nil {
-		if measured && !wk.shared.stop.Load() {
-			wk.shared.errs.Add(1)
-		}
+		wk.shared.countFailure(err, measured)
 		return
 	}
 	if measured {
@@ -356,9 +429,34 @@ func (wk *worker) finish() {
 func runLoad(cfg *config) (*report, error) {
 	sh := &shared{}
 	sh.warm.Store(cfg.warmup == 0)
+	var sessions []*namesvc.Session
+	dialConn := func(i int) (loadConn, error) {
+		if !cfg.session {
+			return namesvc.Dial(cfg.connect, namesvc.ClientConfig{Timeout: cfg.timeout})
+		}
+		s, err := namesvc.DialSession(namesvc.SessionConfig{
+			Addrs:          strings.Split(cfg.connect, ","),
+			Client:         namesvc.ClientConfig{Timeout: cfg.timeout},
+			OpTimeout:      cfg.opTimeout,
+			ConnectTimeout: cfg.timeout,
+			Seed:           uint64(i + 1),
+			OnGrantLost: func(client uint64, name int) {
+				// The server revoked this grant while the session was away;
+				// the name may already belong to someone else, so the table
+				// must stop counting it against this holder.
+				sh.lost.Add(1)
+				sh.active[name].Store(0)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		sessions = append(sessions, s)
+		return s, nil
+	}
 	workers := make([]*worker, cfg.conns)
 	for i := range workers {
-		c, err := namesvc.Dial(cfg.connect, namesvc.ClientConfig{Timeout: cfg.timeout})
+		c, err := dialConn(i)
 		if err != nil {
 			for _, wk := range workers[:i] {
 				wk.c.Close()
@@ -372,8 +470,8 @@ func runLoad(cfg *config) (*report, error) {
 			comp: make(chan completion, cfg.outstanding),
 			done: make(chan struct{})}
 		wk.relCB = func(err error) {
-			if err != nil && !sh.stop.Load() {
-				sh.errs.Add(1)
+			if err != nil {
+				sh.countFailure(err, true)
 			}
 		}
 		workers[i] = wk
@@ -491,9 +589,20 @@ func runLoad(cfg *config) (*report, error) {
 		rep.releases += wk.releases.Load()
 		rep.lat.Merge(&wk.lat)
 	}
+	for _, s := range sessions {
+		c := s.Counters()
+		rep.sess.Reconnects += c.Reconnects
+		rep.sess.Redirects += c.Redirects
+		rep.sess.Reclaimed += c.Reclaimed
+		rep.sess.Lost += c.Lost
+		rep.sess.Retries += c.Retries
+		rep.sess.Timeouts += c.Timeouts
+	}
 	rep.shed = sh.shed.Load()
 	rep.duplicates = sh.dups.Load()
 	rep.errors = sh.errs.Load()
+	rep.timeouts = sh.timeouts.Load()
+	rep.lost = sh.lost.Load()
 	return rep, nil
 }
 
@@ -509,7 +618,8 @@ func main() {
 		os.Exit(2)
 	}
 	if cfg.probe {
-		c, err := namesvc.Dial(cfg.connect, namesvc.ClientConfig{Timeout: cfg.timeout})
+		addr, _, _ := strings.Cut(cfg.connect, ",")
+		c, err := namesvc.Dial(addr, namesvc.ClientConfig{Timeout: cfg.timeout})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "blload: probe: %v\n", err)
 			os.Exit(1)

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"ballsintoleaves/internal/faultnet"
 	"ballsintoleaves/internal/namesvc"
 )
 
@@ -25,6 +26,8 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"zero duration", []string{"-connect", "x:1", "-duration", "0s"}},
 		{"negative warmup", []string{"-connect", "x:1", "-warmup", "-1s"}},
 		{"negative rate", []string{"-connect", "x:1", "-rate", "-5"}},
+		{"zero op-timeout", []string{"-connect", "x:1", "-session", "-op-timeout", "0s"}},
+		{"address list without -session", []string{"-connect", "x:1,y:2"}},
 	}
 	for _, tc := range cases {
 		if _, err := parseFlags(tc.args); err == nil {
@@ -42,6 +45,14 @@ func TestParseFlagsValidation(t *testing.T) {
 	if cfg.conns != 2 || cfg.outstanding != 8 || cfg.duration != 250*time.Millisecond ||
 		cfg.rate != 1000 || cfg.warmup != 100*time.Millisecond || cfg.workers != 3 || !cfg.json {
 		t.Fatalf("cfg = %+v", cfg)
+	}
+	cfg, err = parseFlags([]string{"-connect", "a:1,b:2,c:3", "-session", "-op-timeout", "2s",
+		"-duration", "250ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.session || cfg.opTimeout != 2*time.Second || cfg.connect != "a:1,b:2,c:3" {
+		t.Fatalf("session cfg = %+v", cfg)
 	}
 }
 
@@ -150,6 +161,79 @@ func TestClosedLoopWarmupAndWorkers(t *testing.T) {
 	if decoded["warmup_ms"].(float64) != 150 || decoded["workers"].(float64) != 2 ||
 		decoded["conns"].(float64) != 2 || decoded["outstanding"].(float64) != 16 {
 		t.Fatalf("artifact missing run configuration: %s", buf.String())
+	}
+}
+
+// TestSessionModeRun drives the closed loop through self-healing sessions
+// against a healthy daemon: same accounting guarantees as client mode,
+// and no reconnects or timeouts on a fault-free link.
+func TestSessionModeRun(t *testing.T) {
+	t.Parallel()
+	addr := startDaemon(t)
+	cfg, err := parseFlags([]string{"-connect", addr, "-session", "-conns", "2",
+		"-outstanding", "16", "-duration", "300ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.acquires == 0 {
+		t.Fatal("no acquires completed")
+	}
+	if rep.duplicates != 0 || rep.errors != 0 || rep.timeouts != 0 || rep.lost != 0 {
+		t.Fatalf("duplicates=%d errors=%d timeouts=%d lost=%d",
+			rep.duplicates, rep.errors, rep.timeouts, rep.lost)
+	}
+	if rep.sess.Reconnects != 0 {
+		t.Fatalf("session counters %+v on a fault-free link", rep.sess)
+	}
+	var buf bytes.Buffer
+	if err := rep.writeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+}
+
+// TestSessionModeRidesThroughReset resets every connection mid-run; the
+// sessions must self-heal — the run finishes with progress, zero
+// duplicates, zero hard errors, and at least one reconnect on record.
+// One connection keeps the active-name table single-writer so a grant
+// revoked by the reset cannot race another connection's re-acquire.
+func TestSessionModeRidesThroughReset(t *testing.T) {
+	t.Parallel()
+	addr := startDaemon(t)
+	link := faultnet.NewLink("load")
+	p, err := faultnet.NewProxy("127.0.0.1:0", addr, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	cfg, err := parseFlags([]string{"-connect", p.Addr(), "-session", "-conns", "1",
+		"-outstanding", "8", "-duration", "900ms", "-op-timeout", "300ms", "-timeout", "2s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		link.ResetConns()
+	}()
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.acquires == 0 {
+		t.Fatal("no acquires completed")
+	}
+	if rep.duplicates != 0 || rep.errors != 0 {
+		t.Fatalf("duplicates=%d errors=%d riding through a reset", rep.duplicates, rep.errors)
+	}
+	if rep.sess.Reconnects == 0 {
+		t.Fatalf("session counters %+v: reset survived without a recorded reconnect", rep.sess)
 	}
 }
 

@@ -1,0 +1,359 @@
+// Package faultnet is a deterministic network-fault layer: a per-link
+// fault state (partitions, one-way drops, added latency, bandwidth caps,
+// connection resets) applied either by wrapping in-process net.Conns
+// (Dialer/Listener) or by a TCP chaos proxy interposed on a real link
+// (proxy.go). Faults are driven by declarative, seed-deterministic
+// schedules (schedule.go) in the scripted-strategy style of
+// internal/adversary: a schedule compiled from (scenario, seed) is a pure
+// value, so the same seed always yields the same fault event sequence.
+//
+// A partition is modeled as *stall*, not loss: TCP retransmits until the
+// route heals, so a dropped direction holds bytes (backpressure) rather
+// than discarding them, and new connection attempts toward a dropped
+// direction hang like a lost SYN until the link heals or the attempt is
+// torn down. Connection resets model route flaps that kill established
+// flows outright.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Dir selects one direction of a link. A link joins two endpoints A and B;
+// AtoB carries bytes originated by A, BtoA bytes originated by B. For a
+// dialed connection, A is the dialer.
+type Dir int
+
+const (
+	AtoB Dir = iota
+	BtoA
+)
+
+func (d Dir) String() string {
+	if d == AtoB {
+		return "a->b"
+	}
+	return "b->a"
+}
+
+// reverse returns the opposite direction.
+func (d Dir) reverse() Dir { return 1 - d }
+
+// ErrLinkClosed is returned by gated I/O when the link (or the particular
+// connection) was closed or reset while the operation waited out a fault.
+var ErrLinkClosed = errors.New("faultnet: link closed")
+
+// dirState is the fault state of one direction of a link.
+type dirState struct {
+	drop    bool
+	latency time.Duration
+	rate    int // bytes/sec; 0 = unlimited
+}
+
+// Link is the mutable fault state of one network link. All live
+// connections riding the link (wrapped conns and proxied pairs) consult it
+// on every transfer; Set* calls take effect immediately for blocked
+// transfers via condition broadcast.
+type Link struct {
+	name string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	dirs   [2]dirState
+	closed bool
+	conns  map[*gatedConn]struct{}
+}
+
+// NewLink returns a healthy link. The name is used only for diagnostics.
+func NewLink(name string) *Link {
+	l := &Link{name: name, conns: make(map[*gatedConn]struct{})}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Name returns the diagnostic name given at construction.
+func (l *Link) Name() string { return l.name }
+
+// SetDrop sets or clears the partition state of one direction.
+func (l *Link) SetDrop(d Dir, drop bool) {
+	l.mu.Lock()
+	l.dirs[d].drop = drop
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// SetLatency adds a fixed delay to every transfer in one direction.
+func (l *Link) SetLatency(d Dir, lat time.Duration) {
+	l.mu.Lock()
+	l.dirs[d].latency = lat
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// SetRate caps one direction's throughput in bytes per second; 0 lifts
+// the cap.
+func (l *Link) SetRate(d Dir, bytesPerSec int) {
+	l.mu.Lock()
+	l.dirs[d].rate = bytesPerSec
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// Partition drops both directions. With oneWay set only AtoB is dropped:
+// bytes from the A side vanish while the B side's keep flowing — the
+// asymmetric-partition case that timeouts, not connection errors, must
+// catch.
+func (l *Link) Partition(oneWay bool) {
+	l.mu.Lock()
+	l.dirs[AtoB].drop = true
+	if !oneWay {
+		l.dirs[BtoA].drop = true
+	}
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// Heal clears drops, latency, and rate caps in both directions.
+func (l *Link) Heal() {
+	l.mu.Lock()
+	l.dirs[AtoB] = dirState{}
+	l.dirs[BtoA] = dirState{}
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// ResetConns closes every live connection riding the link, modeling a
+// route flap that RSTs established flows. The link's fault state is
+// unchanged; new connections are still admitted per the drop state.
+func (l *Link) ResetConns() {
+	l.mu.Lock()
+	victims := make([]*gatedConn, 0, len(l.conns))
+	for c := range l.conns {
+		victims = append(victims, c)
+	}
+	l.mu.Unlock()
+	for _, c := range victims {
+		c.kill()
+	}
+	l.cond.Broadcast()
+}
+
+// Close marks the link closed and kills every live connection. Gated
+// operations in flight return ErrLinkClosed.
+func (l *Link) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	victims := make([]*gatedConn, 0, len(l.conns))
+	for c := range l.conns {
+		victims = append(victims, c)
+	}
+	l.conns = make(map[*gatedConn]struct{})
+	l.mu.Unlock()
+	for _, c := range victims {
+		c.kill()
+	}
+	l.cond.Broadcast()
+}
+
+// Dropped reports whether the given direction is currently partitioned.
+func (l *Link) Dropped(d Dir) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dirs[d].drop
+}
+
+// register attaches a connection to the link for ResetConns/Close fanout.
+func (l *Link) register(c *gatedConn) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrLinkClosed
+	}
+	l.conns[c] = struct{}{}
+	return nil
+}
+
+func (l *Link) unregister(c *gatedConn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+// gate blocks while dir is dropped, then applies latency and rate faults
+// for an n-byte transfer. It returns ErrLinkClosed if the link or the
+// connection dies while waiting — the caller must abandon the transfer.
+func (l *Link) gate(dir Dir, n int, c *gatedConn) error {
+	l.mu.Lock()
+	for l.dirs[dir].drop && !l.closed && !c.dead.Load() {
+		l.cond.Wait()
+	}
+	if l.closed || c.dead.Load() {
+		l.mu.Unlock()
+		return ErrLinkClosed
+	}
+	lat := l.dirs[dir].latency
+	rate := l.dirs[dir].rate
+	l.mu.Unlock()
+	delay := lat
+	if rate > 0 {
+		delay += time.Duration(float64(n) / float64(rate) * float64(time.Second))
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+// gateDial blocks while dir is dropped — the lost-SYN model for new
+// connections into a partition. It returns nil once the direction is
+// clear, or ErrLinkClosed if the link/conn dies first.
+func (l *Link) gateDial(dir Dir, c *gatedConn) error {
+	return l.gate(dir, 0, c)
+}
+
+// Conn wraps a net.Conn with the link's fault state. The out direction
+// gates writes (bytes this endpoint originates); reads are gated in the
+// reverse direction after the bytes arrive, modeling in-flight delivery
+// delay and inbound partitions.
+type Conn struct {
+	net.Conn
+	gc  *gatedConn
+	out Dir
+}
+
+// gatedConn is the registration handle shared by wrapper conns and proxy
+// pairs: kill() closes the underlying transport(s) exactly once.
+type gatedConn struct {
+	link  *Link
+	dead  atomic.Bool
+	close func()
+	once  sync.Once
+}
+
+func (g *gatedConn) kill() {
+	g.dead.Store(true)
+	g.once.Do(g.close)
+	// Wake any gate() blocked on this connection inside a partition.
+	g.link.cond.Broadcast()
+}
+
+// newConn wraps nc on link; out is the direction of bytes written by this
+// endpoint.
+func newConn(nc net.Conn, link *Link, out Dir) (*Conn, error) {
+	gc := &gatedConn{link: link, close: func() { nc.Close() }}
+	if err := link.register(gc); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return &Conn{Conn: nc, gc: gc, out: out}, nil
+}
+
+// Read delivers inbound bytes after gating them through the link's
+// inbound direction.
+func (c *Conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		if gerr := c.gc.link.gate(c.out.reverse(), n, c.gc); gerr != nil {
+			c.Close()
+			return 0, gerr
+		}
+	}
+	return n, err
+}
+
+// Write gates outbound bytes through the link's outbound direction before
+// handing them to the transport.
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.gc.link.gate(c.out, len(p), c.gc); err != nil {
+		c.Close()
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// Close closes the wrapped connection and detaches it from the link.
+func (c *Conn) Close() error {
+	c.gc.kill()
+	c.gc.link.unregister(c.gc)
+	return nil
+}
+
+// Dialer dials through a link: the resulting connection's writes ride
+// AtoB (the dialer is A). The Dial field, when set, replaces
+// net.DialTimeout — it is the hook namesvc.ClientConfig.Dial composes
+// with.
+type Dialer struct {
+	Link    *Link
+	Timeout time.Duration
+	Dial    func(addr string) (net.Conn, error)
+}
+
+// DialContextless dials addr through the fault link. A dial toward a
+// dropped AtoB direction blocks (lost SYN) until heal, reset, or link
+// close.
+func (d *Dialer) DialContextless(addr string) (net.Conn, error) {
+	// Gate before connecting: a SYN into a partition never completes the
+	// handshake. Use a transient registration so ResetConns aborts us.
+	gc := &gatedConn{link: d.Link, close: func() {}}
+	if err := d.Link.register(gc); err != nil {
+		return nil, err
+	}
+	err := d.Link.gateDial(AtoB, gc)
+	d.Link.unregister(gc)
+	if err != nil {
+		return nil, err
+	}
+	var nc net.Conn
+	if d.Dial != nil {
+		nc, err = d.Dial(addr)
+	} else {
+		to := d.Timeout
+		if to <= 0 {
+			to = 10 * time.Second
+		}
+		nc, err = net.DialTimeout("tcp", addr, to)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return newConn(nc, d.Link, AtoB)
+}
+
+// Listener wraps an accept loop with the link: accepted connections'
+// writes ride BtoA (the listener is B).
+type Listener struct {
+	net.Listener
+	Link *Link
+}
+
+// Accept returns the next connection wrapped in the link's fault state.
+func (ln *Listener) Accept() (net.Conn, error) {
+	nc, err := ln.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	c, err := newConn(nc, ln.Link, BtoA)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// String renders the link's current fault state for logs.
+func (l *Link) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return fmt.Sprintf("link %s [a->b drop=%v lat=%v rate=%d] [b->a drop=%v lat=%v rate=%d]",
+		l.name,
+		l.dirs[AtoB].drop, l.dirs[AtoB].latency, l.dirs[AtoB].rate,
+		l.dirs[BtoA].drop, l.dirs[BtoA].latency, l.dirs[BtoA].rate)
+}

@@ -98,8 +98,13 @@ type ServerConfig struct {
 	// means 1 MiB. (Each connection double-buffers, so peak memory is up to
 	// twice this while a flush is in flight.)
 	MaxConnQueue int
-	// IOTimeout bounds the handshake read and every write. Zero means 30s.
+	// IOTimeout bounds every write. Zero means 30s.
 	IOTimeout time.Duration
+	// HandshakeTimeout bounds the wait for the client's hello frame, so a
+	// half-open or stalled connection (a chaos proxy holding the dial, a
+	// SYN-scanned port) sheds its reader goroutine instead of pinning it
+	// until IOTimeout. Mirrors repl's replIOTimeout. Zero means 5s.
+	HandshakeTimeout time.Duration
 	// ManualEpochs disables the autonomous epoch loops: no epoch runs until
 	// a client sends an epoch-close op for a shard, which closes exactly one
 	// epoch and replies with the shard's epoch number and grant count after
@@ -126,6 +131,9 @@ func (cfg *ServerConfig) normalize() error {
 	}
 	if cfg.IOTimeout <= 0 {
 		cfg.IOTimeout = 30 * time.Second
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 5 * time.Second
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -166,6 +174,18 @@ type Server struct {
 
 	mu    sync.Mutex
 	conns map[net.Conn]chan struct{} // conn -> closed when its handler is done
+
+	// holders is the server-wide binding authority: which connection a
+	// granted name is currently deliverable/releasable on. A reclaim from
+	// a reconnecting session *steals* the binding from the old (dying)
+	// connection, and teardown releases only names the dead connection
+	// still owns here — otherwise a slow teardown racing a fast reconnect
+	// would release a name the session just reclaimed, and its re-grant
+	// would surface as a duplicate. Lock order: holdMu before any c.mu;
+	// holdMu is held across the Reclaim/Release service calls on the
+	// steal-sensitive paths so binding and ledger can't diverge.
+	holdMu  sync.Mutex
+	holders map[int]*svcConn
 }
 
 // NewServer builds a Server and starts its epoch loops: one per shard when
@@ -195,6 +215,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		manualMu: make([]sync.Mutex, shards),
 		stop:     make(chan struct{}),
 		conns:    make(map[net.Conn]chan struct{}),
+		holders:  make(map[int]*svcConn),
 	}
 	for i := range s.deliver {
 		s.deliver[i].byConn = make(map[*svcConn]int32)
@@ -635,10 +656,13 @@ func (c *svcConn) enqueue(frames []byte) bool {
 // or overflowed after the in-epoch accept — which the caller must release
 // back to the service.
 func (c *svcConn) commitGrants(d *shardDelivery, head int32, frames []byte, rel []Grant) []Grant {
+	s := c.srv
+	s.holdMu.Lock()
 	c.mu.Lock()
 	ok, tripped := c.admitLocked(len(frames))
 	if !ok {
 		c.mu.Unlock()
+		s.holdMu.Unlock()
 		if tripped {
 			c.conn.Close() // fails the read loop, which runs teardown
 		}
@@ -652,12 +676,14 @@ func (c *svcConn) commitGrants(d *shardDelivery, head int32, frames []byte, rel 
 		req := sg.req
 		delete(c.outstanding, req)
 		c.held[sg.g.Name] = sg.g.Client
+		s.holders[sg.g.Name] = c
 		*req = connReq{c: c}
 		c.freeReqs = append(c.freeReqs, req)
 	}
 	c.pend = append(c.pend, frames...)
 	c.cond.Signal()
 	c.mu.Unlock()
+	s.holdMu.Unlock()
 	return rel
 }
 
@@ -738,8 +764,9 @@ func (s *Server) handle(conn net.Conn) {
 	var rbuf []byte
 	in := newIngest(s.svc.Shards())
 
-	// Handshake: hello in, welcome out.
-	conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
+	// Handshake: hello in, welcome out. Bounded by its own (tight)
+	// deadline so stalled half-open connections are shed quickly.
+	conn.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
 	body, err := wire.ReadFrame(br, rbuf, svcMaxFrame)
 	if err != nil {
 		s.cfg.Logf("%v: bad handshake: %v", conn.RemoteAddr(), err)
@@ -914,14 +941,32 @@ func (s *Server) ingestFrame(c *svcConn, in *ingest, body []byte) (fatal bool) {
 			return false
 		}
 		in.w.Reset()
+		// holdMu is held across the service call: a successful reclaim
+		// must install this connection as the binding authority before a
+		// racing teardown of the session's previous connection can
+		// release the name out from under it.
+		s.holdMu.Lock()
 		if err := s.svc.Reclaim(client, name); err != nil {
+			s.holdMu.Unlock()
 			appendReject(&in.w, tag, RejectNotHeld, err.Error())
 		} else {
+			prev := s.holders[name]
+			s.holders[name] = c
 			c.mu.Lock()
 			if c.held != nil {
 				c.held[name] = client
 			}
 			c.mu.Unlock()
+			if prev != nil && prev != c {
+				// Steal: the old connection no longer owns the name, so
+				// its teardown must not release it.
+				prev.mu.Lock()
+				if prev.held != nil {
+					delete(prev.held, name)
+				}
+				prev.mu.Unlock()
+			}
+			s.holdMu.Unlock()
 			appendReclaimed(&in.w, tag)
 		}
 		in.pushResp()
@@ -963,15 +1008,20 @@ func (s *Server) submitBurst(c *svcConn, in *ingest) {
 		return
 	}
 	if len(in.relTag) > 0 {
+		s.holdMu.Lock()
 		c.mu.Lock()
 		for _, name := range in.relName {
 			client, ok := c.held[name]
 			if ok {
 				delete(c.held, name)
+				if s.holders[name] == c {
+					delete(s.holders, name)
+				}
 			}
 			in.relCli = append(in.relCli, client)
 		}
 		c.mu.Unlock()
+		s.holdMu.Unlock()
 		for i, name := range in.relName {
 			client := in.relCli[i]
 			if client == 0 {
@@ -1004,16 +1054,19 @@ func (s *Server) submitBurst(c *svcConn, in *ingest) {
 				// holds every name in the bucket — restore them and reject
 				// each request, mirroring the acquire path below.
 				s.cfg.Logf("%v: release batch on shard %d: %v", c.conn.RemoteAddr(), shard, err)
+				s.holdMu.Lock()
 				c.mu.Lock()
 				for j, op := range in.rel[shard] {
 					if c.held != nil {
 						c.held[op.Name] = op.Client
+						s.holders[op.Name] = c
 					}
 					in.w.Reset()
 					appendReject(&in.w, in.relTag[in.relIdx[shard][j]], RejectInternal, err.Error())
 					in.pushResp()
 				}
 				c.mu.Unlock()
+				s.holdMu.Unlock()
 				continue
 			}
 			for j, e := range errs {
@@ -1119,7 +1172,20 @@ func (s *Server) teardown(c *svcConn) {
 	}
 	kicked := make(map[int]bool)
 	for name, client := range releases {
-		if err := s.svc.Release(client, name); err != nil {
+		// Only release names this connection still owns: a session that
+		// reconnected and reclaimed before this teardown ran has stolen
+		// the binding, and releasing here would free a name the session
+		// legitimately holds. holdMu spans the authority check and the
+		// release so a concurrent reclaim cannot interleave between them.
+		s.holdMu.Lock()
+		if s.holders[name] != c {
+			s.holdMu.Unlock()
+			continue
+		}
+		delete(s.holders, name)
+		err := s.svc.Release(client, name)
+		s.holdMu.Unlock()
+		if err != nil {
 			s.cfg.Logf("%v: teardown release of %d: %v", c.conn.RemoteAddr(), name, err)
 			continue
 		}

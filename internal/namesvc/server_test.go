@@ -509,3 +509,39 @@ func TestServerAdaptiveEpochClosesEarly(t *testing.T) {
 		}
 	}
 }
+
+// TestServerHandshakeDeadlineShedsStalledConns pins the handshake bound:
+// a connection that never sends its hello (a half-open victim of a chaos
+// proxy, or a port scanner) must be shed within HandshakeTimeout instead
+// of pinning a reader goroutine until the much larger IOTimeout.
+func TestServerHandshakeDeadlineShedsStalledConns(t *testing.T) {
+	t.Parallel()
+	_, addr := startServerWith(t, Config{ShardCap: 8, Seed: 9},
+		ServerConfig{HandshakeTimeout: 200 * time.Millisecond, IOTimeout: 30 * time.Second})
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	start := time.Now()
+	// Send nothing; the server must close the connection on its own.
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("server spoke first on an un-handshaken connection")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("stalled connection shed after %v, want ~HandshakeTimeout", d)
+	}
+
+	// A prompt hello still works with the tight handshake deadline.
+	c, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatalf("dial after shed: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.AcquireSync(1); err != nil {
+		t.Fatal(err)
+	}
+}
