@@ -8,6 +8,13 @@
 //   - every pre-fault acknowledged grant accounted for: reclaimed and
 //     releasable on the post-fault leader, or revoked with the loss
 //     reported to its session — never silently gone,
+//   - election stability: for scenarios that never unseat a healthy
+//     leader (flapping-follower, asymmetric-split) the cluster term must
+//     not move, leadership must not change hands, no holder grant may be
+//     revoked, and the leader's read lease must never lapse — unless
+//     -legacy-elections deliberately runs the pre-hardening behavior for
+//     the before/after differential,
+//   - with -retain-records, the leader's compaction floor advanced,
 //   - byte-identical per-shard digests across all replicas after heal.
 //
 // Each invariant prints a greppable "blcluster: chaos invariant:" line;
@@ -91,10 +98,13 @@ func (nf *nodeFaults) each(f func(*faultnet.Link)) {
 }
 
 // partition cuts the node off. Full partitions also reset established
-// flows so stream failures surface at once. One-way partitions drop only
-// the node's transmissions — its bytes flow a->b on routes it dials and
-// b->a on routes dialed toward it — and leave connections standing, so
-// only timeouts, never connection errors, expose the fault.
+// flows so stream failures surface at once. One-way partitions deafen
+// the node: traffic toward it vanishes while its own transmissions still
+// deliver — the return direction drops on routes it dials, the forward
+// direction on routes dialed toward it — and connections stay standing,
+// so only timeouts, never connection errors, expose the fault. A
+// deafened node is the election-stability worst case: it reaches every
+// peer with (pre-)vote solicitations while hearing no leader itself.
 func (nf *nodeFaults) partition(oneWay bool) {
 	if !oneWay {
 		nf.each(func(l *faultnet.Link) { l.Partition(false); l.ResetConns() })
@@ -102,15 +112,15 @@ func (nf *nodeFaults) partition(oneWay bool) {
 	}
 	for _, l := range nf.out {
 		if l != nil {
-			l.SetDrop(faultnet.AtoB, true)
+			l.SetDrop(faultnet.BtoA, true)
 		}
 	}
 	for _, l := range nf.in {
 		if l != nil {
-			l.SetDrop(faultnet.BtoA, true)
+			l.SetDrop(faultnet.AtoB, true)
 		}
 	}
-	nf.client.SetDrop(faultnet.BtoA, true)
+	nf.client.SetDrop(faultnet.AtoB, true)
 }
 
 func (nf *nodeFaults) heal()  { nf.each(func(l *faultnet.Link) { l.Heal() }) }
@@ -292,6 +302,18 @@ func chaosRun(cfg *config) error {
 	fmt.Printf("blcluster: node %d is leader (%s)\n", leader, cfg.clientAddr(leader))
 	follower := (leader + 1) % cfg.n
 
+	// The pre-fault term anchors the election-disruption invariant: with
+	// the hardening on, a scenario that never unseats a healthy leader
+	// (follower flaps, a deafened follower) must end the run with zero
+	// term movement anywhere in the cluster. The legacy differential and
+	// leader-targeted scenarios report the movement without gating on it.
+	preStats, err := nodeStats(cfg, leader)
+	if err != nil {
+		return fmt.Errorf("chaos: leader stats: %w", err)
+	}
+	termBefore := preStats.ReplTerm
+	leaderHealthy := cfg.chaos == "flapping-follower" || cfg.chaos == "asymmetric-split"
+
 	faultsFor := func(x int) *nodeFaults {
 		nf := &nodeFaults{client: clientLinks[x], out: peerLinks[x], in: make([]*faultnet.Link, cfg.n)}
 		for j := 0; j < cfg.n; j++ {
@@ -337,6 +359,11 @@ func chaosRun(cfg *config) error {
 		}
 		table.granted(g.Name, "holder")
 	}
+	// Baseline after the pre-fault acquires: redirects the holder takes
+	// from here on happened under the schedule. On a healthy leader the
+	// holder stays put, so any redirect means the leader bounced a read —
+	// a revoked read lease — or leadership itself moved.
+	holderBase := holder.Counters()
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -480,6 +507,55 @@ func chaosRun(cfg *config) error {
 	sess.Timeouts += hc.Timeouts
 	fmt.Printf("blcluster: chaos sessions: %d reconnects, %d redirects, %d reclaimed, %d retries, %d op timeouts\n",
 		sess.Reconnects, sess.Redirects, sess.Reclaimed, sess.Retries, sess.Timeouts)
+
+	// Invariant: election disruption. Terms are read through the control
+	// plane, outside the chaos; the highest term anywhere in the cluster
+	// minus the pre-fault term counts the elections the schedule forced.
+	maxTerm := termBefore
+	floors := make([]uint64, cfg.n)
+	for i := 0; i < cfg.n; i++ {
+		if !alive(i) {
+			continue
+		}
+		st, err := nodeStats(cfg, i)
+		if err != nil {
+			return fmt.Errorf("chaos: node %d stats: %w", i, err)
+		}
+		fmt.Printf("blcluster: chaos node %d: term %d, %s, last election %q, compaction floor %d\n",
+			i, st.ReplTerm, st.ReplRole, st.ElectionReason, st.CompactFloor)
+		if st.ReplTerm > maxTerm {
+			maxTerm = st.ReplTerm
+		}
+		floors[i] = st.CompactFloor
+	}
+	fmt.Printf("blcluster: chaos invariant: disruptive elections: %d (term %d -> %d)\n",
+		maxTerm-termBefore, termBefore, maxTerm)
+	postLeader, ok := findLeader(cfg, alive)
+	if !ok {
+		return fmt.Errorf("chaos: no leader after the schedule")
+	}
+	leaseRevocations := hc.Redirects - holderBase.Redirects
+	fmt.Printf("blcluster: chaos invariant: lease revocations: %d\n", leaseRevocations)
+	fmt.Printf("blcluster: chaos invariant: compaction floor: %d\n", floors[postLeader])
+	if leaderHealthy && !cfg.legacyElections {
+		switch {
+		case maxTerm != termBefore:
+			return fmt.Errorf("chaos: %d disruptive elections while the leader stayed healthy", maxTerm-termBefore)
+		case postLeader != leader:
+			return fmt.Errorf("chaos: leadership moved from node %d to node %d while the leader stayed healthy",
+				leader, postLeader)
+		case revoked != 0:
+			return fmt.Errorf("chaos: %d holder grants revoked while the leader stayed healthy", revoked)
+		case leaseRevocations != 0:
+			return fmt.Errorf("chaos: the healthy leader bounced %d holder reads — its read lease lapsed", leaseRevocations)
+		}
+	}
+	if cfg.retainRecords > 0 {
+		if floors[postLeader] == 0 {
+			return fmt.Errorf("chaos: compaction floor never advanced under -retain-records %d", cfg.retainRecords)
+		}
+		fmt.Printf("blcluster: chaos invariant: compaction floor advanced: %d\n", floors[postLeader])
+	}
 
 	// Invariant: every replica — the faulted node included — converges to
 	// identical per-shard digests after heal.

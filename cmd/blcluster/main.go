@@ -16,8 +16,10 @@
 //
 // Node i serves clients on base-port+i and peers on base-port+100+i.
 // While the cluster runs, a second blcluster invocation with -leader
-// prints the current leader's client address (for pointing blload at the
-// write endpoint). The query retries with backoff for up to -leader-wait
+// prints the current leader's client address on stdout (for pointing
+// blload at the write endpoint) and every member's replication view —
+// term, role, last-election reason, compaction floor — on stderr. The
+// query retries with backoff for up to -leader-wait
 // while an election is in flight, so scripts can call it right after
 // cluster start without racing the first election:
 //
@@ -79,6 +81,8 @@ type config struct {
 	fsync           string
 	snapshotEvery   int
 	electionTimeout time.Duration
+	legacyElections bool
+	retainRecords   int
 	killLeaderAfter time.Duration
 	runFor          time.Duration
 	leaderQuery     bool
@@ -109,6 +113,10 @@ func parseFlags(args []string) (*config, error) {
 		"checkpoint a shard after this many WAL records")
 	fs.DurationVar(&cfg.electionTimeout, "election-timeout", 300*time.Millisecond,
 		"follower patience before campaigning")
+	fs.BoolVar(&cfg.legacyElections, "legacy-elections", false,
+		"run every daemon with pre-vote/check-quorum/read-lease hardening disabled (the chaos before/after differential)")
+	fs.IntVar(&cfg.retainRecords, "retain-records", 0,
+		"cap every leader's replication-record backlog (0 = daemon default)")
 	fs.DurationVar(&cfg.killLeaderAfter, "kill-leader-after", 0,
 		"SIGKILL the elected leader this long after the first election (0 = never)")
 	fs.DurationVar(&cfg.runFor, "run-for", 0,
@@ -148,6 +156,8 @@ func parseFlags(args []string) (*config, error) {
 		return nil, fmt.Errorf("blcluster: -election-timeout must be positive, got %v", cfg.electionTimeout)
 	case cfg.killLeaderAfter < 0 || cfg.runFor < 0:
 		return nil, fmt.Errorf("blcluster: -kill-leader-after and -run-for must be >= 0")
+	case cfg.retainRecords < 0:
+		return nil, fmt.Errorf("blcluster: -retain-records must be >= 0, got %d", cfg.retainRecords)
 	case cfg.leaderWait < 0:
 		return nil, fmt.Errorf("blcluster: -leader-wait must be >= 0, got %v", cfg.leaderWait)
 	case cfg.chaosPrint && cfg.chaos == "":
@@ -253,14 +263,35 @@ func awaitLeader(cfg *config, alive func(int) bool, timeout time.Duration) (int,
 	}
 }
 
-// digests fetches one member's per-shard digest vector.
-func digests(cfg *config, i int) ([]uint64, error) {
+// nodeStats fetches one member's full stats reply.
+func nodeStats(cfg *config, i int) (namesvc.Stats, error) {
 	c, err := namesvc.Dial(cfg.clientAddr(i), namesvc.ClientConfig{Timeout: 2 * time.Second})
 	if err != nil {
-		return nil, err
+		return namesvc.Stats{}, err
 	}
 	defer c.Close()
-	st, err := c.StatsSync()
+	return c.StatsSync()
+}
+
+// printReplDetail writes each reachable member's replication view —
+// term, role, why its last term or role change happened, and its
+// compaction floor — to stderr. Stdout stays the leader address alone:
+// that is the contract scripts substitute into blload's -connect.
+func printReplDetail(cfg *config) {
+	for i := 0; i < cfg.n; i++ {
+		st, err := nodeStats(cfg, i)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blcluster: node %d: unreachable: %v\n", i, err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "blcluster: node %d: term %d, %s, last election %q, compaction floor %d\n",
+			i, st.ReplTerm, st.ReplRole, st.ElectionReason, st.CompactFloor)
+	}
+}
+
+// digests fetches one member's per-shard digest vector.
+func digests(cfg *config, i int) ([]uint64, error) {
+	st, err := nodeStats(cfg, i)
 	if err != nil {
 		return nil, err
 	}
@@ -348,6 +379,12 @@ func spawn(cfg *config, i int, peers string) (*member, error) {
 		"-node-id", fmt.Sprint(i),
 		"-peers", peers,
 		"-election-timeout", cfg.electionTimeout.String(),
+	}
+	if cfg.legacyElections {
+		args = append(args, "-legacy-elections")
+	}
+	if cfg.retainRecords > 0 {
+		args = append(args, "-retain-records", fmt.Sprint(cfg.retainRecords))
 	}
 	cmd := exec.Command(cfg.blnamed, args...)
 	stdout, err := cmd.StdoutPipe()
@@ -520,6 +557,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "blcluster: no leader found within %v\n", cfg.leaderWait)
 			os.Exit(1)
 		}
+		printReplDetail(cfg)
 		fmt.Println(cfg.clientAddr(i))
 		return
 	}

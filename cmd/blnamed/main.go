@@ -101,6 +101,8 @@ type config struct {
 	nodeID          int
 	peers           []repl.PeerSpec
 	electionTimeout time.Duration
+	legacyElections bool
+	retainRecords   int
 }
 
 // parseFlags parses args into a validated config.
@@ -143,6 +145,10 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.nodeID, "node-id", 0, "with -replicate, this member's index into -peers")
 	fs.DurationVar(&cfg.electionTimeout, "election-timeout", 500*time.Millisecond,
 		"with -replicate, follower patience before campaigning (heartbeats flow at a fifth of it)")
+	fs.BoolVar(&cfg.legacyElections, "legacy-elections", false,
+		"with -replicate, disable pre-vote, leader stickiness, check-quorum, and the read lease (the pre-hardening election behavior, for differentials)")
+	fs.IntVar(&cfg.retainRecords, "retain-records", 0,
+		"with -replicate, cap the leader's replication-record backlog; laggards past it re-attach via snapshot (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		// The FlagSet has already reported the problem (or printed the
 		// -h usage) to stderr; mark it so main does not repeat it.
@@ -206,6 +212,9 @@ func parseFlags(args []string) (*config, error) {
 		}
 		if cfg.electionTimeout <= 0 {
 			return nil, fmt.Errorf("blnamed: -election-timeout must be positive, got %v", cfg.electionTimeout)
+		}
+		if cfg.retainRecords < 0 {
+			return nil, fmt.Errorf("blnamed: -retain-records must be >= 0, got %d", cfg.retainRecords)
 		}
 	} else if peers != "" {
 		return nil, fmt.Errorf("blnamed: -peers requires -replicate")
@@ -271,6 +280,8 @@ func build(cfg *config) (*namesvc.Server, *namesvc.Service, *repl.Node, error) {
 			Service:         svc,
 			MetaPath:        filepath.Join(cfg.dataDir, "repl-meta"),
 			ElectionTimeout: cfg.electionTimeout,
+			LegacyElections: cfg.legacyElections,
+			RetainRecords:   cfg.retainRecords,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "blnamed: "+format+"\n", args...)
 			},

@@ -14,7 +14,8 @@ type Action int
 
 const (
 	// ActPartition drops the target's traffic (both directions, or only
-	// its outbound when OneWay is set) and resets established flows.
+	// the traffic toward it when OneWay is set — the target is deafened)
+	// and, when two-way, resets established flows.
 	ActPartition Action = iota
 	// ActHeal clears every fault on the target.
 	ActHeal
@@ -52,7 +53,7 @@ type Event struct {
 	At      time.Duration // offset from schedule start
 	Action  Action
 	Target  string
-	OneWay  bool          // ActPartition: drop only the target's outbound
+	OneWay  bool          // ActPartition: deafen the target (drop only traffic toward it)
 	Latency time.Duration // ActLatency
 	Rate    int           // ActRate, bytes/sec
 }
@@ -99,11 +100,15 @@ func Compile(name string, d time.Duration, seed uint64) ([]Event, error) {
 			{At: frac(3, 5), Action: ActHeal, Target: "leader"},
 		}
 	case "asymmetric-split":
-		// The leader can hear but not speak: inbound delivers, outbound
-		// vanishes. Only timeouts — never connection errors — expose it.
+		// A follower is deafened: it transmits — heartbeat acks, campaign
+		// solicitations — but hears nothing, so its election timer fires
+		// while every peer still hears the live leader. The election-
+		// stability worst case: only timeouts, never connection errors,
+		// expose the fault, and a hardened cluster must ride it out with
+		// zero disruptive elections.
 		ev = []Event{
-			{At: frac(1, 4), Action: ActPartition, Target: "leader", OneWay: true},
-			{At: frac(3, 5), Action: ActHeal, Target: "leader"},
+			{At: frac(1, 4), Action: ActPartition, Target: "follower", OneWay: true},
+			{At: frac(3, 5), Action: ActHeal, Target: "follower"},
 		}
 	case "flapping-follower":
 		// A follower's route flaps: seed-derived number of short

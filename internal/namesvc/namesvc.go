@@ -760,6 +760,16 @@ type Stats struct {
 	WALRecords   uint64
 	WALSnapshots uint64
 	WALFailures  uint64
+	// Replication status, filled by the Server from its commit gate (the
+	// Service itself knows nothing of replication): the node's current
+	// term and role, why it last changed term or role (for example
+	// "won-election", "saw-higher-term", "check-quorum-stepdown"), and
+	// the highest replication-log index it has compacted away. Zero /
+	// empty / RoleStandalone on unreplicated servers.
+	ReplTerm       uint64
+	ReplRole       Role
+	ElectionReason string
+	CompactFloor   uint64
 }
 
 // Stats collects the summary, locking each shard in turn.

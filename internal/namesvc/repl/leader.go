@@ -34,6 +34,11 @@ type leaderState struct {
 	commit uint64         // highest quorum-acknowledged index
 	match  map[int]uint64 // peer -> highest acknowledged index, this term
 	links  map[int]*followerLink
+
+	// heard[id] is when peer id was last heard from (hello ack or stream
+	// ack) this leadership — the check-quorum / read-lease freshness
+	// source. Seeded to the election instant as grace.
+	heard []time.Time
 }
 
 // followerLink is one live leader→follower stream. sentIdx advances as
@@ -186,6 +191,7 @@ func (n *Node) attachFollower(l *leaderState, peerID int) error {
 	commit := l.commit
 	lk := &followerLink{peer: p, sentIdx: attachIdx, notify: make(chan struct{}, 1)}
 	l.links[peerID] = lk
+	l.heard[peerID] = time.Now()
 	n.mu.Unlock()
 	defer func() {
 		n.mu.Lock()
@@ -330,6 +336,7 @@ func (n *Node) recvAcks(l *leaderState, peerID int, p *transport.Peer) error {
 				continue
 			}
 			n.mu.Lock()
+			l.heard[peerID] = time.Now()
 			if idx > l.match[peerID] {
 				l.match[peerID] = idx
 				l.advanceCommitLocked(n)
@@ -340,6 +347,9 @@ func (n *Node) recvAcks(l *leaderState, peerID int, p *transport.Peer) error {
 			if err != nil {
 				return err
 			}
+			n.mu.Lock()
+			l.heard[peerID] = time.Now()
+			n.mu.Unlock()
 			if term > l.term {
 				n.observeTerm(term)
 				return errDeposed

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ballsintoleaves/internal/namesvc"
+	"ballsintoleaves/internal/namesvc/durable"
 	"ballsintoleaves/internal/transport"
 	"ballsintoleaves/internal/wire"
 )
@@ -21,6 +22,11 @@ const replIOTimeout = 5 * time.Second
 // that falls further behind than this is torn down and re-attached from
 // a snapshot instead of being streamed an unbounded backlog.
 const maxLeaderQueue = 4096
+
+// defaultRetainRecords is the default compaction retention: how many
+// records the leader keeps behind its head for laggard followers before
+// pruning forces them onto the snapshot+tail re-attach path.
+const defaultRetainRecords = 1024
 
 // errDeposed reports that the node stopped being leader with work in
 // flight; the staged grants behind it are discarded undelivered.
@@ -49,15 +55,30 @@ type Config struct {
 	// Listener, when non-nil, is the pre-bound replication listener
 	// (tests use port 0); nil means listen on Peers[NodeID].ReplAddr.
 	Listener net.Listener
-	// MetaPath persists term/vote/freshness state across restarts
-	// (required for crash safety); empty keeps it in memory only (tests).
+	// MetaPath persists term/vote/freshness/compaction state across
+	// restarts (required for crash safety); empty keeps it in memory only
+	// (tests), unless MetaSink is set.
 	MetaPath string
+	// MetaSink, when non-nil, persists election state into a durable.Sink
+	// (alternating-slot writes) instead of MetaPath. Tests and crash
+	// harnesses use it; production daemons use MetaPath.
+	MetaSink durable.Sink
 	// ElectionTimeout is the follower patience before campaigning;
 	// heartbeats flow at a fifth of it. Zero means 500ms.
 	ElectionTimeout time.Duration
 	// ManualElections disables the election timer: leadership changes
 	// only through explicit Campaign calls. Deterministic tests only.
 	ManualElections bool
+	// LegacyElections disables the pre-vote round, leader stickiness, and
+	// the leader's check-quorum step-down and read lease — the
+	// pre-hardening election behavior, kept behind an escape hatch so the
+	// chaos lab can run the before/after differential.
+	LegacyElections bool
+	// RetainRecords bounds the leader's replication queue: committed-and-
+	// applied-everywhere prefixes are pruned continuously, and the queue
+	// never retains more than this many records regardless of laggards
+	// (which re-attach via snapshot+tail). Zero means 1024.
+	RetainRecords int
 	// Logf, when non-nil, receives role transitions and stream errors.
 	Logf func(format string, args ...any)
 }
@@ -73,19 +94,23 @@ type Node struct {
 	ln         net.Listener
 	quorum     int
 	hbInterval time.Duration
+	meta       metaStore
 
-	mu          sync.Mutex
-	commitCond  *sync.Cond // commit advance, fencing, close
-	term        uint64
-	votedFor    int
-	lastRecTerm uint64
-	leaderID    int // last known leader; -1 unknown
-	lastContact time.Time
-	ldr         *leaderState // non-nil while this node leads
-	seenCommit  uint64       // highest commit observed as a follower
-	srv         *namesvc.Server
-	streams     map[*transport.Peer]struct{} // live accepted peer links
-	closed      bool
+	mu             sync.Mutex
+	commitCond     *sync.Cond // commit advance, fencing, close
+	term           uint64
+	votedFor       int
+	lastRecTerm    uint64
+	leaderID       int // last known leader; -1 unknown
+	lastContact    time.Time
+	ldr            *leaderState // non-nil while this node leads
+	seenCommit     uint64       // highest commit observed as a follower
+	metaSeq        uint64       // persisted-write sequence number
+	compactFloor   uint64       // highest pruned replication-log index
+	electionReason string       // why the node last changed term or role
+	srv            *namesvc.Server
+	streams        map[*transport.Peer]struct{} // live accepted peer links
+	closed         bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -105,10 +130,22 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.ElectionTimeout <= 0 {
 		cfg.ElectionTimeout = 500 * time.Millisecond
 	}
+	if cfg.RetainRecords <= 0 {
+		cfg.RetainRecords = defaultRetainRecords
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	m, err := loadMeta(cfg.MetaPath)
+	var store metaStore
+	switch {
+	case cfg.MetaSink != nil:
+		store = sinkMeta{sink: cfg.MetaSink}
+	case cfg.MetaPath != "":
+		store = fileMeta{path: cfg.MetaPath}
+	default:
+		store = newMemMeta()
+	}
+	m, err := store.load()
 	if err != nil {
 		return nil, err
 	}
@@ -120,18 +157,22 @@ func Start(cfg Config) (*Node, error) {
 		}
 	}
 	n := &Node{
-		cfg:         cfg,
-		svc:         cfg.Service,
-		ln:          ln,
-		quorum:      len(cfg.Peers)/2 + 1,
-		hbInterval:  cfg.ElectionTimeout / 5,
-		term:        m.Term,
-		votedFor:    m.VotedFor,
-		lastRecTerm: m.LastRecTerm,
-		leaderID:    -1,
-		lastContact: time.Now(),
-		streams:     make(map[*transport.Peer]struct{}),
-		stop:        make(chan struct{}),
+		cfg:            cfg,
+		svc:            cfg.Service,
+		ln:             ln,
+		quorum:         len(cfg.Peers)/2 + 1,
+		hbInterval:     cfg.ElectionTimeout / 5,
+		meta:           store,
+		term:           m.Term,
+		votedFor:       m.VotedFor,
+		lastRecTerm:    m.LastRecTerm,
+		metaSeq:        m.Seq,
+		compactFloor:   m.CompactFloor,
+		electionReason: "boot",
+		leaderID:       -1,
+		lastContact:    time.Now(),
+		streams:        make(map[*transport.Peer]struct{}),
+		stop:           make(chan struct{}),
 	}
 	n.commitCond = sync.NewCond(&n.mu)
 	n.svc.SetRecordHook(n.recordHook)
@@ -179,11 +220,20 @@ func (n *Node) logf(format string, args ...any) { n.cfg.Logf(format, args...) }
 
 // persistMetaLocked writes the durable election state; n.mu must be held.
 func (n *Node) persistMetaLocked() error {
-	err := meta{Term: n.term, VotedFor: n.votedFor, LastRecTerm: n.lastRecTerm}.save(n.cfg.MetaPath)
+	next := n.metaSeq + 1
+	err := n.meta.save(meta{
+		Seq:          next,
+		Term:         n.term,
+		VotedFor:     n.votedFor,
+		LastRecTerm:  n.lastRecTerm,
+		CompactFloor: n.compactFloor,
+	})
 	if err != nil {
 		n.logf("repl: persisting election state: %v", err)
+		return err
 	}
-	return err
+	n.metaSeq = next
+	return nil
 }
 
 // stepToTermLocked adopts a higher term observed on any path, fencing
@@ -194,6 +244,7 @@ func (n *Node) stepToTermLocked(term uint64) {
 	}
 	n.term = term
 	n.votedFor = -1
+	n.electionReason = "saw-higher-term"
 	n.persistMetaLocked()
 	if l := n.ldr; l != nil {
 		n.fenceLocked(l, true)
@@ -335,9 +386,10 @@ func (n *Node) electionLoop() {
 	}
 }
 
-// Campaign runs one election round synchronously: term+1, vote for self,
-// request votes from every peer, and take leadership on a quorum. It
-// reports whether this node leads the new term. Safe to call at any
+// Campaign runs one election round synchronously: a non-term-bumping
+// pre-vote poll first (unless LegacyElections), then term+1, vote for
+// self, request votes from every peer, and take leadership on a quorum.
+// It reports whether this node leads the new term. Safe to call at any
 // time; the election timer calls it automatically unless disabled.
 func (n *Node) Campaign() bool {
 	n.mu.Lock()
@@ -345,6 +397,20 @@ func (n *Node) Campaign() bool {
 		won := n.ldr != nil
 		n.mu.Unlock()
 		return won
+	}
+	if !n.cfg.LegacyElections {
+		nextTerm := n.term + 1
+		recTerm := n.lastRecTerm
+		n.mu.Unlock()
+		if !n.preVote(nextTerm, recTerm, n.svc.Position()) {
+			return false
+		}
+		n.mu.Lock()
+		if n.closed || n.ldr != nil {
+			won := n.ldr != nil
+			n.mu.Unlock()
+			return won
+		}
 	}
 	n.term++
 	n.votedFor = n.cfg.NodeID
@@ -421,9 +487,12 @@ func (n *Node) requestVote(addr string, term, lastRecTerm, position uint64) (uin
 }
 
 // becomeLeader installs leader state for term and starts one stream
-// manager per peer. The freshness claim is raised to the new term before
-// any record exists in it (see meta), which only ever makes this node a
-// stricter voter — never a less safe one.
+// manager per peer plus the leader tick (check-quorum + compaction). The
+// freshness claim is raised to the new term before any record exists in
+// it (see meta), which only ever makes this node a stricter voter —
+// never a less safe one. Record indices resume above the persisted
+// compaction floor so the floor stays monotone across this node's
+// leaderships.
 func (n *Node) becomeLeader(term uint64) bool {
 	n.mu.Lock()
 	if n.closed || n.term != term || n.ldr != nil {
@@ -432,15 +501,24 @@ func (n *Node) becomeLeader(term uint64) bool {
 	}
 	l := &leaderState{
 		term:           term,
-		nextIdx:        1,
-		baseIdx:        1,
+		nextIdx:        n.compactFloor + 1,
+		baseIdx:        n.compactFloor + 1,
 		lastIdxByShard: make([]uint64, n.svc.Shards()),
 		match:          make(map[int]uint64, len(n.cfg.Peers)),
 		links:          make(map[int]*followerLink, len(n.cfg.Peers)),
+		heard:          make([]time.Time, len(n.cfg.Peers)),
 		stopc:          make(chan struct{}),
+	}
+	// Check-quorum grace: every peer counts as freshly heard at election,
+	// giving the streams one election timeout to attach before the lease
+	// can be judged.
+	now := time.Now()
+	for i := range l.heard {
+		l.heard[i] = now
 	}
 	n.ldr = l
 	n.leaderID = n.cfg.NodeID
+	n.electionReason = "won-election"
 	n.setLastRecTermLocked(term)
 	l.advanceCommitLocked(n)
 	n.mu.Unlock()
@@ -452,6 +530,8 @@ func (n *Node) becomeLeader(term uint64) bool {
 		n.wg.Add(1)
 		go n.runPeer(l, id)
 	}
+	n.wg.Add(1)
+	go n.leaderTick(l)
 	return true
 }
 
@@ -504,6 +584,8 @@ func (n *Node) serveLink(p *transport.Peer) {
 	switch body[0] {
 	case kVoteReq:
 		n.serveVote(p, body)
+	case kPreVoteReq:
+		n.servePreVote(p, body)
 	case kHello:
 		n.serveStream(p, body)
 	default:
@@ -514,7 +596,11 @@ func (n *Node) serveLink(p *transport.Peer) {
 // serveVote answers one vote request: grant if the term is current, the
 // vote is unspent, and the candidate is at least as fresh — by (last
 // record term, total position), so a candidate missing quorum-committed
-// records can never collect a quorum of grants.
+// records can never collect a quorum of grants. Leader stickiness
+// (unless LegacyElections): while this node hears a live leader within
+// the election timeout, a higher-term request is refused *without
+// adopting its term*, so a returning partitioned node's inflated term
+// cannot depose a healthy leader.
 func (n *Node) serveVote(p *transport.Peer, body []byte) {
 	reqTerm, candidate, candRecTerm, candPos, err := decodeVoteReq(body)
 	if err != nil {
@@ -525,6 +611,14 @@ func (n *Node) serveVote(p *transport.Peer, body []byte) {
 	// record this node has ever acknowledged.
 	pos := n.svc.Position()
 	n.mu.Lock()
+	if !n.cfg.LegacyElections && reqTerm > n.term && n.hearingLeaderLocked() {
+		cur := n.term
+		n.mu.Unlock()
+		var w wire.Writer
+		appendVoteResp(&w, cur, false)
+		p.SendNow(w.Bytes(), time.Now().Add(replIOTimeout))
+		return
+	}
 	n.stepToTermLocked(reqTerm)
 	granted := false
 	if reqTerm == n.term && (n.votedFor == -1 || n.votedFor == candidate) &&

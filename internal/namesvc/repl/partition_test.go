@@ -23,16 +23,16 @@ type faultCluster struct {
 	proxies [][]*faultnet.Proxy // proxies[i][j]: node i's route to node j
 }
 
-func startFaultCluster(t *testing.T, size int) *faultCluster {
+func startFaultCluster(t *testing.T, size int, opts ...func(*Config)) *faultCluster {
 	t.Helper()
-	return startFaultClusterWithClients(t, size, nil)
+	return startFaultClusterWithClients(t, size, nil, opts...)
 }
 
 // startFaultClusterWithClients lets the caller supply real client-facing
 // addresses (chaos tests run namesvc Servers behind client proxies, and
 // redirect hints must name addresses sessions can dial); nil keeps the
 // placeholder addresses plain repl tests use.
-func startFaultClusterWithClients(t *testing.T, size int, clientAddrs []string) *faultCluster {
+func startFaultClusterWithClients(t *testing.T, size int, clientAddrs []string, opts ...func(*Config)) *faultCluster {
 	t.Helper()
 	fc := &faultCluster{cluster: &cluster{t: t, logf: testLogf(t)}}
 	c := fc.cluster
@@ -94,7 +94,7 @@ func startFaultClusterWithClients(t *testing.T, size int, clientAddrs []string) 
 		}
 		sinks := memSinks()
 		svc := openReplica(t, sinks)
-		node, err := Start(Config{
+		cfg := Config{
 			NodeID:          i,
 			Peers:           view,
 			Service:         svc,
@@ -102,7 +102,11 @@ func startFaultClusterWithClients(t *testing.T, size int, clientAddrs []string) 
 			ElectionTimeout: 200 * time.Millisecond,
 			ManualElections: true,
 			Logf:            c.logf,
-		})
+		}
+		for _, opt := range opts {
+			opt(&cfg)
+		}
+		node, err := Start(cfg)
 		if err != nil {
 			t.Fatalf("starting node %d: %v", i, err)
 		}
@@ -197,12 +201,15 @@ func TestFollowerPartitionSnapshotCatchUp(t *testing.T) {
 }
 
 // TestMinorityLeaderFencesAfterPartition: a leader partitioned into a
-// minority keeps accepting writes it can never commit (that is the safe
-// half of split-brain: nothing is acknowledged), while the majority
-// elects a new leader and moves on. On heal the old leader is fenced —
-// its in-flight WaitCommitted fails, it stops admitting writes, it
-// redirects to the new leader — and its divergent tail is overwritten by
-// the new leader's snapshot so the cluster reconverges byte-identical.
+// minority briefly keeps accepting writes it can never commit (that is
+// the safe half of split-brain: nothing is acknowledged), but
+// check-quorum bounds the window — within about one election timeout of
+// losing its followers it steps down on its own, with no heal and no
+// higher term required: its in-flight WaitCommitted fails, it stops
+// admitting writes, and its last-election reason records the step-down.
+// The majority then elects a new leader, and on heal the old leader's
+// divergent tail is overwritten by the new leader's snapshot so the
+// cluster reconverges byte-identical.
 func TestMinorityLeaderFencesAfterPartition(t *testing.T) {
 	fc := startFaultCluster(t, 3)
 	c := fc.cluster
@@ -236,10 +243,11 @@ func TestMinorityLeaderFencesAfterPartition(t *testing.T) {
 	waitErr := make(chan error, 1)
 	go func() { waitErr <- c.nodes[0].WaitCommitted(0) }()
 
-	// The split-brain window: the minority leader does not yet know it
-	// is deposed, but it also has not acknowledged anything.
+	// The split-brain window: for a moment the minority leader does not
+	// yet know it lost its followers — but it also has not acknowledged
+	// anything, and check-quorum bounds the window.
 	if !c.nodes[0].IsLeader() {
-		t.Fatal("partitioned leader stepped down without cause")
+		t.Fatal("partitioned leader stepped down before its lease could expire")
 	}
 	select {
 	case err := <-waitErr:
@@ -247,8 +255,41 @@ func TestMinorityLeaderFencesAfterPartition(t *testing.T) {
 	case <-time.After(100 * time.Millisecond):
 	}
 
-	// The majority elects node 1 — it can reach node 2, both converged.
-	if !c.nodes[1].Campaign() {
+	// Check-quorum: within a few election timeouts the minority leader
+	// steps down on its own — no heal, no higher term in sight.
+	deadline := time.Now().Add(15 * time.Second)
+	for c.nodes[0].IsLeader() {
+		if time.Now().After(deadline) {
+			t.Fatal("minority leader did not step down via check-quorum")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case err := <-waitErr:
+		if !errors.Is(err, errDeposed) {
+			t.Fatalf("in-flight WaitCommitted: %v, want errDeposed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight WaitCommitted did not fail after the step-down")
+	}
+	if admit, _ := c.nodes[0].AdmitWrites(); admit {
+		t.Fatal("stepped-down leader still admits writes")
+	}
+	if _, _, reason, _ := c.nodes[0].WireReplStats(); reason != "check-quorum-stepdown" {
+		t.Fatalf("election reason = %q, want check-quorum-stepdown", reason)
+	}
+
+	// The majority elects node 1 once node 2's leader contact lapses —
+	// until then stickiness makes node 2 refuse the pre-vote, which is
+	// the stability property, not a defect, so the campaign retries.
+	won := false
+	for i := 0; i < 100 && !won; i++ {
+		won = c.nodes[1].Campaign()
+		if !won {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if !won {
 		t.Fatal("majority follower failed to take leadership")
 	}
 	for client := uint64(301); client <= 308; client++ {
@@ -260,26 +301,7 @@ func TestMinorityLeaderFencesAfterPartition(t *testing.T) {
 
 	fc.healNode(0)
 
-	// Heal lets the new term reach node 0 (vote traffic or the new
-	// leader's stream, whichever lands first) and fence it.
-	deadline := time.Now().Add(15 * time.Second)
-	for c.nodes[0].IsLeader() {
-		if time.Now().After(deadline) {
-			t.Fatal("old leader still claims leadership after heal")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	select {
-	case err := <-waitErr:
-		if !errors.Is(err, errDeposed) {
-			t.Fatalf("in-flight WaitCommitted: %v, want errDeposed", err)
-		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("in-flight WaitCommitted did not fail after fencing")
-	}
-	if admit, _ := c.nodes[0].AdmitWrites(); admit {
-		t.Fatal("fenced leader still admits writes")
-	}
+	// Heal lets the new leader's stream reach node 0 and redirect it.
 	for {
 		role, hint := c.nodes[0].WireRole()
 		if role == namesvc.RoleFollower && hint == c.peers[1].ClientAddr {

@@ -94,7 +94,7 @@ type cluster struct {
 	logf  func(string, ...any)
 }
 
-func startCluster(t *testing.T, size int) *cluster {
+func startCluster(t *testing.T, size int, opts ...func(*Config)) *cluster {
 	t.Helper()
 	c := &cluster{t: t, logf: testLogf(t)}
 	lns := make([]net.Listener, size)
@@ -112,7 +112,7 @@ func startCluster(t *testing.T, size int) *cluster {
 	for i := 0; i < size; i++ {
 		sinks := memSinks()
 		svc := openReplica(t, sinks)
-		node, err := Start(Config{
+		cfg := Config{
 			NodeID:          i,
 			Peers:           c.peers,
 			Service:         svc,
@@ -120,7 +120,11 @@ func startCluster(t *testing.T, size int) *cluster {
 			ElectionTimeout: 200 * time.Millisecond,
 			ManualElections: true,
 			Logf:            c.logf,
-		})
+		}
+		for _, opt := range opts {
+			opt(&cfg)
+		}
+		node, err := Start(cfg)
 		if err != nil {
 			t.Fatalf("starting node %d: %v", i, err)
 		}
@@ -131,6 +135,11 @@ func startCluster(t *testing.T, size int) *cluster {
 	t.Cleanup(c.close)
 	return c
 }
+
+// legacyElections is the startCluster option that restores the
+// pre-hardening election behavior (no pre-vote, no stickiness, no
+// check-quorum) for tests pinning the legacy differential.
+func legacyElections(cfg *Config) { cfg.LegacyElections = true }
 
 func (c *cluster) close() {
 	for _, n := range c.nodes {
@@ -423,9 +432,13 @@ func TestClusterMatchesVolatileReference(t *testing.T) {
 // TestFailoverFencesDeposedLeader: a new campaign deposes the old leader
 // mid-flight — its commit waiters fail, it stops admitting writes and
 // redirects to the new leader, and the cluster reconverges under the new
-// term.
+// term. This deliberately pins the *legacy* election path: with pre-vote
+// and leader stickiness a healthy leader cannot be deposed by a fresh
+// campaign at all (see TestPreVoteProtectsHealthyLeader), so the fencing
+// mechanics are exercised through the one mode that still permits the
+// deposal.
 func TestFailoverFencesDeposedLeader(t *testing.T) {
-	c := startCluster(t, 3)
+	c := startCluster(t, 3, legacyElections)
 	if !c.nodes[0].Campaign() {
 		t.Fatal("node 0 failed to take leadership")
 	}
@@ -663,24 +676,38 @@ func TestWireRoundTrips(t *testing.T) {
 	if term, err := decodeNack(w.Bytes()); err != nil || term != 6 {
 		t.Fatalf("nack round-trip: (%d, %v)", term, err)
 	}
+
+	w.Reset()
+	appendPreVoteReq(&w, 10, 2, 4, 999)
+	if term, id, rec, p, err := decodePreVoteReq(w.Bytes()); err != nil || term != 10 || id != 2 || rec != 4 || p != 999 {
+		t.Fatalf("pre-vote-req round-trip: (%d, %d, %d, %d, %v)", term, id, rec, p, err)
+	}
+
+	for _, granted := range []bool{true, false} {
+		w.Reset()
+		appendPreVoteResp(&w, 9, granted)
+		if term, g, err := decodePreVoteResp(w.Bytes()); err != nil || term != 9 || g != granted {
+			t.Fatalf("pre-vote-resp round-trip: (%d, %v, %v)", term, g, err)
+		}
+	}
 }
 
 func TestMetaPersistence(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "repl-meta")
+	store := fileMeta{path: filepath.Join(t.TempDir(), "repl-meta")}
 
-	m, err := loadMeta(path)
+	m, err := store.load()
 	if err != nil {
 		t.Fatalf("loading missing meta: %v", err)
 	}
-	if m.Term != 0 || m.VotedFor != -1 || m.LastRecTerm != 0 {
-		t.Fatalf("zero meta = %+v, want term 0, no vote", m)
+	if m.Term != 0 || m.VotedFor != -1 || m.LastRecTerm != 0 || m.CompactFloor != 0 {
+		t.Fatalf("zero meta = %+v, want term 0, no vote, floor 0", m)
 	}
 
-	want := meta{Term: 9, VotedFor: 2, LastRecTerm: 7}
-	if err := want.save(path); err != nil {
+	want := meta{Seq: 1, Term: 9, VotedFor: 2, LastRecTerm: 7, CompactFloor: 31}
+	if err := store.save(want); err != nil {
 		t.Fatalf("saving meta: %v", err)
 	}
-	got, err := loadMeta(path)
+	got, err := store.load()
 	if err != nil {
 		t.Fatalf("reloading meta: %v", err)
 	}
@@ -688,11 +715,32 @@ func TestMetaPersistence(t *testing.T) {
 		t.Fatalf("meta round-trip: got %+v, want %+v", got, want)
 	}
 
-	// Memory-only mode: empty path is a no-op on both sides.
-	if err := (meta{Term: 1}).save(""); err != nil {
+	// Memory-only mode round-trips in place.
+	mem := newMemMeta()
+	if err := mem.save(meta{Term: 1, VotedFor: 0}); err != nil {
 		t.Fatalf("memory-only save: %v", err)
 	}
-	if m, err := loadMeta(""); err != nil || m.VotedFor != -1 {
+	if m, err := mem.load(); err != nil || m.Term != 1 || m.VotedFor != 0 {
 		t.Fatalf("memory-only load: (%+v, %v)", m, err)
+	}
+
+	// Sink-backed store: same contract over alternating slots, newest
+	// valid slot wins.
+	sink := durable.NewMemSink()
+	ss := sinkMeta{sink: sink}
+	if m, err := ss.load(); err != nil || m.VotedFor != -1 {
+		t.Fatalf("empty sink load: (%+v, %v)", m, err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := ss.save(meta{Seq: seq, Term: seq + 10, VotedFor: 1, CompactFloor: seq * 4}); err != nil {
+			t.Fatalf("sink save seq %d: %v", seq, err)
+		}
+	}
+	got, err = ss.load()
+	if err != nil {
+		t.Fatalf("sink reload: %v", err)
+	}
+	if want := (meta{Seq: 3, Term: 13, VotedFor: 1, CompactFloor: 12}); got != want {
+		t.Fatalf("sink meta round-trip: got %+v, want %+v", got, want)
 	}
 }

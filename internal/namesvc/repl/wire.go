@@ -25,6 +25,24 @@
 // rejoins as a follower, its divergent tail overwritten by the new
 // leader's catch-up snapshot. Clients follow RejectNotLeader hints
 // (namesvc.DialLeader) to wherever writes are currently served.
+//
+// Three hardening layers sit on top of the base protocol. Pre-vote: a
+// candidate first runs a non-term-bumping poll and starts a real
+// election only if a majority reports its leader stale, so a node
+// returning from a partition with an inflated election appetite cannot
+// depose a healthy leader; responders apply leader stickiness, refusing
+// (pre-)votes while they hear a live leader within the election
+// timeout. Check-quorum: a leader that cannot hear from a quorum of
+// followers for an election timeout steps down on its own, fencing
+// in-flight commits instead of lingering split-brained, and its reads
+// (stats, journal) are lease-gated — served only while that quorum
+// contact is fresh, which is what makes leader reads linearizable.
+// Compaction: the leader's record backlog is pruned on a cadence
+// independent of the shard snapshot cycle — the committed-and-applied-
+// everywhere prefix goes first, and a hard retention bound caps the
+// queue regardless; a follower that falls behind the retained window
+// re-attaches through the ordinary snapshot+tail path. The compaction
+// floor persists in repl-meta next to term and vote.
 package repl
 
 import (
@@ -58,6 +76,14 @@ const (
 	// term): {term}. The leader tears the link down and re-attaches with a
 	// fresh snapshot.
 	kNack byte = 0x6a
+	// kPreVoteReq polls for a non-binding vote before any term is bumped:
+	// {term (the term the candidate would campaign at), candidateID,
+	// lastRecTerm, position}. The responder neither adopts the term nor
+	// spends its vote.
+	kPreVoteReq byte = 0x6b
+	// kPreVoteResp answers a pre-vote poll: {term (responder's current
+	// term), granted}.
+	kPreVoteResp byte = 0x6c
 )
 
 func appendHello(w *wire.Writer, term uint64, leaderID int) {
@@ -130,6 +156,42 @@ func appendVoteResp(w *wire.Writer, term uint64, granted bool) {
 }
 
 func decodeVoteResp(body []byte) (term uint64, granted bool, err error) {
+	r := wire.NewReader(body)
+	r.Byte()
+	term = r.Uvarint()
+	granted = r.Uvarint() == 1
+	return term, granted, r.Close()
+}
+
+func appendPreVoteReq(w *wire.Writer, term uint64, candidateID int, lastRecTerm, position uint64) {
+	w.Byte(kPreVoteReq)
+	w.Uvarint(term)
+	w.Uvarint(uint64(candidateID))
+	w.Uvarint(lastRecTerm)
+	w.Uvarint(position)
+}
+
+func decodePreVoteReq(body []byte) (term uint64, candidateID int, lastRecTerm, position uint64, err error) {
+	r := wire.NewReader(body)
+	r.Byte()
+	term = r.Uvarint()
+	candidateID = int(r.Uvarint())
+	lastRecTerm = r.Uvarint()
+	position = r.Uvarint()
+	return term, candidateID, lastRecTerm, position, r.Close()
+}
+
+func appendPreVoteResp(w *wire.Writer, term uint64, granted bool) {
+	w.Byte(kPreVoteResp)
+	w.Uvarint(term)
+	g := uint64(0)
+	if granted {
+		g = 1
+	}
+	w.Uvarint(g)
+}
+
+func decodePreVoteResp(body []byte) (term uint64, granted bool, err error) {
 	r := wire.NewReader(body)
 	r.Byte()
 	term = r.Uvarint()

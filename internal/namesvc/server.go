@@ -56,6 +56,23 @@ type wireRoleReporter interface {
 	WireRole() (Role, string)
 }
 
+// wireReadLeaser is the optional CommitGate extension that gates reads:
+// a leader whose check-quorum lease has gone stale must not answer
+// stats/journal reads (it may already be deposed), so those ops are
+// rejected with RejectNotLeader until the lease is fresh again — this is
+// what makes leader reads linearizable. Gates without it serve reads
+// unconditionally.
+type wireReadLeaser interface {
+	ReadLeaseValid() bool
+}
+
+// wireReplStats is the optional CommitGate extension that annotates the
+// stats reply with replication status: term, role, the reason for the
+// last term/role change, and the compaction floor.
+type wireReplStats interface {
+	WireReplStats() (term uint64, role Role, reason string, compactFloor uint64)
+}
+
 // groupGate adapts Service.SyncGroup to the CommitGate seam: writes are
 // always admitted, and delivery waits for a group-fsync round. Sync
 // failures degrade the shard fail-open (durability.go), so delivery
@@ -863,7 +880,11 @@ func (s *Server) ingestFrame(c *svcConn, in *ingest, body []byte) (fatal bool) {
 			return true
 		}
 		s.submitBurst(c, in)
+		if !s.admitRead(in, tag) {
+			return false
+		}
 		st := s.svc.Stats()
+		s.annotateReplStats(&st)
 		in.w.Reset()
 		appendStatsRep(&in.w, tag, st)
 		in.pushResp()
@@ -903,6 +924,9 @@ func (s *Server) ingestFrame(c *svcConn, in *ingest, body []byte) (fatal bool) {
 			return true
 		}
 		s.submitBurst(c, in)
+		if !s.admitRead(in, tag) {
+			return false
+		}
 		in.w.Reset()
 		switch {
 		case !s.svc.cfg.Journal:
@@ -994,6 +1018,28 @@ func (s *Server) admitWrite(in *ingest, tag uint64) bool {
 	appendReject(&in.w, tag, RejectNotLeader, leader)
 	in.pushResp()
 	return false
+}
+
+// admitRead applies the gate's read lease (if it has one) to a stats or
+// journal op: a lease-stale leader rejects the read with RejectNotLeader
+// rather than answer from possibly-deposed state.
+func (s *Server) admitRead(in *ingest, tag uint64) bool {
+	rl, ok := s.cfg.Gate.(wireReadLeaser)
+	if !ok || rl.ReadLeaseValid() {
+		return true
+	}
+	in.w.Reset()
+	appendReject(&in.w, tag, RejectNotLeader, "")
+	in.pushResp()
+	return false
+}
+
+// annotateReplStats merges the gate's replication status (if it reports
+// one) into a stats reply.
+func (s *Server) annotateReplStats(st *Stats) {
+	if rs, ok := s.cfg.Gate.(wireReplStats); ok {
+		st.ReplTerm, st.ReplRole, st.ElectionReason, st.CompactFloor = rs.WireReplStats()
+	}
 }
 
 // submitBurst pushes one decoded burst into the service: releases first

@@ -43,7 +43,10 @@ const (
 // Version 4 added the replication role and leader hint to the welcome
 // and the RejectNotLeader redirect (its message is the leader's client
 // address), so clients follow a failover instead of erroring out.
-const svcProtocolVersion = 4
+// Version 5 extended the stats reply with replication status — term,
+// role, last election reason, compaction floor — so checkers assert
+// term stability over the wire instead of grepping logs.
+const svcProtocolVersion = 5
 
 // svcMaxFrame bounds any frame of the service protocol; every op is a few
 // varints — the stats reply additionally carries one digest per shard — so
@@ -325,6 +328,11 @@ func appendStatsRep(w *wire.Writer, tag uint64, st Stats) {
 	w.Uvarint(st.WALRecords)
 	w.Uvarint(st.WALSnapshots)
 	w.Uvarint(st.WALFailures)
+	w.Uvarint(st.ReplTerm)
+	w.Uvarint(uint64(st.ReplRole))
+	w.Uvarint(st.CompactFloor)
+	w.Uvarint(uint64(len(st.ElectionReason)))
+	w.Raw([]byte(st.ElectionReason))
 }
 
 func decodeStatsRep(body []byte) (tag uint64, st Stats, err error) {
@@ -354,6 +362,16 @@ func decodeStatsRep(body []byte) (tag uint64, st Stats, err error) {
 	st.WALRecords = r.Uvarint()
 	st.WALSnapshots = r.Uvarint()
 	st.WALFailures = r.Uvarint()
+	st.ReplTerm = r.Uvarint()
+	st.ReplRole = Role(r.Uvarint())
+	st.CompactFloor = r.Uvarint()
+	rl := r.Uvarint()
+	if r.Err() == nil && rl > uint64(r.Remaining()) {
+		return 0, Stats{}, fmt.Errorf("%w: %d-byte election reason in %d remaining", wire.ErrTruncated, rl, r.Remaining())
+	}
+	if rl > 0 {
+		st.ElectionReason = string(r.Bytes(int(rl)))
+	}
 	if err := r.Close(); err != nil {
 		return 0, Stats{}, err
 	}
